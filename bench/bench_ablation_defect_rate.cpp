@@ -1,0 +1,47 @@
+// Ablation A2: mapping success rate vs stuck-at-open defect rate.
+//
+// The paper fixes 10%; this sweep shows where each circuit's yield cliff
+// sits on an optimum-size crossbar, for both HBA and EA.
+#include <iostream>
+
+#include "benchdata/registry.hpp"
+#include "map/exact_mapper.hpp"
+#include "map/hybrid_mapper.hpp"
+#include "mc/defect_experiment.hpp"
+#include "util/env.hpp"
+#include "util/text_table.hpp"
+#include "xbar/function_matrix.hpp"
+
+int main() {
+  using namespace mcx;
+
+  const std::size_t samples = envSizeT("MCX_SAMPLES", 100);
+  const double rates[] = {0.02, 0.05, 0.10, 0.15, 0.20, 0.30};
+  const char* circuits[] = {"rd53", "misex1", "sao2", "rd73", "clip"};
+
+  std::cout << "Ablation: success rate vs defect rate (optimum-size crossbars, " << samples
+            << " samples per cell)\n\n";
+
+  for (const char* name : circuits) {
+    const BenchmarkCircuit bench = loadBenchmarkFast(name);
+    const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
+    TextTable table({"defect rate", "HBA Psucc", "EA Psucc", "HBA backtracks/sample"});
+    for (const double rate : rates) {
+      DefectExperimentConfig cfg;
+      cfg.samples = samples;
+      cfg.stuckOpenRate = rate;
+      cfg.seed = 0xab1a;
+      const auto hba = runDefectExperiment(fm, HybridMapper(), cfg);
+      const auto ea = runDefectExperiment(fm, ExactMapper(), cfg);
+      table.addRow({TextTable::percent(rate), TextTable::percent(hba.successRate()),
+                    TextTable::percent(ea.successRate()),
+                    TextTable::num(double(hba.totalBacktracks) / double(samples), 2)});
+    }
+    std::cout << name << " (area " << fm.dims().area() << ", IR "
+              << TextTable::percent(fm.inclusionRatio()) << "):\n"
+              << table << "\n";
+  }
+  std::cout << "expected shape: success degrades monotonically with rate; EA >= HBA\n"
+               "everywhere; backtracking activity peaks around the cliff.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A6: factoring quality vs multi-level crossbar area.
+//
+// Compares the three SOP -> NAND strategies (flat NAND-NAND, literal-based
+// quick factoring, kernel-based good factoring) on structured, arithmetic
+// and random workloads. This is the knob that decides whether multi-level
+// synthesis beats two-level (Fig. 6 / Table I behaviour).
+#include <iostream>
+
+#include "benchdata/registry.hpp"
+#include "logic/espresso.hpp"
+#include "logic/generators.hpp"
+#include "logic/isop.hpp"
+#include "netlist/nand_mapper.hpp"
+#include "util/text_table.hpp"
+#include "xbar/area_model.hpp"
+
+int main() {
+  using namespace mcx;
+
+  struct Workload {
+    std::string label;
+    Cover cover;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"(x1+x2)(x3+x4) textbook", [] {
+    Cover c(4, 1);
+    c.add(makeCube("1-1-", "1"));
+    c.add(makeCube("1--1", "1"));
+    c.add(makeCube("-11-", "1"));
+    c.add(makeCube("-1-1", "1"));
+    return c;
+  }()});
+  workloads.push_back({"t481 stand-in", loadBenchmarkFast("t481").cover});
+  workloads.push_back({"rd53", espressoMinimize(isopCover(weightFunction(5)))});
+  workloads.push_back({"sqrt8", espressoMinimize(isopCover(sqrtFunction(8)))});
+  {
+    Rng rng(31415);
+    RandomSopOptions opts;
+    opts.nin = 10;
+    opts.nout = 1;
+    opts.products = 20;
+    opts.literalsPerProduct = 3.0;
+    workloads.push_back({"random 10-in 20-prod", randomSop(opts, rng)});
+  }
+
+  TextTable table({"workload", "two-level", "flat G/area", "quick G/area", "kernel G/area"});
+  for (const Workload& w : workloads) {
+    auto cell = [&w](const NandMapOptions& opts) {
+      const NandNetwork net = mapToNand(w.cover, opts);
+      return std::to_string(net.gateCount()) + "/" +
+             std::to_string(multiLevelDims(net).area());
+    };
+    NandMapOptions flat;
+    flat.factored = false;
+    NandMapOptions quick;
+    NandMapOptions kernel;
+    kernel.kernelFactoring = true;
+    table.addRow({w.label, std::to_string(twoLevelDims(w.cover).area()), cell(flat),
+                  cell(quick), cell(kernel)});
+  }
+  std::cout << "Factoring strategy vs multi-level area (G = NAND gates):\n" << table << "\n";
+  std::cout << "expected shape: kernel factoring wins on structured functions (shared\n"
+               "divisors); on unfactorable functions (rd53, random) the flat NAND-NAND\n"
+               "form wins because factoring only adds inverter gates. mapToNandBest()\n"
+               "picks per function, like a real technology mapper.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A8: analytic yield model vs Monte Carlo ground truth.
+//
+// Quantifies where the closed-form estimate (mc/yield_model.hpp) is usable
+// instead of a 200-sample Monte Carlo run, and uses it to answer the
+// paper's future-work question "how much redundancy for a target yield?"
+// instantly per circuit.
+#include <iostream>
+
+#include "benchdata/registry.hpp"
+#include "map/hybrid_mapper.hpp"
+#include "mc/defect_experiment.hpp"
+#include "mc/yield_model.hpp"
+#include "util/env.hpp"
+#include "util/text_table.hpp"
+#include "xbar/function_matrix.hpp"
+
+int main() {
+  using namespace mcx;
+
+  const std::size_t samples = envSizeT("MCX_SAMPLES", 200);
+  std::cout << "Analytic yield model vs Monte Carlo (" << samples
+            << " samples), optimum-size crossbars\n\n";
+
+  TextTable table({"circuit", "rate", "model", "Monte Carlo", "abs err"});
+  for (const char* name : {"rd53", "misex1", "sao2", "clip"}) {
+    const BenchmarkCircuit bench = loadBenchmarkFast(name);
+    const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
+    for (const double q : {0.05, 0.10, 0.20}) {
+      const double model = estimateYield(fm, q).successProbability;
+      DefectExperimentConfig cfg;
+      cfg.samples = samples;
+      cfg.stuckOpenRate = q;
+      const double mc = runDefectExperiment(fm, HybridMapper(), cfg).successRate();
+      table.addRow({name, TextTable::percent(q), TextTable::percent(model, 1),
+                    TextTable::percent(mc, 1), TextTable::num(std::abs(model - mc), 3)});
+    }
+  }
+  std::cout << table << "\n";
+
+  std::cout << "spare rows needed for 99% estimated yield at 10% defects:\n";
+  TextTable spares({"circuit", "optimum rows", "spares for 99%", "row overhead"});
+  for (const char* name : {"rd53", "misex1", "sao2", "rd73", "clip", "alu4"}) {
+    const BenchmarkCircuit bench = loadBenchmarkFast(name);
+    const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
+    const std::size_t s = sparesForTargetYield(fm, 0.10, 0.99, 128);
+    spares.addRow({name, std::to_string(fm.rows()), std::to_string(s),
+                   TextTable::percent(double(s) / double(fm.rows()), 1)});
+  }
+  std::cout << spares << "\n";
+  std::cout << "expected shape: the sequential-greedy approximation brackets the truth\n"
+               "from both sides — optimistic when dense-row tails compete for the same\n"
+               "healthy rows (rd53 at 20%), pessimistic on uniform-row circuits where\n"
+               "real matchings rearrange globally (misex1, augmenting paths beat greedy);\n"
+               "errors stay within ~0.2 and shrink at the 0%/100% extremes, good enough\n"
+               "for the spare-row sizing table below.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 1 reproduction: memristor I-V characteristics.
+//
+// Drives the threshold ion-drift device model with two sinusoidal periods
+// and prints the I-V trajectory — the pinched hysteresis loop with SET above
+// +V_th and RESET below -V_th that Fig. 1 sketches. Output is a CSV-like
+// series (voltage, current, state) usable for plotting, plus a summary of
+// the SET/RESET transitions.
+#include <cmath>
+#include <iostream>
+
+#include "sim/device_model.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace mcx;
+
+  DeviceParams params;  // R_ON=100, R_OFF=16k, V_th=1V
+  const double amplitude = 2.0;
+  const auto points = sweepIV(params, amplitude, 2, 64);
+
+  std::cout << "Figure 1: memristor I-V sweep (" << amplitude << " V sinusoid, 2 periods, "
+            << "V_th = " << params.vThreshold << " V, R_ON = " << params.rOn
+            << " ohm, R_OFF = " << params.rOff << " ohm)\n\n";
+
+  TextTable table({"t", "V", "I (mA)", "state w"});
+  for (std::size_t i = 0; i < points.size(); i += 4) {
+    const IvPoint& p = points[i];
+    table.addRow({TextTable::num(p.time, 3), TextTable::num(p.voltage, 3),
+                  TextTable::num(p.current * 1e3, 4), TextTable::num(p.state, 3)});
+  }
+  std::cout << table << "\n";
+
+  // Pinched hysteresis + switching summary.
+  double maxState = 0, minStateAfterSet = 1;
+  bool set = false;
+  for (const IvPoint& p : points) {
+    maxState = std::max(maxState, p.state);
+    if (maxState > 0.9) set = true;
+    if (set) minStateAfterSet = std::min(minStateAfterSet, p.state);
+  }
+  double currentRatio = 0;
+  double iOff = 0, iOn = 0;
+  for (const IvPoint& p : points) {
+    if (std::abs(p.voltage - 0.9) < 0.05) {
+      if (p.time < 0.2) iOff = std::max(iOff, std::abs(p.current));
+      else iOn = std::max(iOn, std::abs(p.current));
+    }
+  }
+  if (iOff > 0) currentRatio = iOn / iOff;
+
+  std::cout << "SET reached (w > 0.9): " << (set ? "yes" : "no") << "\n";
+  std::cout << "RESET after SET (min w): " << TextTable::num(minStateAfterSet, 3) << "\n";
+  std::cout << "ON/OFF read-current ratio at 0.9 V: " << TextTable::num(currentRatio, 1)
+            << " (paper's Fig. 1 shape: low-resistance branch after SET)\n";
+  std::cout << "I(V=0) = 0 at every crossing: pinched loop confirmed by construction\n";
+  return 0;
+}

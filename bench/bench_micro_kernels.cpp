@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) of the library's hot kernels:
+// row matching, matching-matrix construction, Munkres, tautology checking,
+// complement, ISOP, espresso, factoring, and end-to-end HBA/EA mapping.
+#include <benchmark/benchmark.h>
+
+#include "assign/munkres.hpp"
+#include "benchdata/registry.hpp"
+#include "logic/espresso.hpp"
+#include "logic/generators.hpp"
+#include "logic/isop.hpp"
+#include "map/exact_mapper.hpp"
+#include "map/hybrid_mapper.hpp"
+#include "netlist/factor.hpp"
+#include "xbar/defects.hpp"
+#include "xbar/function_matrix.hpp"
+
+namespace {
+
+using namespace mcx;
+
+Cover benchCover(std::size_t nin, std::size_t products) {
+  Rng rng(1);
+  RandomSopOptions opts;
+  opts.nin = nin;
+  opts.nout = 4;
+  opts.products = products;
+  opts.literalsPerProduct = nin / 2.0;
+  return randomSop(opts, rng);
+}
+
+void BM_RowMatching(benchmark::State& state) {
+  const Cover cover = benchCover(14, static_cast<std::size_t>(state.range(0)));
+  const FunctionMatrix fm = buildFunctionMatrix(cover);
+  Rng rng(2);
+  const DefectMap defects = DefectMap::sample(fm.rows(), fm.cols(), 0.1, 0.0, rng);
+  const BitMatrix cm = crossbarMatrix(defects);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rowMatches(fm.bits(), i % fm.rows(), cm, i % cm.rows()));
+    ++i;
+  }
+}
+BENCHMARK(BM_RowMatching)->Arg(64)->Arg(256);
+
+void BM_MatchingMatrix(benchmark::State& state) {
+  const Cover cover = benchCover(12, static_cast<std::size_t>(state.range(0)));
+  const FunctionMatrix fm = buildFunctionMatrix(cover);
+  Rng rng(3);
+  const DefectMap defects = DefectMap::sample(fm.rows(), fm.cols(), 0.1, 0.0, rng);
+  const BitMatrix cm = crossbarMatrix(defects);
+  std::vector<std::size_t> rows(fm.rows());
+  for (std::size_t r = 0; r < fm.rows(); ++r) rows[r] = r;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(buildMatchingMatrix(fm.bits(), rows, cm, rows));
+}
+BENCHMARK(BM_MatchingMatrix)->Arg(64)->Arg(256);
+
+void BM_Munkres(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  CostMatrix cost(n, n, 1);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      if (rng.bernoulli(0.8)) cost.at(r, c) = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(munkresSolve(cost));
+}
+BENCHMARK(BM_Munkres)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Tautology(benchmark::State& state) {
+  const Cover cover = benchCover(static_cast<std::size_t>(state.range(0)), 40);
+  const auto cubes = cover.projection(0);
+  for (auto _ : state) benchmark::DoNotOptimize(tautology(cubes, cover.nin()));
+}
+BENCHMARK(BM_Tautology)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Complement(benchmark::State& state) {
+  const Cover cover = benchCover(static_cast<std::size_t>(state.range(0)), 30);
+  const auto cubes = cover.projection(0);
+  for (auto _ : state) benchmark::DoNotOptimize(complementCubes(cubes, cover.nin()));
+}
+BENCHMARK(BM_Complement)->Arg(8)->Arg(12);
+
+void BM_Isop(benchmark::State& state) {
+  const TruthTable tt = weightFunction(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(isopCover(tt));
+}
+BENCHMARK(BM_Isop)->Arg(5)->Arg(8)->Arg(10);
+
+void BM_Espresso(benchmark::State& state) {
+  const TruthTable tt = weightFunction(static_cast<std::size_t>(state.range(0)));
+  const Cover cover = isopCover(tt);
+  for (auto _ : state) benchmark::DoNotOptimize(espressoMinimize(cover));
+}
+BENCHMARK(BM_Espresso)->Arg(5)->Arg(7);
+
+void BM_Factor(benchmark::State& state) {
+  const Cover cover = loadBenchmarkFast("t481").cover;
+  const auto cubes = cover.projection(0);
+  for (auto _ : state) benchmark::DoNotOptimize(factorCover(cubes, cover.nin()));
+}
+BENCHMARK(BM_Factor);
+
+void BM_MapHba(benchmark::State& state) {
+  const BenchmarkCircuit bench = loadBenchmarkFast("alu4");
+  const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
+  Rng rng(5);
+  const DefectMap defects = DefectMap::sample(fm.rows(), fm.cols(), 0.1, 0.0, rng);
+  const BitMatrix cm = crossbarMatrix(defects);
+  const HybridMapper mapper;
+  for (auto _ : state) benchmark::DoNotOptimize(mapper.map(fm, cm));
+}
+BENCHMARK(BM_MapHba);
+
+void BM_MapEa(benchmark::State& state) {
+  const BenchmarkCircuit bench = loadBenchmarkFast("alu4");
+  const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
+  Rng rng(5);
+  const DefectMap defects = DefectMap::sample(fm.rows(), fm.cols(), 0.1, 0.0, rng);
+  const BitMatrix cm = crossbarMatrix(defects);
+  const ExactMapper mapper;
+  for (auto _ : state) benchmark::DoNotOptimize(mapper.map(fm, cm));
+}
+BENCHMARK(BM_MapEa);
+
+}  // namespace

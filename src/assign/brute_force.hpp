@@ -1,0 +1,13 @@
+// Brute-force assignment solver: reference oracle for Munkres tests and for
+// the tiny worked examples from the paper (Fig. 8).
+#pragma once
+
+#include "assign/munkres.hpp"
+
+namespace mcx {
+
+/// Exhaustive min-cost assignment (rows <= cols <= ~10). Exponential; test
+/// and example use only.
+AssignmentResult bruteForceAssign(const CostMatrix& cost);
+
+}  // namespace mcx

@@ -1,0 +1,91 @@
+#include "assign/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+BipartiteGraph::BipartiteGraph(std::size_t numLeft, std::size_t numRight)
+    : numRight_(numRight), adj_(numLeft) {}
+
+void BipartiteGraph::addEdge(std::size_t left, std::size_t right) {
+  MCX_REQUIRE(left < adj_.size() && right < numRight_, "BipartiteGraph::addEdge out of range");
+  adj_[left].push_back(right);
+}
+
+const std::vector<std::size_t>& BipartiteGraph::neighbors(std::size_t left) const {
+  MCX_REQUIRE(left < adj_.size(), "BipartiteGraph::neighbors out of range");
+  return adj_[left];
+}
+
+namespace {
+
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+struct HkState {
+  const BipartiteGraph& g;
+  std::vector<std::size_t> matchL, matchR, dist;
+
+  explicit HkState(const BipartiteGraph& graph)
+      : g(graph),
+        matchL(graph.numLeft(), MatchingResult::kUnmatched),
+        matchR(graph.numRight(), MatchingResult::kUnmatched),
+        dist(graph.numLeft()) {}
+
+  bool bfs() {
+    std::queue<std::size_t> q;
+    for (std::size_t l = 0; l < g.numLeft(); ++l) {
+      if (matchL[l] == MatchingResult::kUnmatched) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool foundAugmenting = false;
+    while (!q.empty()) {
+      const std::size_t l = q.front();
+      q.pop();
+      for (const std::size_t r : g.neighbors(l)) {
+        const std::size_t next = matchR[r];
+        if (next == MatchingResult::kUnmatched) {
+          foundAugmenting = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[l] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return foundAugmenting;
+  }
+
+  bool dfs(std::size_t l) {
+    for (const std::size_t r : g.neighbors(l)) {
+      const std::size_t next = matchR[r];
+      if (next == MatchingResult::kUnmatched || (dist[next] == dist[l] + 1 && dfs(next))) {
+        matchL[l] = r;
+        matchR[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult hopcroftKarp(const BipartiteGraph& graph) {
+  HkState state(graph);
+  MatchingResult result;
+  while (state.bfs()) {
+    for (std::size_t l = 0; l < graph.numLeft(); ++l)
+      if (state.matchL[l] == MatchingResult::kUnmatched && state.dfs(l)) ++result.size;
+  }
+  result.matchOfLeft = std::move(state.matchL);
+  return result;
+}
+
+}  // namespace mcx

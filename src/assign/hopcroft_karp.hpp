@@ -1,0 +1,43 @@
+// Hopcroft-Karp maximum bipartite matching.
+//
+// The paper decides mapping validity through a zero-cost Munkres assignment
+// (O(n^3)). Validity is really a perfect-matching question, which
+// Hopcroft-Karp answers in O(E sqrt(V)) — the basis of the FastExactMapper
+// extension (map/fast_exact_mapper.hpp) that keeps EA's exactness at a
+// fraction of its runtime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcx {
+
+class BipartiteGraph {
+public:
+  BipartiteGraph(std::size_t numLeft, std::size_t numRight);
+
+  void addEdge(std::size_t left, std::size_t right);
+
+  std::size_t numLeft() const { return adj_.size(); }
+  std::size_t numRight() const { return numRight_; }
+  const std::vector<std::size_t>& neighbors(std::size_t left) const;
+
+private:
+  std::size_t numRight_;
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+struct MatchingResult {
+  /// Size of the maximum matching.
+  std::size_t size = 0;
+  /// matchOfLeft[l] = matched right vertex or kUnmatched.
+  std::vector<std::size_t> matchOfLeft;
+  static constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+
+  bool perfectForLeft(std::size_t numLeft) const { return size == numLeft; }
+};
+
+/// Maximum matching via Hopcroft-Karp.
+MatchingResult hopcroftKarp(const BipartiteGraph& graph);
+
+}  // namespace mcx

@@ -1,0 +1,68 @@
+#include "assign/munkres.hpp"
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+AssignmentResult munkresSolve(const CostMatrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+  MCX_REQUIRE(n <= m, "munkresSolve: requires rows <= cols");
+
+  // Shortest augmenting path formulation (equivalent to Munkres; standard
+  // O(n^2 m) potentials method). 1-based arrays per the classic exposition.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::vector<std::int64_t> u(n + 1, 0), v(m + 1, 0);
+  std::vector<std::size_t> p(m + 1, 0);    // p[col] = row matched to col (0 = none)
+  std::vector<std::size_t> way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<std::int64_t> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      std::int64_t delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur =
+            cost.at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.assignment.assign(n, 0);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) result.assignment[p[j] - 1] = j - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) result.cost += cost.at(i, result.assignment[i]);
+  return result;
+}
+
+}  // namespace mcx

@@ -1,0 +1,45 @@
+// Munkres (Hungarian) assignment algorithm.
+//
+// The paper's defect-tolerant mapper assigns function-matrix rows to
+// crossbar rows through a 0/1 "matching matrix" (0 = rows compatible) and
+// declares a mapping valid iff a zero-total-cost assignment exists
+// (Munkres 1957, reference [21] of the paper). This implementation solves
+// the general rectangular min-cost assignment problem in O(n^2 m).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mcx {
+
+/// Dense cost matrix, rows*cols, row-major.
+class CostMatrix {
+public:
+  CostMatrix(std::size_t rows, std::size_t cols, std::int64_t value = 0)
+      : rows_(rows), cols_(cols), v_(rows * cols, value) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::int64_t& at(std::size_t r, std::size_t c) { return v_[r * cols_ + c]; }
+  std::int64_t at(std::size_t r, std::size_t c) const { return v_[r * cols_ + c]; }
+
+private:
+  std::size_t rows_, cols_;
+  std::vector<std::int64_t> v_;
+};
+
+struct AssignmentResult {
+  /// assignment[r] = column assigned to row r (every row is assigned;
+  /// requires rows <= cols).
+  std::vector<std::size_t> assignment;
+  /// Total cost of the assignment.
+  std::int64_t cost = 0;
+};
+
+/// Solve min-cost assignment of every row to a distinct column.
+/// Requires rows() <= cols(). Costs must be non-negative.
+AssignmentResult munkresSolve(const CostMatrix& cost);
+
+}  // namespace mcx

@@ -1,0 +1,59 @@
+// Registry of the paper's benchmark circuits (Tables I and II).
+//
+// Each entry records the paper's published statistics (inputs, outputs,
+// products, success rates where given) and how this library rebuilds the
+// circuit (exact generation vs. synthetic stand-in — see
+// benchdata/synthetic.hpp for the substitution policy).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace mcx {
+
+enum class BenchmarkSource {
+  Generated,      ///< mathematically defined, generated exactly
+  Synthetic,      ///< random irredundant stand-in with the paper's (I, O, P)
+  StructureSeeded ///< product-of-sums stand-in preserving factorability
+};
+
+struct BenchmarkInfo {
+  std::string name;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t products = 0;  ///< paper's P (Table II / derived from Table I)
+  BenchmarkSource source = BenchmarkSource::Synthetic;
+  std::string note;          ///< substitution / typo documentation
+
+  // Paper-published reference values (when the table lists the circuit).
+  std::optional<std::size_t> paperAreaTwoLevel;   ///< Table I/II area cost
+  std::optional<double> paperIr;                   ///< Table II IR
+  std::optional<double> paperPsuccHba;             ///< Table II HBA success
+  std::optional<double> paperPsuccEa;              ///< Table II EA success
+  bool paperUsedDual = false;                      ///< bold row in Table II
+  bool inTable1 = false;
+  bool inTable2 = false;
+};
+
+struct BenchmarkCircuit {
+  BenchmarkInfo info;
+  Cover cover;
+};
+
+/// All registered circuits, in paper order (Table II first, Table I extras
+/// after).
+const std::vector<BenchmarkInfo>& paperBenchmarks();
+
+/// Build a circuit by name. Generated circuits run the ISOP + espresso
+/// pipeline (their P is measured, not fixed); stand-ins match the paper's P
+/// exactly by construction. Throws InvalidArgument for unknown names.
+BenchmarkCircuit loadBenchmark(const std::string& name);
+
+/// Like loadBenchmark but without espresso polish on generated circuits
+/// (faster; P may be slightly larger).
+BenchmarkCircuit loadBenchmarkFast(const std::string& name);
+
+}  // namespace mcx

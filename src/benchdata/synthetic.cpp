@@ -1,0 +1,74 @@
+#include "benchdata/synthetic.hpp"
+
+#include <numeric>
+
+#include "logic/generators.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+std::uint64_t nameSeed(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Cover syntheticCover(const std::string& name, std::size_t nin, std::size_t nout,
+                     std::size_t products, double literalsPerProduct,
+                     double outputsPerProduct, const SyntheticTails& tails) {
+  Rng rng(nameSeed(name));
+  RandomSopOptions opts;
+  opts.nin = nin;
+  opts.nout = nout;
+  opts.products = products;
+  opts.literalsPerProduct = literalsPerProduct;
+  opts.outputsPerProduct = outputsPerProduct;
+  opts.heavyLiteralFraction = tails.heavyLiteralFraction;
+  opts.heavyOutputFraction = tails.heavyOutputFraction;
+  opts.heavyOutputsPerProduct = tails.heavyOutputsPerProduct;
+  opts.irredundant = true;
+  return randomSop(opts, rng);
+}
+
+Cover productOfSumsCover(std::size_t nin, const std::vector<std::size_t>& groupSizes) {
+  MCX_REQUIRE(!groupSizes.empty(), "productOfSumsCover: no groups");
+  const std::size_t used = std::accumulate(groupSizes.begin(), groupSizes.end(), std::size_t{0});
+  MCX_REQUIRE(used <= nin, "productOfSumsCover: groups exceed variable budget");
+
+  // Expand Π_i (x_{g_i,1} + ... + x_{g_i,k_i}) by choosing one variable per
+  // group; the expansion is the unique minimal SOP of this unate function.
+  std::size_t products = 1;
+  for (const std::size_t s : groupSizes) {
+    MCX_REQUIRE(s >= 1, "productOfSumsCover: empty group");
+    products *= s;
+  }
+  MCX_REQUIRE(products <= 1'000'000, "productOfSumsCover: expansion too large");
+
+  Cover cover(nin, 1);
+  std::vector<std::size_t> choice(groupSizes.size(), 0);
+  for (std::size_t p = 0; p < products; ++p) {
+    Cube c(nin, 1);
+    std::size_t base = 0;
+    for (std::size_t g = 0; g < groupSizes.size(); ++g) {
+      c.setLit(base + choice[g], Lit::Pos);
+      base += groupSizes[g];
+    }
+    c.setOut(0);
+    cover.add(std::move(c));
+    // Increment the mixed-radix counter.
+    for (std::size_t g = 0; g < groupSizes.size(); ++g) {
+      if (++choice[g] < groupSizes[g]) break;
+      choice[g] = 0;
+    }
+  }
+  return cover;
+}
+
+}  // namespace mcx

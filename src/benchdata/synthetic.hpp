@@ -1,0 +1,45 @@
+// Synthetic benchmark construction (MCNC/IWLS'93 substitutes).
+//
+// The paper evaluates on MCNC PLA benchmarks, which are not redistributable
+// here. Three substitution strategies preserve what the experiments measure:
+//   1. exact generation for mathematically defined circuits
+//      (logic/generators.hpp: rd53/rd73/rd84, sqrt8),
+//   2. statistical stand-ins with the paper's exact (I, O, P) — identical
+//      crossbar dimensions, area cost and FM density, which is what the
+//      defect-mapping Monte Carlo depends on,
+//   3. structure-seeded stand-ins (product-of-sums functions with small
+//      factored forms) for t481/cordic, whose published result is that
+//      multi-level synthesis wins; a random SOP would not preserve that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "logic/cover.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+
+/// Random irredundant cover with exactly (nin, nout, products), a literal
+/// density and an output-sharing density tuned per circuit so the inclusion
+/// ratio tracks the paper's Table II. Deterministic per name.
+struct SyntheticTails {
+  double heavyLiteralFraction = 0.0;
+  double heavyOutputFraction = 0.0;
+  double heavyOutputsPerProduct = 0.0;
+};
+
+Cover syntheticCover(const std::string& name, std::size_t nin, std::size_t nout,
+                     std::size_t products, double literalsPerProduct,
+                     double outputsPerProduct = 1.0, const SyntheticTails& tails = {});
+
+/// Positive-unate product-of-sums function: f = OR(g1) AND OR(g2) ... where
+/// group i uses groupSizes[i] fresh variables. Its unique minimal SOP is the
+/// full expansion (prod of sizes products) while its factored NAND form has
+/// ~|groups| gates, reproducing the t481/cordic "multi-level wins" shape.
+/// nin must be >= sum(groupSizes); extra variables are unused by the
+/// function but present in the interface... (they would make outputs
+/// constant in those vars, which is fine for area accounting).
+Cover productOfSumsCover(std::size_t nin, const std::vector<std::size_t>& groupSizes);
+
+}  // namespace mcx

@@ -1,0 +1,167 @@
+#include "logic/bdd.hpp"
+
+#include <functional>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+BddManager::BddManager(std::size_t numVars) : numVars_(numVars) {
+  MCX_REQUIRE(numVars <= 1000, "BddManager: unreasonable variable count");
+  const auto terminalVar = static_cast<std::uint32_t>(numVars_);
+  nodes_.push_back({terminalVar, 0, 0});  // terminal 0
+  nodes_.push_back({terminalVar, 1, 1});  // terminal 1
+}
+
+BddRef BddManager::makeNode(std::uint32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;
+  const NodeKey key{var, low, high};
+  if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
+  const auto id = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, low, high});
+  unique_.emplace(key, id);
+  return id;
+}
+
+BddRef BddManager::variable(std::size_t var) {
+  MCX_REQUIRE(var < numVars_, "BddManager::variable out of range");
+  return makeNode(static_cast<std::uint32_t>(var), zero(), one());
+}
+
+BddRef BddManager::notVariable(std::size_t var) {
+  MCX_REQUIRE(var < numVars_, "BddManager::notVariable out of range");
+  return makeNode(static_cast<std::uint32_t>(var), one(), zero());
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+
+  const TripleKey key{f, g, h};
+  if (const auto it = iteCache_.find(key); it != iteCache_.end()) return it->second;
+
+  const std::uint32_t top = std::min({topVar(f), topVar(g), topVar(h)});
+  const auto cof = [&](BddRef x, bool value) -> BddRef {
+    if (topVar(x) != top) return x;
+    return value ? nodes_[x].high : nodes_[x].low;
+  };
+  const BddRef low = ite(cof(f, false), cof(g, false), cof(h, false));
+  const BddRef high = ite(cof(f, true), cof(g, true), cof(h, true));
+  const BddRef result = makeNode(top, low, high);
+  iteCache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::bddAnd(BddRef a, BddRef b) { return ite(a, b, zero()); }
+BddRef BddManager::bddOr(BddRef a, BddRef b) { return ite(a, one(), b); }
+BddRef BddManager::bddXor(BddRef a, BddRef b) { return ite(a, bddNot(b), b); }
+BddRef BddManager::bddNot(BddRef a) { return ite(a, zero(), one()); }
+
+BddRef BddManager::cofactor(BddRef f, std::size_t var, bool value) {
+  MCX_REQUIRE(var < numVars_, "BddManager::cofactor out of range");
+  const BddRef lit = value ? variable(var) : notVariable(var);
+  // Restrict: compose via ite on the literal — simple and correct for the
+  // natural order: walk the BDD replacing var-level decisions.
+  if (topVar(f) > var) return f;
+  if (topVar(f) == var) return value ? nodes_[f].high : nodes_[f].low;
+  const BddRef low = cofactor(nodes_[f].low, var, value);
+  const BddRef high = cofactor(nodes_[f].high, var, value);
+  (void)lit;
+  return makeNode(nodes_[f].var, low, high);
+}
+
+bool BddManager::evaluate(BddRef f, const DynBits& input) const {
+  MCX_REQUIRE(input.size() == numVars_, "BddManager::evaluate arity mismatch");
+  while (f > 1) {
+    const Node& n = nodes_[f];
+    f = input.test(n.var) ? n.high : n.low;
+  }
+  return f == one();
+}
+
+std::uint64_t BddManager::countMinterms(BddRef f) const {
+  // count(f) relative to variable level: minterms over vars >= level(f),
+  // then scale by the skipped levels above.
+  std::unordered_map<BddRef, std::uint64_t> memo;
+  const std::function<std::uint64_t(BddRef)> rec = [&](BddRef x) -> std::uint64_t {
+    if (x == zero()) return 0;
+    if (x == one()) return 1;
+    if (const auto it = memo.find(x); it != memo.end()) return it->second;
+    const Node& n = nodes_[x];
+    const auto scale = [&](BddRef child) {
+      const std::uint32_t childVar = nodes_[child].var;
+      return rec(child) << (childVar - n.var - 1);
+    };
+    const std::uint64_t total = scale(n.low) + scale(n.high);
+    memo.emplace(x, total);
+    return total;
+  };
+  return rec(f) << nodes_[f].var;
+}
+
+BddRef BddManager::fromCover(const Cover& cover, std::size_t output) {
+  MCX_REQUIRE(cover.nin() == numVars_, "BddManager::fromCover arity mismatch");
+  MCX_REQUIRE(output < cover.nout(), "BddManager::fromCover output out of range");
+  BddRef f = zero();
+  for (const Cube& c : cover.cubes()) {
+    if (!c.out(output) || c.inputEmpty()) continue;
+    BddRef cube = one();
+    // AND literals from the bottom variable up for smaller intermediate BDDs.
+    for (std::size_t v = numVars_; v-- > 0;) {
+      switch (c.lit(v)) {
+        case Lit::Pos: cube = bddAnd(cube, variable(v)); break;
+        case Lit::Neg: cube = bddAnd(cube, notVariable(v)); break;
+        default: break;
+      }
+    }
+    f = bddOr(f, cube);
+  }
+  return f;
+}
+
+BddRef BddManager::fromTruthTable(const DynBits& tt) {
+  MCX_REQUIRE(tt.size() == (std::size_t{1} << numVars_),
+              "BddManager::fromTruthTable width mismatch");
+  // The node order puts x1 at the top, which corresponds to minterm index
+  // bit 0 — split the table into even (x_var = 0) and odd positions.
+  const std::function<BddRef(std::size_t, const DynBits&)> rec =
+      [&](std::size_t var, const DynBits& table) -> BddRef {
+    if (table.size() == 1) return table.test(0) ? one() : zero();
+    DynBits low(table.size() / 2), high(table.size() / 2);
+    for (std::size_t i = 0; i < table.size() / 2; ++i) {
+      if (table.test(2 * i)) low.set(i);
+      if (table.test(2 * i + 1)) high.set(i);
+    }
+    const BddRef l = rec(var + 1, low);
+    const BddRef h = rec(var + 1, high);
+    return makeNode(static_cast<std::uint32_t>(var), l, h);
+  };
+  return rec(0, tt);
+}
+
+DynBits BddManager::toTruthTable(BddRef f) const {
+  DynBits tt(std::size_t{1} << numVars_);
+  DynBits input(numVars_);
+  for (std::size_t m = 0; m < tt.size(); ++m) {
+    for (std::size_t v = 0; v < numVars_; ++v) input.set(v, ((m >> v) & 1u) != 0);
+    if (evaluate(f, input)) tt.set(m);
+  }
+  return tt;
+}
+
+std::size_t BddManager::size(BddRef f) const {
+  std::set<BddRef> seen;
+  const std::function<void(BddRef)> rec = [&](BddRef x) {
+    if (x <= 1 || !seen.insert(x).second) return;
+    rec(nodes_[x].low);
+    rec(nodes_[x].high);
+  };
+  rec(f);
+  return seen.size() + 2;  // plus terminals
+}
+
+}  // namespace mcx

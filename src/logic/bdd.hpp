@@ -1,0 +1,104 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// A compact canonical function representation used as an independent
+// verification oracle: covers, NAND networks and factor trees are all
+// convertible to BDDs, and two functions are equal iff their BDD node ids
+// are equal. Complement edges are not used (plain ROBDD with a unique
+// table); variable order is the natural x1 < x2 < ... order, which is
+// adequate for the benchmark-scale functions in this library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "logic/truth_table.hpp"
+
+namespace mcx {
+
+using BddRef = std::uint32_t;
+
+class BddManager {
+public:
+  explicit BddManager(std::size_t numVars);
+
+  std::size_t numVars() const { return numVars_; }
+
+  BddRef zero() const { return 0; }
+  BddRef one() const { return 1; }
+  /// The function x_var.
+  BddRef variable(std::size_t var);
+  /// The function !x_var.
+  BddRef notVariable(std::size_t var);
+
+  BddRef bddAnd(BddRef a, BddRef b);
+  BddRef bddOr(BddRef a, BddRef b);
+  BddRef bddXor(BddRef a, BddRef b);
+  BddRef bddNot(BddRef a);
+  /// if-then-else(f, g, h)
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  /// Shannon cofactor with respect to x_var = value.
+  BddRef cofactor(BddRef f, std::size_t var, bool value);
+
+  /// Evaluate on one input assignment.
+  bool evaluate(BddRef f, const DynBits& input) const;
+
+  /// Number of ON minterms over all numVars() variables.
+  std::uint64_t countMinterms(BddRef f) const;
+
+  /// Build the BDD of output @p o of a cover.
+  BddRef fromCover(const Cover& cover, std::size_t output);
+  /// Build from a full-width truth table (2^numVars bits).
+  BddRef fromTruthTable(const DynBits& tt);
+  /// Export to a full-width truth table.
+  DynBits toTruthTable(BddRef f) const;
+
+  /// Live node count (diagnostics).
+  std::size_t nodeCount() const { return nodes_.size(); }
+  /// Nodes reachable from @p f.
+  std::size_t size(BddRef f) const;
+
+private:
+  struct Node {
+    std::uint32_t var;  // numVars_ for terminals
+    BddRef low, high;
+  };
+  struct NodeKey {
+    std::uint32_t var;
+    BddRef low, high;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = k.var;
+      h = h * 0x9e3779b97f4a7c15ull + k.low;
+      h = h * 0x9e3779b97f4a7c15ull + k.high;
+      return h;
+    }
+  };
+  struct TripleKey {
+    BddRef f, g, h;
+    bool operator==(const TripleKey&) const = default;
+  };
+  struct TripleKeyHash {
+    std::size_t operator()(const TripleKey& k) const {
+      std::size_t x = k.f;
+      x = x * 0x100000001b3ull + k.g;
+      x = x * 0x100000001b3ull + k.h;
+      return x;
+    }
+  };
+
+  BddRef makeNode(std::uint32_t var, BddRef low, BddRef high);
+  std::uint32_t topVar(BddRef f) const { return nodes_[f].var; }
+
+  std::size_t numVars_;
+  std::vector<Node> nodes_;  // 0 = terminal 0, 1 = terminal 1
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<TripleKey, BddRef, TripleKeyHash> iteCache_;
+};
+
+}  // namespace mcx

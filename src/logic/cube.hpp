@@ -1,0 +1,95 @@
+// Cube: one product term of a multi-output sum-of-products cover.
+//
+// The input part uses positional cube notation, two bits per variable:
+//   bit(2i)   ("neg") set  => the cube admits x_i = 0
+//   bit(2i+1) ("pos") set  => the cube admits x_i = 1
+// so 11 = don't care, 10 = positive literal x_i, 01 = negative literal !x_i,
+// 00 = empty (contradiction). The output part is one bit per function output:
+// the product term is part of the ON cover of every output whose bit is set.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/bits.hpp"
+
+namespace mcx {
+
+/// The state of one variable inside a cube. Values are chosen so that
+/// (neg bit | pos bit << 1) == static_cast<int>(Lit).
+enum class Lit : unsigned char {
+  Empty = 0,     ///< contradiction: no value of the variable satisfies the cube
+  Neg = 1,       ///< literal !x
+  Pos = 2,       ///< literal x
+  DontCare = 3,  ///< variable absent from the product
+};
+
+class Cube {
+public:
+  Cube() = default;
+  /// A cube over @p nin inputs and @p nout outputs with all inputs
+  /// don't-care and no outputs asserted.
+  Cube(std::size_t nin, std::size_t nout);
+
+  std::size_t nin() const { return nin_; }
+  std::size_t nout() const { return out_.size(); }
+
+  Lit lit(std::size_t var) const;
+  void setLit(std::size_t var, Lit lit);
+
+  bool out(std::size_t o) const { return out_.test(o); }
+  void setOut(std::size_t o, bool value = true) { out_.set(o, value); }
+
+  const DynBits& inputBits() const { return in_; }
+  DynBits& inputBits() { return in_; }
+  const DynBits& outputBits() const { return out_; }
+  DynBits& outputBits() { return out_; }
+
+  /// True iff some variable pair is 00 (the cube covers no minterm).
+  bool inputEmpty() const;
+
+  /// Number of variables that are restricted (Pos or Neg literal).
+  std::size_t literalCount() const;
+
+  /// True iff the input part of *this covers the input part of @p o
+  /// (every value combination admitted by o is admitted by *this).
+  bool inputContains(const Cube& o) const { return o.in_.subsetOf(in_); }
+
+  /// Containment including outputs: inputContains(o) and the output set of
+  /// *this is a superset of o's.
+  bool contains(const Cube& o) const {
+    return inputContains(o) && o.out_.subsetOf(out_);
+  }
+
+  /// True iff the input parts share at least one minterm.
+  bool inputIntersects(const Cube& o) const;
+
+  /// Number of variables whose pairwise AND is empty (00). Zero means the
+  /// cubes intersect; one means consensus exists.
+  std::size_t inputDistance(const Cube& o) const;
+
+  /// Intersection of input parts (may be empty); outputs are ANDed.
+  Cube intersect(const Cube& o) const;
+
+  /// Smallest cube containing both input parts (bitwise OR); outputs ORed.
+  Cube supercubeWith(const Cube& o) const;
+
+  /// True iff the minterm given by @p assignment (bit i = value of x_i)
+  /// is covered by the input part.
+  bool coversMinterm(const DynBits& assignment) const;
+
+  /// Input part as a PLA-style string: '0', '1' or '-' per variable.
+  std::string inputString() const;
+  /// Full PLA line: input part, space, output part ('0'/'1').
+  std::string toPlaString() const;
+
+  bool operator==(const Cube& o) const { return in_ == o.in_ && out_ == o.out_; }
+  bool operator!=(const Cube& o) const { return !(*this == o); }
+
+private:
+  std::size_t nin_ = 0;
+  DynBits in_;   // width 2 * nin
+  DynBits out_;  // width nout
+};
+
+}  // namespace mcx

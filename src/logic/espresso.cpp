@@ -1,0 +1,464 @@
+#include "logic/espresso.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+/// Most binate variable: appears as Pos in some cube and Neg in another,
+/// maximizing min(#pos, #neg); returns nin if the cover is unate.
+std::size_t mostBinateVar(const std::vector<Cube>& cubes, std::size_t nin) {
+  std::size_t best = nin;
+  std::size_t bestScore = 0;
+  for (std::size_t v = 0; v < nin; ++v) {
+    std::size_t pos = 0, neg = 0;
+    for (const Cube& c : cubes) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Pos) ++pos;
+      if (l == Lit::Neg) ++neg;
+    }
+    if (pos > 0 && neg > 0) {
+      const std::size_t score = std::min(pos, neg) * 1024 + pos + neg;
+      if (score > bestScore) {
+        bestScore = score;
+        best = v;
+      }
+    }
+  }
+  return best;
+}
+
+/// For a unate cover, the variable with the most literals (used to recurse
+/// on unate covers during complement); nin if no literals at all.
+std::size_t mostFrequentVar(const std::vector<Cube>& cubes, std::size_t nin) {
+  std::size_t best = nin;
+  std::size_t bestCount = 0;
+  for (std::size_t v = 0; v < nin; ++v) {
+    std::size_t n = 0;
+    for (const Cube& c : cubes)
+      if (c.lit(v) != Lit::DontCare) ++n;
+    if (n > bestCount) {
+      bestCount = n;
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool hasFullDontCareCube(const std::vector<Cube>& cubes) {
+  for (const Cube& c : cubes)
+    if (c.literalCount() == 0 && !c.inputEmpty()) return true;
+  return false;
+}
+
+void removeContainedCubes(std::vector<Cube>& cubes) {
+  std::vector<bool> dead(cubes.size(), false);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < cubes.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (cubes[j].inputContains(cubes[i]) &&
+          !(cubes[i].inputContains(cubes[j]) && i < j)) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<Cube> kept;
+  kept.reserve(cubes.size());
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (!dead[i]) kept.push_back(std::move(cubes[i]));
+  cubes = std::move(kept);
+}
+
+}  // namespace
+
+std::vector<Cube> cofactor(const std::vector<Cube>& cubes, std::size_t var, bool phase) {
+  std::vector<Cube> result;
+  result.reserve(cubes.size());
+  for (const Cube& c : cubes) {
+    const Lit l = c.lit(var);
+    if (l == Lit::Empty) continue;
+    if (phase && l == Lit::Neg) continue;
+    if (!phase && l == Lit::Pos) continue;
+    Cube r = c;
+    r.setLit(var, Lit::DontCare);
+    result.push_back(std::move(r));
+  }
+  return result;
+}
+
+std::vector<Cube> cofactorCube(const std::vector<Cube>& cubes, const Cube& c) {
+  std::vector<Cube> result;
+  result.reserve(cubes.size());
+  for (const Cube& d : cubes) {
+    if (!d.inputIntersects(c)) continue;
+    Cube r = d;
+    // Raise every variable where c holds a literal.
+    r.inputBits() |= ~c.inputBits();
+    result.push_back(std::move(r));
+  }
+  return result;
+}
+
+bool tautology(const std::vector<Cube>& cubes, std::size_t nin) {
+  if (hasFullDontCareCube(cubes)) return true;
+  if (cubes.empty() || nin == 0) return false;
+
+  // Quick minterm-count upper bound: if the cubes cannot possibly cover the
+  // space even without overlap, fail early (cap exponents to avoid overflow).
+  if (nin < 62) {
+    unsigned __int128 total = 0;
+    const unsigned __int128 space = static_cast<unsigned __int128>(1) << nin;
+    for (const Cube& c : cubes) {
+      const std::size_t free = nin - c.literalCount();
+      total += static_cast<unsigned __int128>(1) << std::min<std::size_t>(free, 62);
+      if (total >= space) break;
+    }
+    if (total < space) return false;
+  }
+
+  const std::size_t v = mostBinateVar(cubes, nin);
+  if (v == nin) {
+    // Unate cover: tautology iff it contains the universal cube (already
+    // checked above).
+    return false;
+  }
+  return tautology(cofactor(cubes, v, false), nin) && tautology(cofactor(cubes, v, true), nin);
+}
+
+bool cubeCoveredBy(const Cube& c, const std::vector<Cube>& cubes, std::size_t nin) {
+  if (c.inputEmpty()) return true;
+  return tautology(cofactorCube(cubes, c), nin);
+}
+
+namespace {
+
+std::vector<Cube> complementRec(std::vector<Cube> cubes, std::size_t nin, std::size_t nout) {
+  if (cubes.empty()) {
+    std::vector<Cube> r;
+    r.emplace_back(nin, nout);
+    return r;
+  }
+  if (hasFullDontCareCube(cubes)) return {};
+  if (cubes.size() == 1) {
+    // De Morgan on a single cube: one single-literal cube per literal.
+    std::vector<Cube> r;
+    const Cube& c = cubes.front();
+    for (std::size_t v = 0; v < nin; ++v) {
+      const Lit l = c.lit(v);
+      if (l == Lit::DontCare) continue;
+      Cube nc(nin, nout);
+      nc.setLit(v, l == Lit::Pos ? Lit::Neg : Lit::Pos);
+      r.push_back(std::move(nc));
+    }
+    return r;
+  }
+
+  std::size_t v = mostBinateVar(cubes, nin);
+  if (v == nin) v = mostFrequentVar(cubes, nin);
+  MCX_REQUIRE(v < nin, "complement: no splitting variable");
+
+  std::vector<Cube> r0 = complementRec(cofactor(cubes, v, false), nin, nout);
+  std::vector<Cube> r1 = complementRec(cofactor(cubes, v, true), nin, nout);
+
+  std::vector<Cube> result;
+  result.reserve(r0.size() + r1.size());
+  for (Cube& c : r0) {
+    c.setLit(v, Lit::Neg);
+    result.push_back(std::move(c));
+  }
+  for (Cube& c : r1) {
+    // Merge mirror-image cubes across the split into a single var-free cube.
+    Cube probe = c;
+    probe.setLit(v, Lit::Neg);
+    bool merged = false;
+    for (Cube& e : result) {
+      if (e.inputBits() == probe.inputBits()) {
+        e.setLit(v, Lit::DontCare);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      c.setLit(v, Lit::Pos);
+      result.push_back(std::move(c));
+    }
+  }
+  removeContainedCubes(result);
+  return result;
+}
+
+}  // namespace
+
+std::vector<Cube> complementCubes(std::vector<Cube> cubes, std::size_t nin, std::size_t nout) {
+  // Drop empty cubes up front; they contribute nothing.
+  std::erase_if(cubes, [](const Cube& c) { return c.inputEmpty(); });
+  return complementRec(std::move(cubes), nin, nout);
+}
+
+Cube supercube(const std::vector<Cube>& cubes) {
+  MCX_REQUIRE(!cubes.empty(), "supercube of empty list");
+  Cube r = cubes.front();
+  for (std::size_t i = 1; i < cubes.size(); ++i) r = r.supercubeWith(cubes[i]);
+  return r;
+}
+
+namespace {
+
+struct OffSets {
+  // Per output: OFF cover input parts.
+  std::vector<std::vector<Cube>> off;
+};
+
+OffSets buildOffSets(const Cover& on, const Cover& dc) {
+  OffSets sets;
+  sets.off.resize(on.nout());
+  for (std::size_t o = 0; o < on.nout(); ++o) {
+    std::vector<Cube> upper = on.projection(o);
+    for (const Cube& c : dc.projection(o)) upper.push_back(c);
+    sets.off[o] = complementCubes(std::move(upper), on.nin(), on.nout());
+  }
+  return sets;
+}
+
+bool intersectsAny(const Cube& c, const std::vector<Cube>& cubes) {
+  for (const Cube& d : cubes)
+    if (c.inputIntersects(d)) return true;
+  return false;
+}
+
+/// EXPAND: enlarge each cube against the OFF sets — first by *covering*
+/// (grow to the supercube with another cube whenever that stays off the OFF
+/// set, which is what actually removes cubes), then by raising the remaining
+/// literals, then optionally by raising outputs. Contained cubes are dropped
+/// at the end.
+void expand(Cover& cover, const OffSets& offs, bool expandOutputs) {
+  // Process larger cubes first so small cubes get absorbed by already
+  // expanded ones.
+  std::sort(cover.cubes().begin(), cover.cubes().end(), [](const Cube& a, const Cube& b) {
+    return a.literalCount() < b.literalCount();
+  });
+  std::vector<bool> absorbed(cover.size(), false);
+  for (std::size_t ci = 0; ci < cover.size(); ++ci) {
+    if (absorbed[ci]) continue;
+    Cube& c = cover.cube(ci);
+    // The OFF cubes relevant to this cube: union over its asserted outputs.
+    std::vector<const Cube*> blocking;
+    c.outputBits().forEachSet([&](std::size_t o) {
+      for (const Cube& d : offs.off[o]) blocking.push_back(&d);
+    });
+
+    // Covering pass: absorb any cube whose outputs are a subset of ours and
+    // whose supercube with us avoids the OFF set.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::size_t di = 0; di < cover.size(); ++di) {
+        if (di == ci || absorbed[di]) continue;
+        const Cube& d = cover.cube(di);
+        if (!d.outputBits().subsetOf(c.outputBits())) continue;
+        Cube sc = c;
+        sc.inputBits() |= d.inputBits();
+        bool blocked = false;
+        for (const Cube* b : blocking) {
+          if (sc.inputIntersects(*b)) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+        c.inputBits() = sc.inputBits();
+        absorbed[di] = true;
+        grew = true;
+      }
+    }
+
+    // Order variables by how many OFF cubes would block raising them.
+    std::vector<std::pair<std::size_t, std::size_t>> order;  // (#blockers, var)
+    for (std::size_t v = 0; v < cover.nin(); ++v) {
+      if (c.lit(v) == Lit::DontCare) continue;
+      Cube raised = c;
+      raised.setLit(v, Lit::DontCare);
+      std::size_t blockers = 0;
+      for (const Cube* d : blocking)
+        if (raised.inputIntersects(*d)) ++blockers;
+      order.emplace_back(blockers, v);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [blockers, v] : order) {
+      if (blockers > 0) continue;  // cheap accept only when free at scan time
+      Cube raised = c;
+      raised.setLit(v, Lit::DontCare);
+      bool blocked = false;
+      for (const Cube* d : blocking) {
+        if (raised.inputIntersects(*d)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) c = raised;
+    }
+    // Second pass: variables that were blocked at scan time may have become
+    // free after other raises failed; try them once more in order.
+    for (const auto& [blockers, v] : order) {
+      if (c.lit(v) == Lit::DontCare) continue;
+      Cube raised = c;
+      raised.setLit(v, Lit::DontCare);
+      bool blocked = false;
+      for (const Cube* d : blocking) {
+        if (raised.inputIntersects(*d)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) c = raised;
+    }
+
+    if (expandOutputs) {
+      for (std::size_t o = 0; o < cover.nout(); ++o) {
+        if (c.out(o)) continue;
+        if (!intersectsAny(c, offs.off[o])) c.setOut(o);
+      }
+    }
+  }
+  std::vector<Cube> kept;
+  kept.reserve(cover.size());
+  for (std::size_t i = 0; i < cover.size(); ++i)
+    if (!absorbed[i]) kept.push_back(std::move(cover.cube(i)));
+  cover.cubes() = std::move(kept);
+  cover.removeSingleCubeContained();
+}
+
+/// IRREDUNDANT: remove each cube (or clear output bits) that is covered by
+/// the rest of the cover plus the don't-care set.
+void irredundant(Cover& cover, const Cover& dc) {
+  // Visit smaller cubes first: they are most likely to be redundant.
+  std::vector<std::size_t> order(cover.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cover.cube(a).literalCount() > cover.cube(b).literalCount();
+  });
+  for (std::size_t idx : order) {
+    Cube& c = cover.cube(idx);
+    std::vector<std::size_t> outs;
+    c.outputBits().forEachSet([&](std::size_t o) { outs.push_back(o); });
+    for (std::size_t o : outs) {
+      std::vector<Cube> rest;
+      for (std::size_t j = 0; j < cover.size(); ++j) {
+        if (j == idx) continue;
+        if (cover.cube(j).out(o)) rest.push_back(cover.cube(j));
+      }
+      for (const Cube& d : dc.projection(o)) rest.push_back(d);
+      if (cubeCoveredBy(c, rest, cover.nin())) c.setOut(o, false);
+    }
+  }
+  std::erase_if(cover.cubes(),
+                [](const Cube& c) { return c.outputBits().none() || c.inputEmpty(); });
+}
+
+/// REDUCE: shrink each cube to the smallest cube still covering the minterms
+/// no other cube covers, enabling the next EXPAND to move in a different
+/// direction.
+void reduce(Cover& cover, const Cover& dc) {
+  for (std::size_t idx = 0; idx < cover.size(); ++idx) {
+    Cube& c = cover.cube(idx);
+    bool any = false;
+    Cube needed(cover.nin(), cover.nout());
+    needed.inputBits().resetAll();
+    std::vector<std::size_t> outs;
+    c.outputBits().forEachSet([&](std::size_t o) { outs.push_back(o); });
+    for (std::size_t o : outs) {
+      std::vector<Cube> rest;
+      for (std::size_t j = 0; j < cover.size(); ++j) {
+        if (j == idx) continue;
+        if (cover.cube(j).out(o)) rest.push_back(cover.cube(j));
+      }
+      for (const Cube& d : dc.projection(o)) rest.push_back(d);
+      // Part of c not covered by the rest, within c's subspace.
+      std::vector<Cube> inside = cofactorCube(rest, c);
+      std::vector<Cube> uncovered = complementCubes(std::move(inside), cover.nin(), cover.nout());
+      if (uncovered.empty()) continue;  // redundant for o; irredundant will fix
+      Cube sc = supercube(uncovered);
+      needed.inputBits() |= sc.inputBits();
+      any = true;
+    }
+    if (!any) continue;
+    Cube shrunk = c;
+    shrunk.inputBits() &= needed.inputBits();
+    // The supercube was computed in c's cofactor space; re-intersect with c.
+    shrunk.inputBits() &= c.inputBits();
+    if (!shrunk.inputEmpty()) c.inputBits() = shrunk.inputBits();
+  }
+}
+
+struct Cost {
+  std::size_t cubes;
+  std::size_t literals;
+  bool operator<(const Cost& o) const {
+    return cubes != o.cubes ? cubes < o.cubes : literals < o.literals;
+  }
+};
+
+Cost costOf(const Cover& c) { return {c.size(), c.literalCount()}; }
+
+}  // namespace
+
+Cover espressoMinimize(const Cover& on, const Cover& dc, const EspressoOptions& opts) {
+  MCX_REQUIRE(on.nin() == dc.nin() && on.nout() == dc.nout(),
+              "espressoMinimize: ON/DC shape mismatch");
+  Cover cover = on;
+  cover.mergeDuplicateInputs();
+  if (cover.empty()) return cover;
+
+  const OffSets offs = buildOffSets(on, dc);
+
+  Cost best = costOf(cover);
+  Cover bestCover = cover;
+  for (std::size_t pass = 0; pass < opts.maxPasses; ++pass) {
+    expand(cover, offs, opts.expandOutputs);
+    cover.mergeDuplicateInputs();
+    irredundant(cover, dc);
+    const Cost now = costOf(cover);
+    if (now < best) {
+      best = now;
+      bestCover = cover;
+    } else if (pass > 0) {
+      break;
+    }
+    if (opts.reduce && pass + 1 < opts.maxPasses) reduce(cover, dc);
+  }
+  return bestCover;
+}
+
+Cover espressoMinimize(const Cover& on, const EspressoOptions& opts) {
+  return espressoMinimize(on, Cover(on.nin(), on.nout()), opts);
+}
+
+Cover complementCover(const Cover& on, const Cover& dc) {
+  Cover result(on.nin(), on.nout());
+  for (std::size_t o = 0; o < on.nout(); ++o) {
+    std::vector<Cube> upper = on.projection(o);
+    for (const Cube& c : dc.projection(o)) upper.push_back(c);
+    std::vector<Cube> off = complementCubes(std::move(upper), on.nin(), on.nout());
+    // Remove the DC part again: complement of ON∪DC is OFF; the negated
+    // function's ON set is OFF, and DC stays DC (handled by caller).
+    for (Cube& c : off) {
+      Cube mc(on.nin(), on.nout());
+      mc.inputBits() = c.inputBits();
+      mc.setOut(o);
+      result.add(std::move(mc));
+    }
+  }
+  result.mergeDuplicateInputs();
+  result.removeSingleCubeContained();
+  return result;
+}
+
+Cover complementCover(const Cover& on) { return complementCover(on, Cover(on.nin(), on.nout())); }
+
+}  // namespace mcx

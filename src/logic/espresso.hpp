@@ -1,0 +1,70 @@
+// Espresso-style two-level minimization.
+//
+// Implements the classic cube-algebra tool chest over positional-notation
+// covers — cofactor, tautology (unate reduction + binate splitting),
+// recursive complement, containment — and the EXPAND / IRREDUNDANT / REDUCE
+// loop for multi-output covers (output parts treated as in espresso-mv:
+// a cube may be raised into additional outputs when it does not intersect
+// their OFF sets, which creates shared products).
+//
+// This replaces the espresso/ABC + MATLAB pipeline of the paper with a
+// self-contained implementation; it is heuristic (like espresso) and
+// guarantees functional equivalence, not minimality.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace mcx {
+
+// --- Input-part cube algebra (output parts of the cubes are ignored) ------
+
+/// Cubes of @p cover admitting x_var = phase, with that variable raised to
+/// don't-care.
+std::vector<Cube> cofactor(const std::vector<Cube>& cubes, std::size_t var, bool phase);
+
+/// Shannon cofactor of @p cubes with respect to cube @p c (cubes not
+/// intersecting c are dropped; literals of c are raised in the rest).
+std::vector<Cube> cofactorCube(const std::vector<Cube>& cubes, const Cube& c);
+
+/// True iff the union of the cubes' input parts is the whole Boolean space.
+bool tautology(const std::vector<Cube>& cubes, std::size_t nin);
+
+/// True iff cube @p c's input part is covered by the union of @p cubes.
+bool cubeCoveredBy(const Cube& c, const std::vector<Cube>& cubes, std::size_t nin);
+
+/// Complement of the union of the cubes' input parts, as a cube list.
+std::vector<Cube> complementCubes(std::vector<Cube> cubes, std::size_t nin, std::size_t nout = 0);
+
+/// Smallest single cube containing all given cubes (input parts ORed).
+/// Requires a non-empty list.
+Cube supercube(const std::vector<Cube>& cubes);
+
+// --- Multi-output minimization --------------------------------------------
+
+struct EspressoOptions {
+  /// Maximum EXPAND-IRREDUNDANT-REDUCE passes.
+  std::size_t maxPasses = 8;
+  /// Attempt to raise cubes into additional outputs during EXPAND
+  /// (espresso-mv style output sharing).
+  bool expandOutputs = true;
+  /// Run the REDUCE step (disable for a faster, expand-only minimization).
+  bool reduce = true;
+};
+
+/// Minimize a multi-output cover. @p dc is the don't-care cover (may be an
+/// empty cover of matching arity). The result asserts exactly the same ON
+/// minterms as @p on outside the DC set.
+Cover espressoMinimize(const Cover& on, const Cover& dc, const EspressoOptions& opts = {});
+Cover espressoMinimize(const Cover& on, const EspressoOptions& opts = {});
+
+/// Complement of a multi-output cover: output o of the result is the
+/// complement of output o of (@p on ∪ @p dc choosing DC as OFF)… precisely,
+/// the complement of the ON set with the DC set still don't-care. The result
+/// is lightly minimized (merged + single-cube containment).
+Cover complementCover(const Cover& on, const Cover& dc);
+Cover complementCover(const Cover& on);
+
+}  // namespace mcx

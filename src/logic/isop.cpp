@@ -1,0 +1,110 @@
+#include "logic/isop.hpp"
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+struct IsopCtx {
+  std::size_t nin;
+};
+
+// Returns cubes (with nout = 0) covering [L, U]; also sets `computed` to the
+// truth table of the returned cover.
+std::vector<Cube> isopRec(const IsopCtx& ctx, const DynBits& L, const DynBits& U,
+                          std::size_t varCount, DynBits& computed) {
+  computed = DynBits(L.size());
+  if (L.none()) return {};
+  if (U.all()) {
+    computed.setAll();
+    std::vector<Cube> r;
+    r.emplace_back(ctx.nin, 0);
+    return r;
+  }
+  MCX_REQUIRE(varCount > 0, "isop: inconsistent interval");
+  const std::size_t v = varCount - 1;
+
+  const DynBits L0 = ttCofactor0(L, ctx.nin, v);
+  const DynBits L1 = ttCofactor1(L, ctx.nin, v);
+  const DynBits U0 = ttCofactor0(U, ctx.nin, v);
+  const DynBits U1 = ttCofactor1(U, ctx.nin, v);
+
+  // Minterms that can only be covered with a !x_v (resp. x_v) cube.
+  DynBits Lneg = L0;
+  Lneg.andNot(U1);
+  DynBits Lpos = L1;
+  Lpos.andNot(U0);
+
+  DynBits cov0, cov1, covStar;
+  std::vector<Cube> C0 = isopRec(ctx, Lneg, U0, v, cov0);
+  std::vector<Cube> C1 = isopRec(ctx, Lpos, U1, v, cov1);
+
+  // What remains must be coverable independently of x_v.
+  DynBits Lrem0 = L0;
+  Lrem0.andNot(cov0);
+  DynBits Lrem1 = L1;
+  Lrem1.andNot(cov1);
+  DynBits Lstar = Lrem0;
+  Lstar |= Lrem1;
+  DynBits Ustar = U0;
+  Ustar &= U1;
+  std::vector<Cube> Cstar = isopRec(ctx, Lstar, Ustar, v, covStar);
+
+  const DynBits mask = ttVarMask(ctx.nin, v);
+  std::vector<Cube> result;
+  result.reserve(C0.size() + C1.size() + Cstar.size());
+  for (Cube& c : C0) {
+    c.setLit(v, Lit::Neg);
+    result.push_back(std::move(c));
+  }
+  for (Cube& c : C1) {
+    c.setLit(v, Lit::Pos);
+    result.push_back(std::move(c));
+  }
+  for (Cube& c : Cstar) result.push_back(std::move(c));
+
+  cov0.andNot(mask);
+  cov1 &= mask;
+  computed = cov0;
+  computed |= cov1;
+  computed |= covStar;
+  return result;
+}
+
+}  // namespace
+
+std::vector<Cube> isop(const DynBits& lower, const DynBits& upper, std::size_t nin) {
+  MCX_REQUIRE(lower.size() == (std::size_t{1} << nin) && upper.size() == lower.size(),
+              "isop: truth table width mismatch");
+  MCX_REQUIRE(lower.subsetOf(upper), "isop: lower must be a subset of upper");
+  IsopCtx ctx{nin};
+  DynBits computed;
+  std::vector<Cube> cubes = isopRec(ctx, lower, upper, nin, computed);
+  MCX_REQUIRE(lower.subsetOf(computed) && computed.subsetOf(upper), "isop: internal bound violation");
+  return cubes;
+}
+
+Cover isopCover(const TruthTable& on) {
+  const TruthTable dc(on.nin(), on.nout());
+  return isopCover(on, dc);
+}
+
+Cover isopCover(const TruthTable& on, const TruthTable& dc) {
+  MCX_REQUIRE(on.nin() == dc.nin() && on.nout() == dc.nout(), "isopCover: shape mismatch");
+  Cover cover(on.nin(), on.nout());
+  for (std::size_t o = 0; o < on.nout(); ++o) {
+    DynBits upper = on.bits(o);
+    upper |= dc.bits(o);
+    for (const Cube& c : isop(on.bits(o), upper, on.nin())) {
+      Cube mc(on.nin(), on.nout());
+      mc.inputBits() = c.inputBits();
+      mc.setOut(o);
+      cover.add(std::move(mc));
+    }
+  }
+  cover.mergeDuplicateInputs();
+  return cover;
+}
+
+}  // namespace mcx

@@ -1,0 +1,23 @@
+// Irredundant sum-of-products construction (Minato-Morreale).
+//
+// Computes, from truth tables, an irredundant SOP cover of any function in
+// the interval [lower, upper] (lower = required ON set, upper = permitted ON
+// set, i.e. ON ∪ DC). This is the primary truth-table-to-cover path of the
+// library; espresso (logic/espresso.hpp) can polish the result further.
+#pragma once
+
+#include "logic/cover.hpp"
+#include "logic/truth_table.hpp"
+
+namespace mcx {
+
+/// Single-output ISOP. @p lower must be a subset of @p upper; both are
+/// full-width truth tables (2^nin bits).
+std::vector<Cube> isop(const DynBits& lower, const DynBits& upper, std::size_t nin);
+
+/// Multi-output ISOP of a truth table (per output, then merged so cubes with
+/// identical input parts share a row). @p dc is an optional don't-care table.
+Cover isopCover(const TruthTable& on);
+Cover isopCover(const TruthTable& on, const TruthTable& dc);
+
+}  // namespace mcx

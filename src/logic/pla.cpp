@@ -1,0 +1,172 @@
+#include "logic/pla.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+std::vector<std::string> splitWs(const std::string& s) {
+  std::istringstream is(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+PlaFile parsePla(std::istream& in) {
+  std::size_t nin = 0, nout = 0;
+  bool haveI = false, haveO = false;
+  PlaFile pla;
+  std::vector<std::pair<std::string, std::string>> bodyLines;  // (input, output)
+
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    const auto toks = splitWs(line);
+    if (toks.empty()) continue;
+    const std::string& head = toks[0];
+    if (head[0] == '.') {
+      if (head == ".i") {
+        MCX_REQUIRE(toks.size() == 2, ".i needs one argument");
+        nin = std::stoul(toks[1]);
+        haveI = true;
+      } else if (head == ".o") {
+        MCX_REQUIRE(toks.size() == 2, ".o needs one argument");
+        nout = std::stoul(toks[1]);
+        haveO = true;
+      } else if (head == ".p") {
+        // informational; ignored
+      } else if (head == ".ilb") {
+        pla.inputNames.assign(toks.begin() + 1, toks.end());
+      } else if (head == ".ob") {
+        pla.outputNames.assign(toks.begin() + 1, toks.end());
+      } else if (head == ".type") {
+        MCX_REQUIRE(toks.size() == 2, ".type needs one argument");
+        pla.type = toks[1];
+      } else if (head == ".e" || head == ".end") {
+        break;
+      } else {
+        throw ParseError("unsupported PLA directive: " + head);
+      }
+      continue;
+    }
+    // Body line: input part and output part, possibly space separated.
+    std::string inPart, outPart;
+    if (toks.size() >= 2) {
+      inPart = toks[0];
+      for (std::size_t i = 1; i < toks.size(); ++i) outPart += toks[i];
+    } else {
+      if (!haveI || !haveO) throw ParseError("PLA cube before .i/.o");
+      const std::string& all = toks[0];
+      if (all.size() != nin + nout) throw ParseError("PLA cube width mismatch: " + all);
+      inPart = all.substr(0, nin);
+      outPart = all.substr(nin);
+    }
+    bodyLines.emplace_back(inPart, outPart);
+  }
+
+  if (!haveI || !haveO) throw ParseError("PLA missing .i or .o");
+  pla.on = Cover(nin, nout);
+  pla.dc = Cover(nin, nout);
+  pla.off = Cover(nin, nout);
+
+  const bool offMeaningful = pla.type == "fr" || pla.type == "fdr";
+  const bool dcMeaningful = pla.type == "fd" || pla.type == "fdr" || pla.type == "f";
+
+  for (const auto& [inPart, outPart] : bodyLines) {
+    if (inPart.size() != nin) throw ParseError("PLA input part width mismatch: " + inPart);
+    if (outPart.size() != nout) throw ParseError("PLA output part width mismatch: " + outPart);
+    Cube base(nin, nout);
+    for (std::size_t i = 0; i < nin; ++i) {
+      switch (inPart[i]) {
+        case '0': base.setLit(i, Lit::Neg); break;
+        case '1': base.setLit(i, Lit::Pos); break;
+        case '-': case '2': case '~': base.setLit(i, Lit::DontCare); break;
+        default: throw ParseError(std::string("bad PLA input char '") + inPart[i] + "'");
+      }
+    }
+    Cube onCube = base, dcCube = base, offCube = base;
+    bool anyOn = false, anyDc = false, anyOff = false;
+    for (std::size_t o = 0; o < nout; ++o) {
+      switch (outPart[o]) {
+        case '1': case '4':
+          onCube.setOut(o);
+          anyOn = true;
+          break;
+        case '0':
+          if (offMeaningful) {
+            offCube.setOut(o);
+            anyOff = true;
+          }
+          break;
+        case '-': case '2':
+          if (dcMeaningful) {
+            dcCube.setOut(o);
+            anyDc = true;
+          }
+          break;
+        case '~':
+          break;
+        default:
+          throw ParseError(std::string("bad PLA output char '") + outPart[o] + "'");
+      }
+    }
+    if (anyOn) pla.on.add(std::move(onCube));
+    if (anyDc) pla.dc.add(std::move(dcCube));
+    if (anyOff) pla.off.add(std::move(offCube));
+  }
+  return pla;
+}
+
+PlaFile parsePlaString(const std::string& text) {
+  std::istringstream is(text);
+  return parsePla(is);
+}
+
+PlaFile readPlaFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open PLA file: " + path);
+  return parsePla(f);
+}
+
+std::string writePla(const PlaFile& pla) {
+  std::ostringstream os;
+  os << ".i " << pla.on.nin() << "\n.o " << pla.on.nout() << "\n";
+  if (!pla.inputNames.empty()) {
+    os << ".ilb";
+    for (const auto& n : pla.inputNames) os << ' ' << n;
+    os << '\n';
+  }
+  if (!pla.outputNames.empty()) {
+    os << ".ob";
+    for (const auto& n : pla.outputNames) os << ' ' << n;
+    os << '\n';
+  }
+  os << ".type fd\n";
+  os << ".p " << (pla.on.size() + pla.dc.size()) << "\n";
+  for (const Cube& c : pla.on.cubes()) os << c.toPlaString() << "\n";
+  for (const Cube& c : pla.dc.cubes()) {
+    os << c.inputString() << ' ';
+    for (std::size_t o = 0; o < pla.dc.nout(); ++o) os << (c.out(o) ? '-' : '0');
+    os << "\n";
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+std::string writePla(const Cover& on) {
+  PlaFile pla;
+  pla.on = on;
+  pla.dc = Cover(on.nin(), on.nout());
+  pla.off = Cover(on.nin(), on.nout());
+  return writePla(pla);
+}
+
+}  // namespace mcx

@@ -1,0 +1,193 @@
+#include "logic/quine_mccluskey.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+/// Implicant as (careMask, values): variable v is a literal iff careMask bit
+/// v is set; values holds the literal polarities on care positions.
+struct Implicant {
+  std::size_t care = 0;
+  std::size_t values = 0;
+
+  bool operator<(const Implicant& o) const {
+    return care != o.care ? care < o.care : values < o.values;
+  }
+  bool operator==(const Implicant& o) const = default;
+};
+
+Cube toCube(const Implicant& imp, std::size_t nin) {
+  Cube c(nin, 0);
+  for (std::size_t v = 0; v < nin; ++v) {
+    if ((imp.care >> v) & 1u)
+      c.setLit(v, ((imp.values >> v) & 1u) ? Lit::Pos : Lit::Neg);
+  }
+  return c;
+}
+
+/// Branch and bound over the covering table: choose a minimum set of primes
+/// covering all required minterms.
+struct CoverSolver {
+  const std::vector<std::vector<std::size_t>>& primeOfMinterm;  // minterm -> prime indices
+  std::vector<char> covered;
+  std::vector<std::size_t> chosen, best;
+  std::size_t bestSize;
+
+  CoverSolver(const std::vector<std::vector<std::size_t>>& pom, std::size_t upperBound)
+      : primeOfMinterm(pom), covered(pom.size(), 0), bestSize(upperBound) {}
+
+  std::size_t firstUncovered() const {
+    for (std::size_t m = 0; m < covered.size(); ++m)
+      if (!covered[m]) return m;
+    return covered.size();
+  }
+
+  void solve(const std::vector<std::vector<std::size_t>>& mintermsOfPrime) {
+    if (chosen.size() >= bestSize) return;  // bound
+    const std::size_t m = firstUncovered();
+    if (m == covered.size()) {
+      best = chosen;
+      bestSize = chosen.size();
+      return;
+    }
+    for (const std::size_t p : primeOfMinterm[m]) {
+      std::vector<std::size_t> newlyCovered;
+      for (const std::size_t mm : mintermsOfPrime[p]) {
+        if (mm < covered.size() && !covered[mm]) {
+          covered[mm] = 1;
+          newlyCovered.push_back(mm);
+        }
+      }
+      chosen.push_back(p);
+      solve(mintermsOfPrime);
+      chosen.pop_back();
+      for (const std::size_t mm : newlyCovered) covered[mm] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Cube> primeImplicants(const DynBits& on, const DynBits& dc, std::size_t nin) {
+  MCX_REQUIRE(nin <= 16, "primeImplicants: limited to 16 inputs");
+  MCX_REQUIRE(on.size() == (std::size_t{1} << nin) && dc.size() == on.size(),
+              "primeImplicants: truth table width mismatch");
+  const std::size_t full = (std::size_t{1} << nin) - 1;
+
+  // Level 0: all ON or DC minterms as implicants with full care.
+  std::set<Implicant> current;
+  DynBits care = on;
+  care |= dc;
+  care.forEachSet([&](std::size_t m) { current.insert({full, m}); });
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<Implicant> next;
+    std::set<Implicant> merged;
+    for (const Implicant& a : current) {
+      bool anyMerge = false;
+      // Try dropping each care variable by pairing with the complement.
+      for (std::size_t v = 0; v < nin; ++v) {
+        const std::size_t bit = std::size_t{1} << v;
+        if (!(a.care & bit)) continue;
+        Implicant partner = a;
+        partner.values ^= bit;
+        if (current.count(partner)) {
+          anyMerge = true;
+          next.insert({a.care & ~bit, a.values & ~bit});
+        }
+      }
+      if (anyMerge) merged.insert(a);
+    }
+    for (const Implicant& a : current)
+      if (!merged.count(a)) primes.push_back(toCube(a, nin));
+    current = std::move(next);
+  }
+  return primes;
+}
+
+QmResult quineMcCluskey(const TruthTable& on, const TruthTable& dc, std::size_t output) {
+  MCX_REQUIRE(output < on.nout() && on.nin() == dc.nin(), "quineMcCluskey: shape mismatch");
+  MCX_REQUIRE(on.nin() <= 12, "quineMcCluskey: limited to 12 inputs");
+  const std::size_t nin = on.nin();
+
+  QmResult result;
+  const std::vector<Cube> primes = primeImplicants(on.bits(output), dc.bits(output), nin);
+  result.primeCount = primes.size();
+  if (on.bits(output).none()) return result;  // constant 0: empty cover
+
+  // Covering table over required (ON, not DC) minterms.
+  std::vector<std::size_t> required;
+  on.bits(output).forEachSet([&](std::size_t m) {
+    if (!dc.get(output, m)) required.push_back(m);
+  });
+  std::map<std::size_t, std::size_t> indexOfMinterm;
+  for (std::size_t i = 0; i < required.size(); ++i) indexOfMinterm[required[i]] = i;
+
+  std::vector<std::vector<std::size_t>> mintermsOfPrime(primes.size());
+  std::vector<std::vector<std::size_t>> primesOfMinterm(required.size());
+  DynBits in(nin);
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    for (std::size_t i = 0; i < required.size(); ++i) {
+      const std::size_t m = required[i];
+      for (std::size_t v = 0; v < nin; ++v) in.set(v, ((m >> v) & 1u) != 0);
+      if (primes[p].coversMinterm(in)) {
+        mintermsOfPrime[p].push_back(i);
+        primesOfMinterm[i].push_back(p);
+      }
+    }
+  }
+
+  // Essential primes first.
+  std::vector<char> chosenPrime(primes.size(), 0), covered(required.size(), 0);
+  for (std::size_t i = 0; i < required.size(); ++i) {
+    MCX_REQUIRE(!primesOfMinterm[i].empty(), "quineMcCluskey: uncoverable minterm");
+    if (primesOfMinterm[i].size() == 1) chosenPrime[primesOfMinterm[i][0]] = 1;
+  }
+  for (std::size_t p = 0; p < primes.size(); ++p)
+    if (chosenPrime[p])
+      for (const std::size_t i : mintermsOfPrime[p]) covered[i] = 1;
+
+  // Cyclic core via branch and bound.
+  std::vector<std::size_t> coreMinterms;
+  for (std::size_t i = 0; i < required.size(); ++i)
+    if (!covered[i]) coreMinterms.push_back(i);
+
+  if (!coreMinterms.empty()) {
+    // Re-index the core.
+    std::map<std::size_t, std::size_t> coreIndex;
+    for (std::size_t i = 0; i < coreMinterms.size(); ++i) coreIndex[coreMinterms[i]] = i;
+    std::vector<std::vector<std::size_t>> corePrimesOfMinterm(coreMinterms.size());
+    std::vector<std::vector<std::size_t>> coreMintermsOfPrime(primes.size());
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (chosenPrime[p]) continue;
+      for (const std::size_t i : mintermsOfPrime[p]) {
+        const auto it = coreIndex.find(i);
+        if (it != coreIndex.end()) {
+          corePrimesOfMinterm[it->second].push_back(p);
+          coreMintermsOfPrime[p].push_back(it->second);
+        }
+      }
+    }
+    CoverSolver solver(corePrimesOfMinterm, coreMinterms.size() + 1);
+    solver.solve(coreMintermsOfPrime);
+    for (const std::size_t p : solver.best) chosenPrime[p] = 1;
+  }
+
+  for (std::size_t p = 0; p < primes.size(); ++p)
+    if (chosenPrime[p]) result.cover.push_back(primes[p]);
+  return result;
+}
+
+QmResult quineMcCluskey(const TruthTable& on, std::size_t output) {
+  const TruthTable dc(on.nin(), on.nout());
+  return quineMcCluskey(on, dc, output);
+}
+
+}  // namespace mcx

@@ -1,0 +1,71 @@
+// TruthTable: explicit 2^n representation of a multi-output Boolean function.
+//
+// Used as the ground-truth oracle in tests, as the seed format for the
+// generated benchmark circuits (rd53/rd73/rd84/sqrt8, ...), and as the input
+// to the Minato-Morreale ISOP construction (logic/isop.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "logic/cover.hpp"
+#include "util/bits.hpp"
+
+namespace mcx {
+
+class TruthTable {
+public:
+  TruthTable() = default;
+  /// All-zero function of @p nin inputs and @p nout outputs. nin <= 24.
+  TruthTable(std::size_t nin, std::size_t nout);
+
+  std::size_t nin() const { return nin_; }
+  std::size_t nout() const { return nout_; }
+  std::size_t numMinterms() const { return std::size_t{1} << nin_; }
+
+  bool get(std::size_t output, std::size_t minterm) const;
+  void set(std::size_t output, std::size_t minterm, bool value = true);
+
+  const DynBits& bits(std::size_t output) const;
+  DynBits& bits(std::size_t output);
+
+  /// Number of ON minterms of @p output.
+  std::size_t countOnes(std::size_t output) const;
+
+  /// Build from a cover (ON-set semantics; absent minterms are 0).
+  static TruthTable fromCover(const Cover& cover);
+
+  /// Build from a callback: fn(mintermIndex, outputIndex) -> bool.
+  static TruthTable fromFunction(std::size_t nin, std::size_t nout,
+                                 const std::function<bool(std::size_t, std::size_t)>& fn);
+
+  /// Per-output complement.
+  TruthTable complemented() const;
+
+  bool operator==(const TruthTable& o) const = default;
+
+private:
+  std::size_t nin_ = 0;
+  std::size_t nout_ = 0;
+  std::vector<DynBits> bits_;  // one 2^nin bitset per output
+};
+
+// --- Truth-table bit vector helpers (full-width, 2^nin bits) -------------
+
+/// Bitset of width 2^nin whose bit m is set iff variable @p var is 1 in m.
+DynBits ttVarMask(std::size_t nin, std::size_t var);
+
+/// Positive cofactor as a full-width function independent of @p var:
+/// result(m) = f(m with bit var forced to 1).
+DynBits ttCofactor1(const DynBits& f, std::size_t nin, std::size_t var);
+/// Negative cofactor: result(m) = f(m with bit var forced to 0).
+DynBits ttCofactor0(const DynBits& f, std::size_t nin, std::size_t var);
+
+/// Truth table (2^nin bits) of a cube's input part.
+DynBits ttOfCube(const Cube& cube);
+
+/// Truth table of the union of a list of cubes' input parts.
+DynBits ttOfCubes(const std::vector<Cube>& cubes, std::size_t nin);
+
+}  // namespace mcx

@@ -1,0 +1,29 @@
+#include "map/exact_mapper.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+MappingResult ExactMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) const {
+  MCX_REQUIRE(fm.cols() == cm.cols(), "ExactMapper: column count mismatch");
+  MappingResult result;
+  if (fm.rows() > cm.rows()) return result;
+
+  std::vector<std::size_t> fmRows(fm.rows());
+  std::iota(fmRows.begin(), fmRows.end(), 0u);
+  std::vector<std::size_t> cmRows(cm.rows());
+  std::iota(cmRows.begin(), cmRows.end(), 0u);
+
+  const CostMatrix matching = buildMatchingMatrix(fm.bits(), fmRows, cm, cmRows);
+  const AssignmentResult assignment = munkresSolve(matching);
+  if (assignment.cost != 0) return result;
+
+  result.rowAssignment.resize(fm.rows());
+  for (std::size_t i = 0; i < fm.rows(); ++i) result.rowAssignment[i] = assignment.assignment[i];
+  result.success = true;
+  return result;
+}
+
+}  // namespace mcx

@@ -1,0 +1,19 @@
+// ExactMapper (EA): the paper's exact baseline.
+//
+// Builds the matching matrix over ALL function-matrix rows (minterm and
+// output rows alike) against all crossbar rows and solves the assignment
+// with Munkres. A zero total cost proves a valid mapping; nonzero cost with
+// an exact solver proves none exists under row permutation.
+#pragma once
+
+#include "map/matching.hpp"
+
+namespace mcx {
+
+class ExactMapper final : public IMapper {
+public:
+  std::string name() const override { return "EA"; }
+  MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm) const override;
+};
+
+}  // namespace mcx

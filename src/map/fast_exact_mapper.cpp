@@ -1,0 +1,27 @@
+#include "map/fast_exact_mapper.hpp"
+
+#include "assign/hopcroft_karp.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+
+MappingResult FastExactMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) const {
+  MCX_REQUIRE(fm.cols() == cm.cols(), "FastExactMapper: column count mismatch");
+  MappingResult result;
+  if (fm.rows() > cm.rows()) return result;
+
+  BipartiteGraph graph(fm.rows(), cm.rows());
+  for (std::size_t r = 0; r < fm.rows(); ++r)
+    for (std::size_t h = 0; h < cm.rows(); ++h)
+      if (rowMatches(fm.bits(), r, cm, h)) graph.addEdge(r, h);
+
+  const MatchingResult matching = hopcroftKarp(graph);
+  if (!matching.perfectForLeft(fm.rows())) return result;
+
+  result.rowAssignment.resize(fm.rows());
+  for (std::size_t r = 0; r < fm.rows(); ++r) result.rowAssignment[r] = matching.matchOfLeft[r];
+  result.success = true;
+  return result;
+}
+
+}  // namespace mcx

@@ -1,0 +1,72 @@
+#include "map/hybrid_mapper.hpp"
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+MappingResult HybridMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) const {
+  MCX_REQUIRE(fm.cols() == cm.cols(), "HybridMapper: column count mismatch");
+  MappingResult result;
+  if (fm.rows() > cm.rows()) return result;
+
+  const std::size_t P = fm.numProductRows();
+  const std::size_t N = cm.rows();
+  constexpr std::size_t kNone = MappingResult::kUnassigned;
+
+  std::vector<std::size_t> fmToCm(fm.rows(), kNone);
+  std::vector<std::size_t> cmOwner(N, kNone);
+
+  // Phase 1: greedy matching of minterm rows with one-level backtracking.
+  for (std::size_t i = 0; i < P; ++i) {
+    bool placed = false;
+    for (std::size_t t = 0; t < N && !placed; ++t) {
+      if (cmOwner[t] != kNone) continue;
+      if (rowMatches(fm.bits(), i, cm, t)) {
+        fmToCm[i] = t;
+        cmOwner[t] = i;
+        placed = true;
+      }
+    }
+    if (!placed && opts_.backtracking) {
+      // Consider matched CM rows top to bottom; try to relocate their owner.
+      for (std::size_t t = 0; t < N && !placed; ++t) {
+        if (cmOwner[t] == kNone || !rowMatches(fm.bits(), i, cm, t)) continue;
+        ++result.backtracks;
+        const std::size_t j = cmOwner[t];
+        for (std::size_t u = 0; u < N; ++u) {
+          if (cmOwner[u] != kNone) continue;
+          if (rowMatches(fm.bits(), j, cm, u)) {
+            // Relocate j to u, place i on t.
+            fmToCm[j] = u;
+            cmOwner[u] = j;
+            fmToCm[i] = t;
+            cmOwner[t] = i;
+            placed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!placed) return result;  // no possible row matching
+  }
+
+  // Phase 2: exact assignment of output rows onto unmatched CM rows.
+  std::vector<std::size_t> fmo(fm.numOutputRows());
+  for (std::size_t o = 0; o < fmo.size(); ++o) fmo[o] = fm.rowOfOutput(o);
+  std::vector<std::size_t> cmu;
+  cmu.reserve(N - P);
+  for (std::size_t t = 0; t < N; ++t)
+    if (cmOwner[t] == kNone) cmu.push_back(t);
+  if (cmu.size() < fmo.size()) return result;
+
+  const CostMatrix matching = buildMatchingMatrix(fm.bits(), fmo, cm, cmu);
+  const AssignmentResult assignment = munkresSolve(matching);
+  if (assignment.cost != 0) return result;
+
+  for (std::size_t o = 0; o < fmo.size(); ++o) fmToCm[fmo[o]] = cmu[assignment.assignment[o]];
+  result.rowAssignment = std::move(fmToCm);
+  result.success = true;
+  return result;
+}
+
+}  // namespace mcx

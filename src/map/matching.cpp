@@ -1,0 +1,43 @@
+#include "map/matching.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+bool rowMatches(const BitMatrix& fm, std::size_t fmRow, const BitMatrix& cm, std::size_t cmRow) {
+  return fm.rowSubsetOf(fmRow, cm, cmRow);
+}
+
+CostMatrix buildMatchingMatrix(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
+                               const BitMatrix& cm, const std::vector<std::size_t>& cmRows) {
+  CostMatrix cost(fmRows.size(), cmRows.size(), 1);
+  for (std::size_t i = 0; i < fmRows.size(); ++i)
+    for (std::size_t j = 0; j < cmRows.size(); ++j)
+      if (rowMatches(fm, fmRows[i], cm, cmRows[j])) cost.at(i, j) = 0;
+  return cost;
+}
+
+bool verifyMapping(const FunctionMatrix& fm, const BitMatrix& cm, const MappingResult& result) {
+  if (!result.success) return false;
+  if (result.rowAssignment.size() != fm.rows()) return false;
+  std::vector<std::size_t> used = result.rowAssignment;
+  std::sort(used.begin(), used.end());
+  if (std::adjacent_find(used.begin(), used.end()) != used.end()) return false;
+
+  const FunctionMatrix* effective = &fm;
+  FunctionMatrix permuted;
+  if (!result.inputPermutation.empty()) {
+    permuted = fm.withInputPermutation(result.inputPermutation);
+    effective = &permuted;
+  }
+  for (std::size_t r = 0; r < effective->rows(); ++r) {
+    const std::size_t cmRow = result.rowAssignment[r];
+    if (cmRow >= cm.rows()) return false;
+    if (!rowMatches(effective->bits(), r, cm, cmRow)) return false;
+  }
+  return true;
+}
+
+}  // namespace mcx

@@ -1,0 +1,57 @@
+// Row matching between the function matrix (FM) and the crossbar matrix
+// (CM), plus the mapper interface shared by HBA / EA / ablation variants.
+//
+// Matching rule (Section IV-B of the paper): an FM row can be placed on a CM
+// row iff every 1 of the FM row (required active switch) falls on a 1 of the
+// CM row (functional crosspoint). FM 0s (disabled switches) are compatible
+// with both functional and stuck-open crosspoints.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "assign/munkres.hpp"
+#include "util/bit_matrix.hpp"
+#include "xbar/function_matrix.hpp"
+
+namespace mcx {
+
+/// True iff FM row @p fmRow fits CM row @p cmRow.
+bool rowMatches(const BitMatrix& fm, std::size_t fmRow, const BitMatrix& cm, std::size_t cmRow);
+
+/// The paper's "matching matrix" as a Munkres cost matrix: entry 0 where
+/// FM row fmRows[i] fits CM row cmRows[j], 1 otherwise. A zero-cost perfect
+/// assignment is exactly a valid mapping of the selected rows.
+CostMatrix buildMatchingMatrix(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
+                               const BitMatrix& cm, const std::vector<std::size_t>& cmRows);
+
+struct MappingResult {
+  static constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
+
+  bool success = false;
+  /// rowAssignment[fmRow] = CM row, for every FM row, when success.
+  std::vector<std::size_t> rowAssignment;
+  /// Input-pair permutation applied before matching (identity unless the
+  /// column-permutation mapper found a non-trivial one).
+  std::vector<std::size_t> inputPermutation;
+  /// Number of backtracking repairs attempted (HBA statistics).
+  std::size_t backtracks = 0;
+};
+
+/// Check a claimed mapping: every required switch must land on a functional
+/// crosspoint, and the CM rows must be pairwise distinct.
+bool verifyMapping(const FunctionMatrix& fm, const BitMatrix& cm, const MappingResult& result);
+
+/// Interface of all defect-tolerant mappers.
+class IMapper {
+public:
+  virtual ~IMapper() = default;
+  virtual std::string name() const = 0;
+  /// Map the FM onto the CM (cm.rows() >= fm.rows(), same column count
+  /// unless the mapper documents otherwise).
+  virtual MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm) const = 0;
+};
+
+}  // namespace mcx

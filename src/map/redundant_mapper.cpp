@@ -1,0 +1,116 @@
+#include "map/redundant_mapper.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+CrossbarDims redundantDims(const FunctionMatrix& fm, const RedundantCrossbarSpec& spec) {
+  const std::size_t pairs = fm.nin() + spec.spareInputPairs;
+  const std::size_t outPairs = fm.nout() + spec.spareOutputPairs;
+  return {fm.rows() + spec.spareRows,
+          2 * pairs + fm.numConnectionCols() + 2 * outPairs};
+}
+
+namespace {
+
+/// Columns of physical input pair p in the wide crossbar.
+struct WideGeometry {
+  std::size_t pairs;      // physical input pairs
+  std::size_t conns;      // connection columns (same as FM)
+  std::size_t outPairs;   // physical output pairs
+
+  std::size_t posCol(std::size_t p) const { return p; }
+  std::size_t negCol(std::size_t p) const { return pairs + p; }
+  std::size_t connCol(std::size_t c) const { return 2 * pairs + c; }
+  std::size_t outCol(std::size_t p) const { return 2 * pairs + conns + p; }
+  std::size_t outBarCol(std::size_t p) const { return 2 * pairs + conns + outPairs + p; }
+};
+
+/// Project the wide CM down to the FM's column space given pair choices.
+BitMatrix projectCm(const BitMatrix& wide, const FunctionMatrix& fm, const WideGeometry& geo,
+                    const std::vector<std::size_t>& inPair,
+                    const std::vector<std::size_t>& outPair) {
+  BitMatrix cm(wide.rows(), fm.cols());
+  for (std::size_t r = 0; r < wide.rows(); ++r) {
+    for (std::size_t v = 0; v < fm.nin(); ++v) {
+      if (wide.test(r, geo.posCol(inPair[v]))) cm.set(r, fm.colOfPosLiteral(v));
+      if (wide.test(r, geo.negCol(inPair[v]))) cm.set(r, fm.colOfNegLiteral(v));
+    }
+    for (std::size_t c = 0; c < fm.numConnectionCols(); ++c)
+      if (wide.test(r, geo.connCol(c))) cm.set(r, fm.colOfConnection(c));
+    for (std::size_t o = 0; o < fm.nout(); ++o) {
+      if (wide.test(r, geo.outCol(outPair[o]))) cm.set(r, fm.colOfOutput(o));
+      if (wide.test(r, geo.outBarCol(outPair[o]))) cm.set(r, fm.colOfOutputBar(o));
+    }
+  }
+  return cm;
+}
+
+/// Pick the @p need least-defective pairs out of @p available, scored by the
+/// number of unusable crosspoints in the pair's columns.
+std::vector<std::size_t> pickPairs(const BitMatrix& wideCm, std::size_t need,
+                                   std::size_t available,
+                                   const std::function<std::size_t(std::size_t)>& colA,
+                                   const std::function<std::size_t(std::size_t)>& colB) {
+  std::vector<std::pair<std::size_t, std::size_t>> scored;  // (defects, pair)
+  for (std::size_t p = 0; p < available; ++p) {
+    const std::size_t bad = (wideCm.rows() - wideCm.colCount(colA(p))) +
+                            (wideCm.rows() - wideCm.colCount(colB(p)));
+    scored.emplace_back(bad, p);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::size_t> picked(need);
+  for (std::size_t i = 0; i < need; ++i) picked[i] = scored[i].second;
+  return picked;
+}
+
+}  // namespace
+
+RedundantMappingResult RedundantMapper::map(const FunctionMatrix& fm, const DefectMap& defects,
+                                            std::uint64_t seed) const {
+  const CrossbarDims dims = redundantDims(fm, spec_);
+  MCX_REQUIRE(defects.rows() == dims.rows && defects.cols() == dims.cols,
+              "RedundantMapper: defect map has wrong dimensions");
+
+  const BitMatrix wideCm = crossbarMatrix(defects);
+  const WideGeometry geo{fm.nin() + spec_.spareInputPairs, fm.numConnectionCols(),
+                         fm.nout() + spec_.spareOutputPairs};
+
+  RedundantMappingResult result;
+  Rng rng(seed);
+
+  // First attempt: least-defective pairs; further attempts randomize.
+  std::vector<std::size_t> inPair = pickPairs(
+      wideCm, fm.nin(), geo.pairs, [&](std::size_t p) { return geo.posCol(p); },
+      [&](std::size_t p) { return geo.negCol(p); });
+  std::vector<std::size_t> outPair = pickPairs(
+      wideCm, fm.nout(), geo.outPairs, [&](std::size_t p) { return geo.outCol(p); },
+      [&](std::size_t p) { return geo.outBarCol(p); });
+
+  for (std::size_t attempt = 0; attempt <= restarts_; ++attempt) {
+    const BitMatrix cm = projectCm(wideCm, fm, geo, inPair, outPair);
+    MappingResult rows = inner_->map(fm, cm);
+    if (rows.success) {
+      result.rows = std::move(rows);
+      result.inputPairOfVar = inPair;
+      result.outputPairOfOut = outPair;
+      result.success = true;
+      return result;
+    }
+    // Re-draw pair choices for the next attempt.
+    std::vector<std::size_t> allIn(geo.pairs);
+    std::iota(allIn.begin(), allIn.end(), 0u);
+    rng.shuffle(allIn);
+    inPair.assign(allIn.begin(), allIn.begin() + static_cast<std::ptrdiff_t>(fm.nin()));
+    std::vector<std::size_t> allOut(geo.outPairs);
+    std::iota(allOut.begin(), allOut.end(), 0u);
+    rng.shuffle(allOut);
+    outPair.assign(allOut.begin(), allOut.begin() + static_cast<std::ptrdiff_t>(fm.nout()));
+  }
+  return result;
+}
+
+}  // namespace mcx

@@ -1,0 +1,58 @@
+// RedundantMapper: yield-oriented mapping with spare lines (the paper's
+// Section VI future-work direction, implemented as extension A1).
+//
+// The physical crossbar is larger than the function matrix: spare rows give
+// the row matcher alternatives (this already tolerates stuck-at-closed rows,
+// which poison a whole horizontal line), and spare input/output column pairs
+// combined with column permutation tolerate stuck-at-closed columns.
+//
+// The mapper embeds the FM into the wider column space (choosing which
+// input pairs / output pairs to use, preferring the least defective ones),
+// then delegates row placement to an inner mapper. Randomized restarts
+// re-draw the pair choice.
+#pragma once
+
+#include <memory>
+
+#include "map/hybrid_mapper.hpp"
+#include "map/matching.hpp"
+#include "util/rng.hpp"
+#include "xbar/defects.hpp"
+
+namespace mcx {
+
+struct RedundantCrossbarSpec {
+  std::size_t spareRows = 0;
+  std::size_t spareInputPairs = 0;
+  std::size_t spareOutputPairs = 0;
+};
+
+/// Physical dimensions of a redundant crossbar hosting @p fm.
+CrossbarDims redundantDims(const FunctionMatrix& fm, const RedundantCrossbarSpec& spec);
+
+struct RedundantMappingResult {
+  MappingResult rows;                       ///< over the embedded FM
+  std::vector<std::size_t> inputPairOfVar;  ///< physical input pair per variable
+  std::vector<std::size_t> outputPairOfOut; ///< physical output pair per output
+  bool success = false;
+};
+
+class RedundantMapper {
+public:
+  explicit RedundantMapper(RedundantCrossbarSpec spec, std::size_t restarts = 8,
+                           std::shared_ptr<const IMapper> inner = nullptr)
+      : spec_(spec),
+        restarts_(restarts),
+        inner_(inner ? std::move(inner) : std::make_shared<HybridMapper>()) {}
+
+  /// @p defects must have redundantDims(fm, spec) dimensions.
+  RedundantMappingResult map(const FunctionMatrix& fm, const DefectMap& defects,
+                             std::uint64_t seed = 0x5eed) const;
+
+private:
+  RedundantCrossbarSpec spec_;
+  std::size_t restarts_;
+  std::shared_ptr<const IMapper> inner_;
+};
+
+}  // namespace mcx

@@ -1,0 +1,58 @@
+#include "mc/area_experiment.hpp"
+
+#include <algorithm>
+
+#include "logic/generators.hpp"
+#include "util/error.hpp"
+#include "xbar/area_model.hpp"
+
+namespace mcx {
+
+double AreaExperimentResult::successRate() const {
+  if (samples.empty()) return 0.0;
+  std::size_t wins = 0;
+  for (const AreaSample& s : samples)
+    if (s.multiLevelArea < s.twoLevelArea) ++wins;
+  return static_cast<double>(wins) / static_cast<double>(samples.size());
+}
+
+AreaExperimentResult runAreaExperiment(const AreaExperimentConfig& config) {
+  MCX_REQUIRE(config.nin >= 2, "runAreaExperiment: need at least 2 inputs");
+  const std::size_t maxP = config.maxProducts == 0 ? config.nin : config.maxProducts;
+  MCX_REQUIRE(maxP >= config.minProducts && config.minProducts >= 1,
+              "runAreaExperiment: bad product range");
+
+  Rng rng(config.seed);
+  AreaExperimentResult result;
+  result.samples.reserve(config.samples);
+
+  while (result.samples.size() < config.samples) {
+    RandomSopOptions sop;
+    sop.nin = config.nin;
+    sop.nout = 1;
+    sop.products = static_cast<std::size_t>(rng.uniformInt(config.minProducts, maxP));
+    sop.literalsPerProduct = config.literalsPerProduct;
+    Cover cover = randomSop(sop, rng);
+    cover = espressoMinimize(cover, config.espresso);
+    if (cover.empty()) continue;  // degenerate (constant) draw; redraw
+    // A cover whose single cube has no literals is constant 1 — skip too.
+    if (cover.size() == 1 && cover.cube(0).literalCount() == 0) continue;
+
+    const NandNetwork net = config.useBestMapping
+                                ? mapToNandBest(cover, config.nandMap.maxFanin)
+                                : mapToNand(cover, config.nandMap);
+
+    AreaSample sample;
+    sample.products = cover.size();
+    sample.gates = net.gateCount();
+    sample.twoLevelArea = twoLevelDims(cover).area();
+    sample.multiLevelArea = multiLevelDims(net).area();
+    result.samples.push_back(sample);
+  }
+
+  std::sort(result.samples.begin(), result.samples.end(),
+            [](const AreaSample& a, const AreaSample& b) { return a.products < b.products; });
+  return result;
+}
+
+}  // namespace mcx

@@ -1,0 +1,48 @@
+// Two-level vs multi-level area comparison on random functions (Fig. 6).
+//
+// For each sample a random single-output SOP is drawn, minimized with the
+// espresso-style minimizer (the two-level implementation), factored and
+// mapped to NAND gates (the multi-level implementation), and both crossbar
+// areas are computed. The paper reports, per input size, the cost series
+// sorted by product count and the "success rate" — the share of samples
+// whose multi-level area beats the two-level one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/espresso.hpp"
+#include "netlist/nand_mapper.hpp"
+
+namespace mcx {
+
+struct AreaExperimentConfig {
+  std::size_t nin = 8;
+  std::size_t samples = 200;        ///< the paper's sample size
+  std::size_t minProducts = 2;      ///< random P range before minimization
+  std::size_t maxProducts = 0;      ///< 0 = nin (tracks the paper's ranges)
+  double literalsPerProduct = 3.0;
+  std::uint64_t seed = 6;
+  EspressoOptions espresso;
+  /// Pick the best of flat / quick / kernel mapping per sample (like a real
+  /// technology mapper); when false, nandMap is used as given.
+  bool useBestMapping = true;
+  NandMapOptions nandMap;           ///< used when useBestMapping is false
+};
+
+struct AreaSample {
+  std::size_t products = 0;      ///< minimized product count
+  std::size_t gates = 0;         ///< NAND gates in the multi-level network
+  std::size_t twoLevelArea = 0;
+  std::size_t multiLevelArea = 0;
+};
+
+struct AreaExperimentResult {
+  std::vector<AreaSample> samples;  ///< sorted by product count (paper's x axis)
+  /// Share of samples with multiLevelArea < twoLevelArea.
+  double successRate() const;
+};
+
+AreaExperimentResult runAreaExperiment(const AreaExperimentConfig& config);
+
+}  // namespace mcx

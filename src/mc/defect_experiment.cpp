@@ -1,0 +1,48 @@
+#include "mc/defect_experiment.hpp"
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mcx {
+
+void forEachDefectSample(const FunctionMatrix& fm, const DefectExperimentConfig& config,
+                         const std::function<void(std::size_t, const DefectMap&,
+                                                  const BitMatrix&)>& fn) {
+  Rng rng(config.seed);
+  const std::size_t rows = fm.rows() + config.spareRows;
+  for (std::size_t s = 0; s < config.samples; ++s) {
+    Rng sampleRng = rng.split();
+    const DefectMap defects =
+        DefectMap::sample(rows, fm.cols(), config.stuckOpenRate, config.stuckClosedRate,
+                          sampleRng);
+    const BitMatrix cm = crossbarMatrix(defects);
+    fn(s, defects, cm);
+  }
+}
+
+DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapper& mapper,
+                                           const DefectExperimentConfig& config) {
+  DefectExperimentResult result;
+  result.samples = config.samples;
+  std::vector<double> millis;
+  millis.reserve(config.samples);
+
+  forEachDefectSample(fm, config, [&](std::size_t, const DefectMap&, const BitMatrix& cm) {
+    Stopwatch watch;
+    const MappingResult mapping = mapper.map(fm, cm);
+    const double sec = watch.seconds();
+    result.totalSeconds += sec;
+    millis.push_back(sec * 1e3);
+    result.totalBacktracks += mapping.backtracks;
+    if (mapping.success) {
+      if (config.verify)
+        MCX_REQUIRE(verifyMapping(fm, cm, mapping),
+                    "runDefectExperiment: mapper returned an invalid mapping");
+      ++result.successes;
+    }
+  });
+  result.perSampleMillis = summarize(millis);
+  return result;
+}
+
+}  // namespace mcx

@@ -1,0 +1,56 @@
+// Monte Carlo defect-tolerant mapping experiments (Section V of the paper).
+//
+// For each sample a fresh defect map is drawn (independent uniform
+// per-crosspoint rates), the crossbar matrix is derived, and the mapper
+// under test runs on an optimum-size (or redundant) crossbar. Success rate
+// and runtime are accumulated — the quantities of Table II.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "map/matching.hpp"
+#include "mc/stats.hpp"
+#include "xbar/defects.hpp"
+#include "xbar/function_matrix.hpp"
+
+namespace mcx {
+
+struct DefectExperimentConfig {
+  std::size_t samples = 200;       ///< the paper's sample size
+  double stuckOpenRate = 0.10;     ///< the paper's Table II rate
+  double stuckClosedRate = 0.0;    ///< paper: only stuck-open on optimum size
+  std::size_t spareRows = 0;       ///< redundancy extension (A1)
+  std::uint64_t seed = 1;
+  /// Verify each claimed success against the matching rules (cheap; on by
+  /// default so experiments cannot silently report invalid mappings).
+  bool verify = true;
+};
+
+struct DefectExperimentResult {
+  std::size_t samples = 0;
+  std::size_t successes = 0;
+  double totalSeconds = 0;
+  std::size_t totalBacktracks = 0;
+  SummaryStats perSampleMillis;
+
+  double successRate() const {
+    return samples == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(samples);
+  }
+  /// Mean mapping time over all samples, in seconds (the paper's "Time").
+  double meanSeconds() const {
+    return samples == 0 ? 0.0 : totalSeconds / static_cast<double>(samples);
+  }
+};
+
+DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm,
+                                           const IMapper& mapper,
+                                           const DefectExperimentConfig& config);
+
+/// Per-sample callback variant (used by the yield/redundancy benches to run
+/// several mappers on identical defect draws).
+void forEachDefectSample(const FunctionMatrix& fm, const DefectExperimentConfig& config,
+                         const std::function<void(std::size_t, const DefectMap&,
+                                                  const BitMatrix&)>& fn);
+
+}  // namespace mcx

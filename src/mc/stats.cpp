@@ -1,0 +1,33 @@
+#include "mc/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcx {
+
+SummaryStats summarize(const std::vector<double>& values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (const double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1 ? std::sqrt(var / static_cast<double>(values.size() - 1)) : 0.0;
+  return s;
+}
+
+double wilsonHalfWidth(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return 0.0;
+  const double z = 1.959964;  // 95%
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double denom = 1.0 + z * z / n;
+  const double half = (z / denom) * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+  return half;
+}
+
+}  // namespace mcx

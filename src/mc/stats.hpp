@@ -1,0 +1,22 @@
+// Small statistics helpers for the Monte Carlo harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcx {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+SummaryStats summarize(const std::vector<double>& values);
+
+/// Wilson score interval half-width for a success proportion (95%).
+double wilsonHalfWidth(std::size_t successes, std::size_t trials);
+
+}  // namespace mcx

@@ -1,0 +1,38 @@
+#include "mc/yield_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+YieldEstimate estimateYield(const FunctionMatrix& fm, double q, std::size_t spareRows) {
+  MCX_REQUIRE(q >= 0.0 && q <= 1.0, "estimateYield: bad defect rate");
+  const std::size_t N = fm.rows() + spareRows;
+
+  std::vector<std::size_t> switches(fm.rows());
+  for (std::size_t r = 0; r < fm.rows(); ++r) switches[r] = fm.bits().rowCount(r);
+  std::sort(switches.begin(), switches.end(), std::greater<>());
+
+  YieldEstimate est;
+  est.successProbability = 1.0;
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    const double p = std::pow(1.0 - q, static_cast<double>(switches[i]));
+    const double pool = static_cast<double>(N - i);
+    const double rowOk = 1.0 - std::pow(1.0 - p, pool);
+    est.successProbability *= rowOk;
+    est.expectedStrandedRows += std::pow(1.0 - p, static_cast<double>(N));
+  }
+  return est;
+}
+
+std::size_t sparesForTargetYield(const FunctionMatrix& fm, double q, double target,
+                                 std::size_t maxSpare) {
+  MCX_REQUIRE(target > 0.0 && target < 1.0, "sparesForTargetYield: target in (0,1)");
+  for (std::size_t spare = 0; spare <= maxSpare; ++spare)
+    if (estimateYield(fm, q, spare).successProbability >= target) return spare;
+  return maxSpare + 1;
+}
+
+}  // namespace mcx

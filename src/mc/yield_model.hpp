@@ -1,0 +1,38 @@
+// Analytic yield estimation for defect-tolerant row mapping.
+//
+// A closed-form companion to the Monte Carlo harness: with independent
+// stuck-open probability q per crosspoint, an FM row with s required
+// switches fits a random CM row with probability p = (1-q)^s. Treating row
+// placements as a sequential greedy process over rows sorted by descending
+// s (the hardest rows choose first from the largest pool):
+//
+//   P(success) ~= prod_i [ 1 - (1 - p_i)^(N - i) ]
+//
+// The approximation errs in both directions: it is optimistic when
+// dense-row tails compete for the same healthy crossbar rows, and
+// pessimistic on uniform-row instances where a real maximum matching
+// rearranges placements globally (augmenting paths beat sequential greedy).
+// bench_ablation_yield_model quantifies both regimes against the Monte
+// Carlo ground truth; errors stay small enough for spare-row sizing.
+#pragma once
+
+#include "xbar/function_matrix.hpp"
+
+namespace mcx {
+
+struct YieldEstimate {
+  double successProbability = 0.0;
+  /// Expected number of FM rows with zero candidate CM rows.
+  double expectedStrandedRows = 0.0;
+};
+
+/// Estimate mapping success probability at stuck-open rate @p q on a
+/// crossbar with @p spareRows extra rows.
+YieldEstimate estimateYield(const FunctionMatrix& fm, double q, std::size_t spareRows = 0);
+
+/// Smallest spare-row count whose estimated yield reaches @p target
+/// (searches 0..maxSpare; returns maxSpare+1 if unreachable).
+std::size_t sparesForTargetYield(const FunctionMatrix& fm, double q, double target,
+                                 std::size_t maxSpare = 64);
+
+}  // namespace mcx

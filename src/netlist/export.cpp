@@ -1,0 +1,74 @@
+#include "netlist/export.hpp"
+
+#include <sstream>
+
+namespace mcx {
+
+std::string toDot(const NandNetwork& net, const std::string& graphName) {
+  std::ostringstream os;
+  os << "digraph " << graphName << " {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < net.numPis(); ++i)
+    os << "  n" << net.pi(i) << " [shape=box,label=\"x" << i + 1 << "\"];\n";
+  for (const NodeId g : net.gates())
+    os << "  n" << g << " [shape=circle,label=\"NAND\"];\n";
+  for (const NodeId g : net.gates()) {
+    for (const auto& f : net.fanins(g)) {
+      os << "  n" << f.node << " -> n" << g;
+      if (f.invert) os << " [style=dashed,label=\"!\"]";
+      os << ";\n";
+    }
+  }
+  for (std::size_t o = 0; o < net.numOutputs(); ++o) {
+    os << "  out" << o << " [shape=doublecircle,label=\"O" << o + 1
+       << (net.outputInverted(o) ? " (inv)" : "") << "\"];\n";
+    os << "  n" << net.outputNode(o) << " -> out" << o << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string toVerilog(const NandNetwork& net, const std::string& moduleName) {
+  std::ostringstream os;
+  os << "module " << moduleName << " (";
+  for (std::size_t i = 0; i < net.numPis(); ++i) os << "x" << i + 1 << ", ";
+  for (std::size_t o = 0; o < net.numOutputs(); ++o)
+    os << "o" << o + 1 << (o + 1 < net.numOutputs() ? ", " : "");
+  os << ");\n";
+  for (std::size_t i = 0; i < net.numPis(); ++i) os << "  input x" << i + 1 << ";\n";
+  for (std::size_t o = 0; o < net.numOutputs(); ++o) os << "  output o" << o + 1 << ";\n";
+
+  // Inverted PI rails used anywhere get a shared inverter wire.
+  std::vector<bool> railNeeded(net.numPis(), false);
+  for (const NodeId g : net.gates())
+    for (const auto& f : net.fanins(g))
+      if (f.invert) railNeeded[f.node] = true;
+  for (std::size_t i = 0; i < net.numPis(); ++i) {
+    if (railNeeded[net.pi(i)]) {
+      os << "  wire xb" << i + 1 << ";\n";
+      os << "  not (xb" << i + 1 << ", x" << i + 1 << ");\n";
+    }
+  }
+  for (const NodeId g : net.gates()) os << "  wire g" << g << ";\n";
+
+  for (const NodeId g : net.gates()) {
+    os << "  nand (g" << g;
+    for (const auto& f : net.fanins(g)) {
+      os << ", ";
+      if (net.isPi(f.node))
+        os << (f.invert ? "xb" : "x") << f.node + 1;
+      else
+        os << "g" << f.node;
+    }
+    os << ");\n";
+  }
+  for (std::size_t o = 0; o < net.numOutputs(); ++o) {
+    if (net.outputInverted(o))
+      os << "  not (o" << o + 1 << ", g" << net.outputNode(o) << ");\n";
+    else
+      os << "  assign o" << o + 1 << " = g" << net.outputNode(o) << ";\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace mcx

@@ -1,0 +1,19 @@
+// Exporters: Graphviz DOT for NAND networks and structural Verilog
+// (gate-level, NAND primitives) for downstream tool interop.
+#pragma once
+
+#include <string>
+
+#include "netlist/nand_network.hpp"
+
+namespace mcx {
+
+/// Graphviz DOT rendering (PIs as boxes, NAND gates as circles, outputs as
+/// double circles; dashed edges mark inverted PI rails).
+std::string toDot(const NandNetwork& net, const std::string& graphName = "nand_network");
+
+/// Structural Verilog with `nand` and `not` primitives. Module ports are
+/// x1..xI and o1..oO.
+std::string toVerilog(const NandNetwork& net, const std::string& moduleName = "mcx_netlist");
+
+}  // namespace mcx

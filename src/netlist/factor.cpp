@@ -1,0 +1,196 @@
+#include "netlist/factor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+FactorTree FactorTree::literal(std::size_t var, bool negated) {
+  FactorTree t;
+  t.kind = Kind::Literal;
+  t.var = var;
+  t.negated = negated;
+  return t;
+}
+
+FactorTree FactorTree::makeAnd(std::vector<FactorTree> children) {
+  MCX_REQUIRE(!children.empty(), "FactorTree::makeAnd: no children");
+  if (children.size() == 1) return std::move(children.front());
+  FactorTree t;
+  t.kind = Kind::And;
+  // Flatten nested ANDs so gate fan-in reflects the real product width.
+  for (FactorTree& c : children) {
+    if (c.kind == Kind::And) {
+      for (FactorTree& g : c.children) t.children.push_back(std::move(g));
+    } else {
+      t.children.push_back(std::move(c));
+    }
+  }
+  return t;
+}
+
+FactorTree FactorTree::makeOr(std::vector<FactorTree> children) {
+  MCX_REQUIRE(!children.empty(), "FactorTree::makeOr: no children");
+  if (children.size() == 1) return std::move(children.front());
+  FactorTree t;
+  t.kind = Kind::Or;
+  for (FactorTree& c : children) {
+    if (c.kind == Kind::Or) {
+      for (FactorTree& g : c.children) t.children.push_back(std::move(g));
+    } else {
+      t.children.push_back(std::move(c));
+    }
+  }
+  return t;
+}
+
+std::size_t FactorTree::literalCount() const {
+  if (kind == Kind::Literal) return 1;
+  std::size_t n = 0;
+  for (const FactorTree& c : children) n += c.literalCount();
+  return n;
+}
+
+std::string FactorTree::toString() const {
+  switch (kind) {
+    case Kind::Literal:
+      return (negated ? "!x" : "x") + std::to_string(var + 1);
+    case Kind::And: {
+      std::string s;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ' ';
+        const bool paren = children[i].kind == Kind::Or;
+        if (paren) s += '(';
+        s += children[i].toString();
+        if (paren) s += ')';
+      }
+      return s;
+    }
+    case Kind::Or: {
+      std::string s;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) s += " + ";
+        s += children[i].toString();
+      }
+      return s;
+    }
+  }
+  return {};
+}
+
+namespace {
+
+FactorTree cubeToTree(const Cube& c) {
+  std::vector<FactorTree> lits;
+  for (std::size_t v = 0; v < c.nin(); ++v) {
+    const Lit l = c.lit(v);
+    if (l == Lit::Pos) lits.push_back(FactorTree::literal(v, false));
+    if (l == Lit::Neg) lits.push_back(FactorTree::literal(v, true));
+  }
+  MCX_REQUIRE(!lits.empty(), "factorCover: constant-1 product has no factor tree");
+  return FactorTree::makeAnd(std::move(lits));
+}
+
+FactorTree factorRec(std::vector<Cube> cubes, std::size_t nin) {
+  MCX_REQUIRE(!cubes.empty(), "factorCover: empty cover");
+  if (cubes.size() == 1) return cubeToTree(cubes.front());
+
+  // Most frequent literal over the cover.
+  std::size_t bestVar = nin;
+  Lit bestLit = Lit::DontCare;
+  std::size_t bestCount = 1;
+  for (std::size_t v = 0; v < nin; ++v) {
+    std::size_t pos = 0, neg = 0;
+    for (const Cube& c : cubes) {
+      const Lit l = c.lit(v);
+      if (l == Lit::Pos) ++pos;
+      if (l == Lit::Neg) ++neg;
+    }
+    if (pos > bestCount) {
+      bestCount = pos;
+      bestVar = v;
+      bestLit = Lit::Pos;
+    }
+    if (neg > bestCount) {
+      bestCount = neg;
+      bestVar = v;
+      bestLit = Lit::Neg;
+    }
+  }
+
+  if (bestVar == nin) {
+    // No literal shared by two products: plain OR of product terms.
+    std::vector<FactorTree> terms;
+    terms.reserve(cubes.size());
+    for (const Cube& c : cubes) terms.push_back(cubeToTree(c));
+    return FactorTree::makeOr(std::move(terms));
+  }
+
+  // If some product is exactly the chosen literal, l absorbs every product
+  // containing l: cover = l + remainder.
+  const FactorTree literalTree = FactorTree::literal(bestVar, bestLit == Lit::Neg);
+  for (const Cube& c : cubes) {
+    if (c.lit(bestVar) == bestLit && c.literalCount() == 1) {
+      std::vector<Cube> rest;
+      for (const Cube& d : cubes)
+        if (d.lit(bestVar) != bestLit) rest.push_back(d);
+      if (rest.empty()) return literalTree;
+      std::vector<FactorTree> orChildren;
+      orChildren.push_back(literalTree);
+      orChildren.push_back(factorRec(std::move(rest), nin));
+      return FactorTree::makeOr(std::move(orChildren));
+    }
+  }
+
+  // Divide: cubes containing the literal form l * quotient; rest is remainder.
+  std::vector<Cube> quotient, remainder;
+  for (Cube& c : cubes) {
+    if (c.lit(bestVar) == bestLit) {
+      c.setLit(bestVar, Lit::DontCare);
+      quotient.push_back(std::move(c));
+    } else {
+      remainder.push_back(std::move(c));
+    }
+  }
+
+  std::vector<FactorTree> andChildren;
+  andChildren.push_back(literalTree);
+  andChildren.push_back(factorRec(std::move(quotient), nin));
+  FactorTree lTimesQ = FactorTree::makeAnd(std::move(andChildren));
+  if (remainder.empty()) return lTimesQ;
+
+  std::vector<FactorTree> orChildren;
+  orChildren.push_back(std::move(lTimesQ));
+  orChildren.push_back(factorRec(std::move(remainder), nin));
+  return FactorTree::makeOr(std::move(orChildren));
+}
+
+}  // namespace
+
+FactorTree factorCover(const std::vector<Cube>& cubes, std::size_t nin) {
+  MCX_REQUIRE(!cubes.empty(), "factorCover: empty cover (constant 0)");
+  for (const Cube& c : cubes) {
+    MCX_REQUIRE(!c.inputEmpty(), "factorCover: empty cube");
+    MCX_REQUIRE(c.literalCount() > 0, "factorCover: constant-1 cover");
+  }
+  return factorRec(cubes, nin);
+}
+
+bool evaluateFactorTree(const FactorTree& tree, const DynBits& input) {
+  switch (tree.kind) {
+    case FactorTree::Kind::Literal:
+      return input.test(tree.var) != tree.negated;
+    case FactorTree::Kind::And:
+      for (const FactorTree& c : tree.children)
+        if (!evaluateFactorTree(c, input)) return false;
+      return true;
+    case FactorTree::Kind::Or:
+      for (const FactorTree& c : tree.children)
+        if (evaluateFactorTree(c, input)) return true;
+      return false;
+  }
+  return false;
+}
+
+}  // namespace mcx

@@ -1,0 +1,45 @@
+// Algebraic factoring of single-output covers (quick-factor style).
+//
+// Produces an AND/OR/literal factor tree from a SOP by recursively dividing
+// out the most frequent literal (Brayton's "literal factoring"). The tree is
+// the input of the NAND mapper (netlist/nand_mapper.hpp), which turns it
+// into the NAND-only network that the multi-level crossbar executes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace mcx {
+
+struct FactorTree {
+  enum class Kind { Literal, And, Or };
+
+  Kind kind = Kind::Literal;
+  // Literal payload:
+  std::size_t var = 0;
+  bool negated = false;
+  // And / Or payload:
+  std::vector<FactorTree> children;
+
+  static FactorTree literal(std::size_t var, bool negated);
+  static FactorTree makeAnd(std::vector<FactorTree> children);
+  static FactorTree makeOr(std::vector<FactorTree> children);
+
+  /// Number of literal leaves.
+  std::size_t literalCount() const;
+  /// Infix rendering, e.g. "(x1 + x2 (x3 + !x4))".
+  std::string toString() const;
+};
+
+/// Factor the input parts of @p cubes (a single-output SOP over @p nin
+/// variables). Requires a non-empty cover with no empty cubes; a cover
+/// containing a full-don't-care cube is rejected (constant functions have
+/// no factor tree).
+FactorTree factorCover(const std::vector<Cube>& cubes, std::size_t nin);
+
+/// Evaluate a factor tree on one input assignment (test helper).
+bool evaluateFactorTree(const FactorTree& tree, const DynBits& input);
+
+}  // namespace mcx

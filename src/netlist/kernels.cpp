@@ -1,0 +1,246 @@
+#include "netlist/kernels.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+/// The cube of literals common to every cube (the "largest common cube").
+Cube commonCube(const std::vector<Cube>& cubes, std::size_t nin) {
+  MCX_REQUIRE(!cubes.empty(), "commonCube: empty cover");
+  Cube common(nin, 0);
+  common.inputBits().resetAll();
+  // A literal is common iff present in all cubes: intersect "restriction"
+  // patterns. Work per variable for clarity (covers here are small).
+  for (std::size_t v = 0; v < nin; ++v) {
+    const Lit first = cubes.front().lit(v);
+    if (first == Lit::DontCare || first == Lit::Empty) {
+      common.setLit(v, Lit::DontCare);
+      continue;
+    }
+    bool everywhere = true;
+    for (const Cube& c : cubes)
+      if (c.lit(v) != first) everywhere = false;
+    common.setLit(v, everywhere ? first : Lit::DontCare);
+  }
+  return common;
+}
+
+/// Divide every cube by a single cube (all must contain it).
+std::vector<Cube> divideByCube(const std::vector<Cube>& cubes, const Cube& divisor,
+                               std::size_t nin) {
+  std::vector<Cube> result;
+  result.reserve(cubes.size());
+  for (const Cube& c : cubes) {
+    Cube q = c;
+    for (std::size_t v = 0; v < nin; ++v)
+      if (divisor.lit(v) != Lit::DontCare) q.setLit(v, Lit::DontCare);
+    result.push_back(std::move(q));
+  }
+  return result;
+}
+
+/// Cubes of @p cubes containing literal (var, lit).
+std::vector<Cube> cubesWithLiteral(const std::vector<Cube>& cubes, std::size_t var, Lit lit) {
+  std::vector<Cube> result;
+  for (const Cube& c : cubes)
+    if (c.lit(var) == lit) result.push_back(c);
+  return result;
+}
+
+void kernelsRec(const std::vector<Cube>& cubes, std::size_t nin, std::size_t minVar,
+                const Cube& coKernel, std::vector<KernelEntry>& out) {
+  for (std::size_t v = minVar; v < nin; ++v) {
+    for (const Lit lit : {Lit::Pos, Lit::Neg}) {
+      std::vector<Cube> with = cubesWithLiteral(cubes, v, lit);
+      if (with.size() < 2) continue;
+      const Cube common = commonCube(with, nin);
+      // Skip if some earlier variable is also common (avoids duplicates —
+      // the standard "largest literal < j" pruning).
+      bool dominated = false;
+      for (std::size_t u = 0; u < v && !dominated; ++u)
+        if (common.lit(u) != Lit::DontCare) dominated = true;
+      if (dominated) continue;
+
+      std::vector<Cube> quotient = divideByCube(with, common, nin);
+      Cube newCo = coKernel;
+      for (std::size_t u = 0; u < nin; ++u)
+        if (common.lit(u) != Lit::DontCare) newCo.setLit(u, common.lit(u));
+      out.push_back({quotient, newCo});
+      kernelsRec(quotient, nin, v + 1, newCo, out);
+    }
+  }
+}
+
+std::size_t literalCountOf(const std::vector<Cube>& cubes) {
+  std::size_t n = 0;
+  for (const Cube& c : cubes) n += c.literalCount();
+  return n;
+}
+
+}  // namespace
+
+bool isCubeFree(const std::vector<Cube>& cubes, std::size_t nin) {
+  if (cubes.empty()) return false;
+  return commonCube(cubes, nin).literalCount() == 0;
+}
+
+std::vector<KernelEntry> allKernels(const std::vector<Cube>& cubes, std::size_t nin) {
+  std::vector<KernelEntry> kernels;
+  if (cubes.size() >= 2 && isCubeFree(cubes, nin)) {
+    Cube unit(nin, 0);
+    kernels.push_back({cubes, unit});
+  }
+  Cube unit(nin, 0);
+  kernelsRec(cubes, nin, 0, unit, kernels);
+
+  // De-duplicate kernels (same quotient reachable through several paths).
+  std::map<std::string, std::size_t> seen;
+  std::vector<KernelEntry> unique;
+  for (KernelEntry& k : kernels) {
+    std::vector<std::string> lines;
+    lines.reserve(k.kernel.size());
+    for (const Cube& c : k.kernel) lines.push_back(c.inputString());
+    std::sort(lines.begin(), lines.end());
+    std::string key;
+    for (const auto& l : lines) key += l + "|";
+    if (seen.emplace(std::move(key), unique.size()).second) unique.push_back(std::move(k));
+  }
+  return unique;
+}
+
+DivisionResult algebraicDivide(const std::vector<Cube>& cubes,
+                               const std::vector<Cube>& divisor, std::size_t nin) {
+  DivisionResult result;
+  if (divisor.empty()) return result;
+
+  // Quotient = intersection over divisor cubes d of { c / d : c multiple of d }.
+  std::vector<std::vector<Cube>> perDivisor;
+  for (const Cube& d : divisor) {
+    std::vector<Cube> quotients;
+    for (const Cube& c : cubes) {
+      // c is an algebraic multiple of d iff every literal of d appears in c.
+      bool multiple = true;
+      for (std::size_t v = 0; v < nin && multiple; ++v) {
+        const Lit dl = d.lit(v);
+        if (dl != Lit::DontCare && c.lit(v) != dl) multiple = false;
+      }
+      if (!multiple) continue;
+      Cube q = c;
+      for (std::size_t v = 0; v < nin; ++v)
+        if (d.lit(v) != Lit::DontCare) q.setLit(v, Lit::DontCare);
+      quotients.push_back(std::move(q));
+    }
+    perDivisor.push_back(std::move(quotients));
+  }
+
+  // Intersect the quotient sets (by input pattern).
+  std::vector<Cube> quotient;
+  for (const Cube& q : perDivisor.front()) {
+    bool inAll = true;
+    for (std::size_t i = 1; i < perDivisor.size() && inAll; ++i) {
+      bool found = false;
+      for (const Cube& other : perDivisor[i])
+        if (other.inputBits() == q.inputBits()) found = true;
+      inAll = found;
+    }
+    // The quotient must also share no variables with the divisor cube it
+    // multiplies — guaranteed by construction (literals were raised).
+    if (inAll) quotient.push_back(q);
+  }
+  // Remove duplicates.
+  std::sort(quotient.begin(), quotient.end(),
+            [](const Cube& a, const Cube& b) { return a.inputBits() < b.inputBits(); });
+  quotient.erase(std::unique(quotient.begin(), quotient.end()), quotient.end());
+  if (quotient.empty()) return result;
+
+  // Remainder = cubes not expressible as divisor * quotient.
+  std::vector<bool> used(cubes.size(), false);
+  for (const Cube& d : divisor) {
+    for (const Cube& q : quotient) {
+      Cube product = d;
+      bool compatible = true;
+      for (std::size_t v = 0; v < nin; ++v) {
+        const Lit ql = q.lit(v);
+        if (ql == Lit::DontCare) continue;
+        if (product.lit(v) != Lit::DontCare && product.lit(v) != ql) compatible = false;
+        product.setLit(v, ql);
+      }
+      if (!compatible) continue;
+      for (std::size_t i = 0; i < cubes.size(); ++i)
+        if (!used[i] && cubes[i].inputBits() == product.inputBits()) used[i] = true;
+    }
+  }
+  result.quotient = std::move(quotient);
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (!used[i]) result.remainder.push_back(cubes[i]);
+  return result;
+}
+
+FactorTree goodFactor(const std::vector<Cube>& cubesIn, std::size_t nin) {
+  MCX_REQUIRE(!cubesIn.empty(), "goodFactor: empty cover");
+  // Sub-covers arising from division can contain single-cube-contained
+  // cubes (e.g. the quotient of {ab, abc} by a); drop them so the algebra
+  // below never sees an absorbed or universal cube.
+  std::vector<Cube> cubes;
+  for (const Cube& c : cubesIn) {
+    bool contained = false;
+    for (const Cube& d : cubesIn) {
+      if (&c == &d) continue;
+      if (d.inputContains(c) && !(c.inputContains(d) && &c < &d)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) cubes.push_back(c);
+  }
+  if (cubes.size() == 1) return factorCover(cubes, nin);
+
+  // Pick the kernel with the largest literal savings:
+  // value = (|kernel cubes| - 1) * |coKernel literals| +
+  //         (uses of kernel as divisor - 1) * kernel literals (approximated
+  //         by one use here: savings = shared co-kernel extraction).
+  const std::vector<KernelEntry> kernels = allKernels(cubes, nin);
+  const KernelEntry* best = nullptr;
+  std::size_t bestValue = 0;
+  for (const KernelEntry& k : kernels) {
+    if (k.kernel.size() < 2) continue;
+    const DivisionResult division = algebraicDivide(cubes, k.kernel, nin);
+    if (division.quotient.empty()) continue;
+    const std::size_t without = literalCountOf(cubes);
+    const std::size_t with = literalCountOf(k.kernel) + literalCountOf(division.quotient) +
+                             literalCountOf(division.remainder);
+    if (with < without && without - with > bestValue) {
+      bestValue = without - with;
+      best = &k;
+    }
+  }
+  if (best == nullptr) return factorCover(cubes, nin);
+
+  const DivisionResult division = algebraicDivide(cubes, best->kernel, nin);
+  FactorTree kernelTree = goodFactor(best->kernel, nin);
+
+  // A unit quotient (single all-don't-care cube) means the product is just
+  // the kernel.
+  const bool unitQuotient =
+      division.quotient.size() == 1 && division.quotient.front().literalCount() == 0;
+  FactorTree product = [&] {
+    if (unitQuotient) return std::move(kernelTree);
+    std::vector<FactorTree> andChildren;
+    andChildren.push_back(goodFactor(division.quotient, nin));
+    andChildren.push_back(std::move(kernelTree));
+    return FactorTree::makeAnd(std::move(andChildren));
+  }();
+  if (division.remainder.empty()) return product;
+
+  std::vector<FactorTree> orChildren;
+  orChildren.push_back(std::move(product));
+  orChildren.push_back(goodFactor(division.remainder, nin));
+  return FactorTree::makeOr(std::move(orChildren));
+}
+
+}  // namespace mcx

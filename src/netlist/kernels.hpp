@@ -1,0 +1,45 @@
+// Algebraic kernels and kernel-based factoring (Brayton-McMullen).
+//
+// A kernel of an algebraic expression is a cube-free quotient by a cube
+// (the co-kernel). Kernels expose the multi-cube common divisors that
+// literal-based quick factoring misses; goodFactor() divides by the best
+// kernel (largest literal savings) recursively and typically produces
+// smaller NAND networks — see bench_ablation_factoring.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "netlist/factor.hpp"
+
+namespace mcx {
+
+struct KernelEntry {
+  std::vector<Cube> kernel;  ///< cube-free quotient (input parts only)
+  Cube coKernel;             ///< the cube divided out
+};
+
+/// All (kernel, co-kernel) pairs of the cover, including the cover itself
+/// when it is cube-free (level-0 and higher kernels).
+std::vector<KernelEntry> allKernels(const std::vector<Cube>& cubes, std::size_t nin);
+
+/// True iff no literal appears in every cube.
+bool isCubeFree(const std::vector<Cube>& cubes, std::size_t nin);
+
+/// Weak (algebraic) division of @p cubes by @p divisor: returns quotient
+/// cubes (empty if the divisor does not algebraically divide the cover).
+/// The remainder is cubes minus divisor*quotient.
+struct DivisionResult {
+  std::vector<Cube> quotient;
+  std::vector<Cube> remainder;
+};
+DivisionResult algebraicDivide(const std::vector<Cube>& cubes,
+                               const std::vector<Cube>& divisor, std::size_t nin);
+
+/// Kernel-based factoring: like factorCover but dividing by the
+/// highest-value kernel at each step (falls back to literal division when no
+/// kernel helps).
+FactorTree goodFactor(const std::vector<Cube>& cubes, std::size_t nin);
+
+}  // namespace mcx

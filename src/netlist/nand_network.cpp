@@ -1,0 +1,127 @@
+#include "netlist/nand_network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+NandNetwork::NandNetwork(std::size_t numPis) {
+  nodes_.reserve(numPis);
+  pis_.reserve(numPis);
+  for (std::size_t i = 0; i < numPis; ++i) {
+    pis_.push_back(static_cast<NodeId>(nodes_.size()));
+    nodes_.push_back(Node{true, {}});
+  }
+}
+
+NodeId NandNetwork::pi(std::size_t i) const {
+  MCX_REQUIRE(i < pis_.size(), "NandNetwork::pi out of range");
+  return pis_[i];
+}
+
+bool NandNetwork::isPi(NodeId n) const {
+  MCX_REQUIRE(n < nodes_.size(), "NandNetwork::isPi out of range");
+  return nodes_[n].isPi;
+}
+
+NodeId NandNetwork::addNand(std::vector<Fanin> fanins) {
+  MCX_REQUIRE(!fanins.empty(), "NandNetwork::addNand: empty fanin list");
+  for (const Fanin& f : fanins) {
+    MCX_REQUIRE(f.node < nodes_.size(), "NandNetwork::addNand: unknown fanin");
+    MCX_REQUIRE(!f.invert || nodes_[f.node].isPi,
+                "NandNetwork::addNand: only PI fanins may be inverted");
+  }
+  std::sort(fanins.begin(), fanins.end());
+  fanins.erase(std::unique(fanins.begin(), fanins.end()), fanins.end());
+  // A gate fed by both polarities of the same PI would be constant 1; the
+  // synthesis pipeline never produces this from a consistent cover.
+  for (std::size_t i = 0; i + 1 < fanins.size(); ++i)
+    MCX_REQUIRE(!(fanins[i].node == fanins[i + 1].node),
+                "NandNetwork::addNand: contradictory fanin polarities");
+
+  if (const auto it = structuralHash_.find(fanins); it != structuralHash_.end())
+    return it->second;
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{false, fanins});
+  gates_.push_back(id);
+  structuralHash_.emplace(std::move(fanins), id);
+  return id;
+}
+
+void NandNetwork::addOutput(NodeId node, bool inverted) {
+  MCX_REQUIRE(node < nodes_.size() && !nodes_[node].isPi,
+              "NandNetwork::addOutput: output must be a NAND gate");
+  outputs_.push_back(node);
+  outputInverted_.push_back(inverted);
+}
+
+const std::vector<NandNetwork::Fanin>& NandNetwork::fanins(NodeId gate) const {
+  MCX_REQUIRE(gate < nodes_.size() && !nodes_[gate].isPi, "NandNetwork::fanins: not a gate");
+  return nodes_[gate].fanins;
+}
+
+std::size_t NandNetwork::maxFanin() const {
+  std::size_t mf = 0;
+  for (NodeId g : gates_) mf = std::max(mf, nodes_[g].fanins.size());
+  return mf;
+}
+
+std::size_t NandNetwork::levelCount() const {
+  std::vector<std::size_t> level(nodes_.size(), 0);
+  std::size_t depth = 0;
+  for (NodeId g : gates_) {
+    std::size_t l = 0;
+    for (const Fanin& f : nodes_[g].fanins) l = std::max(l, level[f.node]);
+    level[g] = l + 1;
+    depth = std::max(depth, level[g]);
+  }
+  return depth;
+}
+
+std::size_t NandNetwork::interconnectCount() const {
+  std::vector<bool> feedsGate(nodes_.size(), false);
+  for (NodeId g : gates_)
+    for (const Fanin& f : nodes_[g].fanins)
+      if (!nodes_[f.node].isPi) feedsGate[f.node] = true;
+  std::size_t n = 0;
+  for (NodeId g : gates_)
+    if (feedsGate[g]) ++n;
+  return n;
+}
+
+DynBits NandNetwork::evaluate(const DynBits& input) const {
+  MCX_REQUIRE(input.size() == pis_.size(), "NandNetwork::evaluate arity mismatch");
+  std::vector<char> value(nodes_.size(), 0);
+  for (std::size_t i = 0; i < pis_.size(); ++i) value[pis_[i]] = input.test(i) ? 1 : 0;
+  for (NodeId g : gates_) {
+    char conj = 1;
+    for (const Fanin& f : nodes_[g].fanins) {
+      const char v = static_cast<char>(value[f.node] ^ (f.invert ? 1 : 0));
+      if (v == 0) {
+        conj = 0;
+        break;
+      }
+    }
+    value[g] = static_cast<char>(1 - conj);
+  }
+  DynBits out(outputs_.size());
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    const bool v = value[outputs_[o]] != 0;
+    out.set(o, v != outputInverted_[o]);
+  }
+  return out;
+}
+
+TruthTable NandNetwork::toTruthTable() const {
+  TruthTable tt(numPis(), numOutputs());
+  DynBits input(numPis());
+  for (std::size_t m = 0; m < tt.numMinterms(); ++m) {
+    for (std::size_t i = 0; i < numPis(); ++i) input.set(i, ((m >> i) & 1u) != 0);
+    const DynBits out = evaluate(input);
+    out.forEachSet([&](std::size_t o) { tt.set(o, m); });
+  }
+  return tt;
+}
+
+}  // namespace mcx

@@ -1,0 +1,87 @@
+// NandNetwork: a multi-level netlist of NAND gates over double-rail inputs.
+//
+// This models exactly what the paper's multi-level crossbar can realize:
+// each horizontal line evaluates one NAND gate; primary inputs are available
+// in both polarities for free (IL provides x and !x columns); intermediate
+// gate outputs can only be consumed as produced (inverting an intermediate
+// signal requires a 1-input NAND gate, i.e. an extra row); final outputs are
+// available in both polarities for free (the OL INR step).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+#include "util/bits.hpp"
+
+namespace mcx {
+
+using NodeId = std::uint32_t;
+
+class NandNetwork {
+public:
+  struct Fanin {
+    NodeId node = 0;
+    /// Only primary inputs may be consumed inverted (double-rail IL).
+    bool invert = false;
+
+    auto operator<=>(const Fanin&) const = default;
+  };
+
+  /// An empty network (no PIs); useful as a default-constructed member.
+  NandNetwork() = default;
+  explicit NandNetwork(std::size_t numPis);
+
+  std::size_t numPis() const { return pis_.size(); }
+  NodeId pi(std::size_t i) const;
+  bool isPi(NodeId n) const;
+
+  /// Create (or reuse, via structural hashing) a NAND gate. Fanins are
+  /// canonicalized by sorting. Inverted fanins must reference PIs.
+  NodeId addNand(std::vector<Fanin> fanins);
+
+  /// Register network output @p o as @p node, complemented iff @p inverted
+  /// (free at the output latch). The node must be a NAND gate.
+  void addOutput(NodeId node, bool inverted);
+
+  std::size_t numOutputs() const { return outputs_.size(); }
+  NodeId outputNode(std::size_t o) const { return outputs_[o]; }
+  bool outputInverted(std::size_t o) const { return outputInverted_[o]; }
+
+  std::size_t gateCount() const { return gates_.size(); }
+  /// Gates in topological order (fanins precede users).
+  const std::vector<NodeId>& gates() const { return gates_; }
+  const std::vector<Fanin>& fanins(NodeId gate) const;
+
+  /// Largest NAND fan-in in the network.
+  std::size_t maxFanin() const;
+  /// Depth in gate levels (PIs are level 0).
+  std::size_t levelCount() const;
+  /// Number of gates whose output feeds at least one other gate. In the
+  /// multi-level crossbar each such gate needs one multi-level connection
+  /// column (the "C" of the area model).
+  std::size_t interconnectCount() const;
+
+  /// Evaluate all outputs for one input assignment (bit i = value of PI i).
+  DynBits evaluate(const DynBits& input) const;
+
+  /// Exhaustive truth table (numPis <= 24; intended for <= ~20).
+  TruthTable toTruthTable() const;
+
+private:
+  struct Node {
+    bool isPi = false;
+    std::vector<Fanin> fanins;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> pis_;
+  std::vector<NodeId> gates_;
+  std::vector<NodeId> outputs_;
+  std::vector<bool> outputInverted_;
+  std::map<std::vector<Fanin>, NodeId> structuralHash_;
+};
+
+}  // namespace mcx

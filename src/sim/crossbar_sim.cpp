@@ -1,0 +1,189 @@
+#include "sim/crossbar_sim.hpp"
+
+#include <numeric>
+
+#include "logic/truth_table.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+/// A switch participates in evaluation iff it is programmed active and not
+/// stuck-open (stuck-closed is handled separately as line poisoning).
+bool effectiveActive(const FunctionMatrix& fm, std::size_t fmRow, std::size_t col,
+                     const DefectMap& defects, std::size_t physRow) {
+  return fm.bits().test(fmRow, col) && !defects.isStuckOpen(physRow, col);
+}
+
+}  // namespace
+
+std::vector<std::size_t> identityAssignment(std::size_t rows) {
+  std::vector<std::size_t> a(rows);
+  std::iota(a.begin(), a.end(), 0u);
+  return a;
+}
+
+DynBits simulateTwoLevel(const TwoLevelLayout& layout,
+                         const std::vector<std::size_t>& rowAssignment,
+                         const DefectMap& defects, const DynBits& input) {
+  const FunctionMatrix& fm = layout.fm;
+  MCX_REQUIRE(rowAssignment.size() == fm.rows(), "simulateTwoLevel: bad assignment size");
+  MCX_REQUIRE(defects.cols() == fm.cols(), "simulateTwoLevel: column mismatch");
+  MCX_REQUIRE(input.size() == fm.nin(), "simulateTwoLevel: input arity mismatch");
+
+  // RI/CFM: vertical line values (stuck-closed column is forced to R_ON = 0).
+  std::vector<char> colValue(fm.cols(), 1);
+  for (std::size_t v = 0; v < fm.nin(); ++v) {
+    colValue[fm.colOfPosLiteral(v)] = input.test(v) ? 1 : 0;
+    colValue[fm.colOfNegLiteral(v)] = input.test(v) ? 0 : 1;
+  }
+  for (std::size_t c = 0; c < fm.cols(); ++c)
+    if (defects.colPoisoned(c)) colValue[c] = 0;
+
+  // EVM: every product row computes the NAND of its connected input columns.
+  std::vector<char> rowResult(fm.numProductRows(), 1);
+  for (std::size_t i = 0; i < fm.numProductRows(); ++i) {
+    const std::size_t phys = rowAssignment[i];
+    if (defects.rowPoisoned(phys)) {
+      rowResult[i] = 1;  // stuck-closed row: NAND sees a forced 0
+      continue;
+    }
+    char conj = 1;
+    for (std::size_t v = 0; v < fm.nin() && conj; ++v) {
+      const std::size_t pc = fm.colOfPosLiteral(v);
+      const std::size_t nc = fm.colOfNegLiteral(v);
+      if (effectiveActive(fm, i, pc, defects, phys) && colValue[pc] == 0) conj = 0;
+      if (effectiveActive(fm, i, nc, defects, phys) && colValue[nc] == 0) conj = 0;
+    }
+    rowResult[i] = static_cast<char>(1 - conj);
+  }
+
+  // EVR: output column = AND of the product rows writing into it (= !f).
+  // INR + SO: invert through the output-latch row.
+  DynBits out(fm.nout());
+  for (std::size_t o = 0; o < fm.nout(); ++o) {
+    const std::size_t col = fm.colOfOutput(o);
+    char value = 1;  // initialized R_OFF
+    if (defects.colPoisoned(col)) {
+      value = 0;
+    } else {
+      for (std::size_t i = 0; i < fm.numProductRows(); ++i) {
+        const std::size_t phys = rowAssignment[i];
+        if (defects.rowPoisoned(phys)) continue;  // poisoned row handled above
+        if (effectiveActive(fm, i, col, defects, phys) && rowResult[i] == 0) value = 0;
+      }
+    }
+    // The output-latch row reads the column through its own switch; a broken
+    // switch leaves the latch at its initialization (R_OFF = 1).
+    const std::size_t outRow = fm.rowOfOutput(o);
+    const std::size_t phys = rowAssignment[outRow];
+    char latched = 1;
+    if (!defects.rowPoisoned(phys) && effectiveActive(fm, outRow, col, defects, phys))
+      latched = value;
+    out.set(o, latched == 0);  // INR: f = !(!f)
+  }
+  return out;
+}
+
+DynBits simulateMultiLevel(const MultiLevelLayout& layout,
+                           const std::vector<std::size_t>& rowAssignment,
+                           const DefectMap& defects, const DynBits& input) {
+  const FunctionMatrix& fm = layout.fm;
+  const NandNetwork& net = layout.network;
+  MCX_REQUIRE(rowAssignment.size() == fm.rows(), "simulateMultiLevel: bad assignment size");
+  MCX_REQUIRE(defects.cols() == fm.cols(), "simulateMultiLevel: column mismatch");
+  MCX_REQUIRE(input.size() == fm.nin(), "simulateMultiLevel: input arity mismatch");
+
+  std::vector<char> colValue(fm.cols(), 1);  // INA: everything starts R_OFF = 1
+  for (std::size_t v = 0; v < fm.nin(); ++v) {
+    colValue[fm.colOfPosLiteral(v)] = input.test(v) ? 1 : 0;
+    colValue[fm.colOfNegLiteral(v)] = input.test(v) ? 0 : 1;
+  }
+  std::vector<bool> colDead(fm.cols(), false);
+  for (std::size_t c = 0; c < fm.cols(); ++c) {
+    if (defects.colPoisoned(c)) {
+      colDead[c] = true;
+      colValue[c] = 0;
+    }
+  }
+
+  // Evaluate gates one-by-one (EVM / CR loop).
+  std::map<NodeId, std::size_t> gateRow;
+  for (std::size_t i = 0; i < net.gates().size(); ++i) gateRow[net.gates()[i]] = i;
+
+  std::vector<char> gateResult(net.gates().size(), 1);
+  for (std::size_t i = 0; i < net.gates().size(); ++i) {
+    const NodeId g = net.gates()[i];
+    const std::size_t phys = rowAssignment[i];
+    char result;
+    if (defects.rowPoisoned(phys)) {
+      result = 1;
+    } else {
+      char conj = 1;
+      for (const auto& f : net.fanins(g)) {
+        std::size_t col;
+        if (net.isPi(f.node)) {
+          const auto v = static_cast<std::size_t>(f.node);
+          col = f.invert ? fm.colOfNegLiteral(v) : fm.colOfPosLiteral(v);
+        } else {
+          col = fm.colOfConnection(layout.connOfGate[gateRow.at(f.node)]);
+        }
+        // A stuck-open switch disconnects the fanin: the row simply does not
+        // see that column (the literal silently drops out of the NAND).
+        if (effectiveActive(fm, i, col, defects, phys) && colValue[col] == 0) conj = 0;
+      }
+      result = static_cast<char>(1 - conj);
+    }
+    gateResult[i] = result;
+
+    // CR: write the result into the gate's connection column.
+    if (layout.connOfGate[i] != MultiLevelLayout::kNoConnection) {
+      const std::size_t col = fm.colOfConnection(layout.connOfGate[i]);
+      if (!colDead[col]) {
+        if (!defects.rowPoisoned(phys) && effectiveActive(fm, i, col, defects, phys))
+          colValue[col] = result;
+        // else: the column keeps its initialization (R_OFF = 1).
+      }
+    }
+  }
+
+  DynBits out(fm.nout());
+  for (std::size_t o = 0; o < fm.nout(); ++o) {
+    const std::size_t col = fm.colOfOutput(o);
+    const std::size_t gi = gateRow.at(net.outputNode(o));
+    char value = 1;
+    if (colDead[col]) {
+      value = 0;
+    } else {
+      const std::size_t phys = rowAssignment[gi];
+      if (!defects.rowPoisoned(phys) && effectiveActive(fm, gi, col, defects, phys))
+        value = gateResult[gi];
+    }
+    const std::size_t outRow = fm.rowOfOutput(o);
+    const std::size_t phys = rowAssignment[outRow];
+    char latched = 1;
+    if (!defects.rowPoisoned(phys) && effectiveActive(fm, outRow, col, defects, phys) &&
+        !colDead[col])
+      latched = value;
+    out.set(o, (latched != 0) != net.outputInverted(o));
+  }
+  return out;
+}
+
+std::size_t countTwoLevelMismatches(const TwoLevelLayout& layout,
+                                    const std::vector<std::size_t>& rowAssignment,
+                                    const DefectMap& defects) {
+  const TruthTable ref = TruthTable::fromCover(layout.cover);
+  std::size_t mismatches = 0;
+  DynBits input(layout.cover.nin());
+  for (std::size_t m = 0; m < ref.numMinterms(); ++m) {
+    for (std::size_t v = 0; v < layout.cover.nin(); ++v) input.set(v, ((m >> v) & 1u) != 0);
+    const DynBits got = simulateTwoLevel(layout, rowAssignment, defects, input);
+    for (std::size_t o = 0; o < layout.cover.nout(); ++o)
+      if (got.test(o) != ref.get(o, m)) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace mcx

@@ -1,0 +1,52 @@
+// Behavioral crossbar simulator (Snider Boolean logic: R_ON = 0, R_OFF = 1).
+//
+// Executes the paper's computation state machines on a *programmed,
+// possibly defective* crossbar and returns the observed outputs:
+//
+// Two-level (Fig. 2): INA initializes every device to R_OFF; RI/CFM place
+// the input literals on the vertical lines; EVM evaluates every product row
+// as the NAND of its connected input columns; EVR computes each output
+// column as the AND of the rows writing to it (= !f); INR inverts; SO
+// latches.
+//
+// Multi-level (Fig. 4): gates evaluate one-by-one in topological order; CR
+// copies each gate's result into its multi-level connection column, where
+// later gate rows read it.
+//
+// Defect semantics (Section IV-A): a stuck-open device never conducts — it
+// behaves as a disabled switch regardless of programming, so a required
+// connection silently disappears. A stuck-closed device forces its row's
+// NAND to output logic 1 and forces its column's value to logic 0 (R_ON),
+// poisoning both lines.
+#pragma once
+
+#include "util/bits.hpp"
+#include "xbar/defects.hpp"
+#include "xbar/layout.hpp"
+#include "xbar/multilevel_layout.hpp"
+
+namespace mcx {
+
+/// Identity row assignment (naive mapping: FM row i on crossbar row i).
+std::vector<std::size_t> identityAssignment(std::size_t rows);
+
+/// Simulate the two-level design. @p rowAssignment maps each FM row to a
+/// physical row of @p defects (which may have spare rows); @p input is the
+/// primary-input assignment. Returns the observed outputs after INR.
+DynBits simulateTwoLevel(const TwoLevelLayout& layout,
+                         const std::vector<std::size_t>& rowAssignment,
+                         const DefectMap& defects, const DynBits& input);
+
+/// Simulate the multi-level design.
+DynBits simulateMultiLevel(const MultiLevelLayout& layout,
+                           const std::vector<std::size_t>& rowAssignment,
+                           const DefectMap& defects, const DynBits& input);
+
+/// Exhaustively compare a mapped two-level crossbar against reference
+/// truth-table behaviour; returns the number of failing (input, output)
+/// pairs. nin <= ~16 recommended.
+std::size_t countTwoLevelMismatches(const TwoLevelLayout& layout,
+                                    const std::vector<std::size_t>& rowAssignment,
+                                    const DefectMap& defects);
+
+}  // namespace mcx

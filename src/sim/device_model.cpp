@@ -1,0 +1,53 @@
+#include "sim/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+Memristor::Memristor(DeviceParams params, double initialState)
+    : p_(params), w_(std::clamp(initialState, 0.0, 1.0)) {
+  MCX_REQUIRE(p_.rOn > 0 && p_.rOff > p_.rOn, "Memristor: need 0 < rOn < rOff");
+  MCX_REQUIRE(p_.vThreshold > 0 && p_.mobility > 0, "Memristor: bad dynamics parameters");
+}
+
+double Memristor::resistance() const {
+  if (p_.linearMix) return w_ * p_.rOn + (1.0 - w_) * p_.rOff;
+  // Exponential interpolation: log-resistance linear in state (closer to
+  // measured filamentary devices).
+  return p_.rOff * std::pow(p_.rOn / p_.rOff, w_);
+}
+
+void Memristor::apply(double volts, double dt) {
+  MCX_REQUIRE(dt >= 0, "Memristor::apply: negative dt");
+  const double mag = std::abs(volts);
+  if (mag <= p_.vThreshold) return;  // non-volatile retention window
+  const double drive = (mag - p_.vThreshold) * p_.mobility * dt;
+  // Window function keeps w in [0,1] with soft saturation at the borders.
+  if (volts > 0)
+    w_ = std::min(1.0, w_ + drive * (1.0 - w_ * w_ * 0.5));
+  else
+    w_ = std::max(0.0, w_ - drive * (1.0 - (1.0 - w_) * (1.0 - w_) * 0.5));
+}
+
+std::vector<IvPoint> sweepIV(const DeviceParams& params, double amplitude, std::size_t periods,
+                             std::size_t stepsPerPeriod) {
+  MCX_REQUIRE(amplitude > 0 && periods > 0 && stepsPerPeriod >= 8, "sweepIV: bad sweep");
+  Memristor dev(params, 0.0);
+  std::vector<IvPoint> points;
+  points.reserve(periods * stepsPerPeriod);
+  const double period = 1.0;
+  const double dt = period / static_cast<double>(stepsPerPeriod);
+  for (std::size_t k = 0; k < periods * stepsPerPeriod; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    const double v = amplitude * std::sin(2.0 * std::numbers::pi * t / period);
+    dev.apply(v, dt);
+    points.push_back({t, v, dev.current(v), dev.state()});
+  }
+  return points;
+}
+
+}  // namespace mcx

@@ -1,0 +1,55 @@
+// Memristor device model (threshold-type ion drift).
+//
+// Reproduces the qualitative behaviour of Fig. 1 of the paper: pinched
+// hysteresis under a periodic drive, abrupt SET above +V_th and RESET below
+// -V_th, and non-volatile state retention inside the threshold window.
+// State w in [0,1]: w = 1 is fully SET (R_ON, logic 0 in Snider logic),
+// w = 0 is fully RESET (R_OFF, logic 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcx {
+
+struct DeviceParams {
+  double rOn = 100.0;        ///< ohms, fully SET
+  double rOff = 16'000.0;    ///< ohms, fully RESET
+  double vThreshold = 1.0;   ///< volts; no drift inside (-vth, +vth)
+  double mobility = 40.0;    ///< state change rate per (volt-over-threshold * second)
+  bool linearMix = false;    ///< R(w): false = exponential mix, true = linear
+};
+
+class Memristor {
+public:
+  explicit Memristor(DeviceParams params = {}, double initialState = 0.0);
+
+  double state() const { return w_; }
+  double resistance() const;
+  /// Current through the device at bias @p volts (instantaneous, ohmic).
+  double current(double volts) const { return volts / resistance(); }
+
+  /// Integrate the state equation over @p dt seconds at bias @p volts.
+  void apply(double volts, double dt);
+
+  void set() { w_ = 1.0; }
+  void reset() { w_ = 0.0; }
+
+private:
+  DeviceParams p_;
+  double w_;
+};
+
+struct IvPoint {
+  double time = 0;
+  double voltage = 0;
+  double current = 0;
+  double state = 0;
+};
+
+/// Drive a memristor with @p periods sinusoidal cycles of @p amplitude volts
+/// and sample the I-V trajectory (the Fig. 1 curve).
+std::vector<IvPoint> sweepIV(const DeviceParams& params, double amplitude, std::size_t periods,
+                             std::size_t stepsPerPeriod);
+
+}  // namespace mcx

@@ -1,0 +1,55 @@
+#include "sim/transient_faults.hpp"
+
+#include "logic/truth_table.hpp"
+#include "sim/crossbar_sim.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+
+TransientFaultStats measureTransientErrors(const TwoLevelLayout& layout,
+                                           const std::vector<std::size_t>& rowAssignment,
+                                           const DefectMap& defects,
+                                           const TransientFaultConfig& config,
+                                           std::size_t trials, Rng& rng) {
+  MCX_REQUIRE(config.openRate >= 0 && config.shortRate >= 0 &&
+                  config.openRate + config.shortRate <= 1.0,
+              "measureTransientErrors: bad rates");
+  const FunctionMatrix& fm = layout.fm;
+  const TruthTable ref = TruthTable::fromCover(layout.cover);
+
+  TransientFaultStats stats;
+  DynBits input(layout.cover.nin());
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t minterm = 0;
+    for (std::size_t v = 0; v < input.size(); ++v) {
+      const bool bit = rng.bernoulli(0.5);
+      input.set(v, bit);
+      minterm |= static_cast<std::size_t>(bit) << v;
+    }
+
+    // Layer a one-shot fault pattern over the permanent defects: transient
+    // faults hit the switches the mapping actually uses.
+    DefectMap effective = defects;
+    for (std::size_t r = 0; r < fm.rows(); ++r) {
+      const std::size_t phys = rowAssignment[r];
+      for (std::size_t col = 0; col < fm.cols(); ++col) {
+        if (!fm.bits().test(r, col)) continue;
+        if (effective.type(phys, col) != DefectType::None) continue;
+        const double u = rng.uniform();
+        if (u < config.openRate)
+          effective.setType(phys, col, DefectType::StuckOpen);
+        else if (u < config.openRate + config.shortRate)
+          effective.setType(phys, col, DefectType::StuckClosed);
+      }
+    }
+
+    const DynBits out = simulateTwoLevel(layout, rowAssignment, effective, input);
+    for (std::size_t o = 0; o < layout.cover.nout(); ++o) {
+      ++stats.evaluations;
+      if (out.test(o) != ref.get(o, minterm)) ++stats.bitErrors;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mcx

@@ -1,0 +1,45 @@
+// Transient-fault injection (paper Section I: "permanent defects or
+// transient faults in wires and switches ... for the sake of simplicity, we
+// only explore the switching defects"). This extension explores the part
+// the paper sets aside: each evaluation, every programmed-active switch
+// independently misbehaves with some probability — dropping out of its NAND
+// (transient open) or forcing its line low (transient short) — and we
+// measure the resulting output error rate.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "xbar/defects.hpp"
+#include "xbar/layout.hpp"
+
+namespace mcx {
+
+struct TransientFaultConfig {
+  /// Per-evaluation probability that an active switch transiently opens.
+  double openRate = 0.0;
+  /// Per-evaluation probability that an active switch transiently shorts
+  /// (behaves stuck-closed for this evaluation only).
+  double shortRate = 0.0;
+};
+
+struct TransientFaultStats {
+  std::size_t evaluations = 0;     ///< (input, output)-bit checks performed
+  std::size_t bitErrors = 0;       ///< wrong output bits observed
+  double bitErrorRate() const {
+    return evaluations == 0 ? 0.0
+                            : static_cast<double>(bitErrors) / static_cast<double>(evaluations);
+  }
+};
+
+/// Evaluate a mapped two-level crossbar @p trials times on random inputs,
+/// sampling a fresh transient fault pattern per evaluation (layered on top
+/// of the permanent @p defects), and compare against the cover's reference
+/// behaviour.
+TransientFaultStats measureTransientErrors(const TwoLevelLayout& layout,
+                                           const std::vector<std::size_t>& rowAssignment,
+                                           const DefectMap& defects,
+                                           const TransientFaultConfig& config,
+                                           std::size_t trials, Rng& rng);
+
+}  // namespace mcx

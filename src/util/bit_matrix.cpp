@@ -1,0 +1,96 @@
+#include "util/bit_matrix.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols, bool value)
+    : rows_(rows),
+      cols_(cols),
+      wordsPerRow_((cols + kWordBits - 1) / kWordBits),
+      w_(rows * wordsPerRow_, value ? ~Word{0} : Word{0}) {
+  if (value) {
+    const std::size_t rem = cols_ % kWordBits;
+    if (rem != 0 && wordsPerRow_ > 0) {
+      const Word mask = (Word{1} << rem) - 1;
+      for (std::size_t r = 0; r < rows_; ++r) w_[r * wordsPerRow_ + wordsPerRow_ - 1] &= mask;
+    }
+  }
+}
+
+bool BitMatrix::test(std::size_t r, std::size_t c) const {
+  MCX_REQUIRE(r < rows_ && c < cols_, "BitMatrix::test out of range");
+  return (w_[r * wordsPerRow_ + c / kWordBits] >> (c % kWordBits)) & 1u;
+}
+
+void BitMatrix::set(std::size_t r, std::size_t c) {
+  MCX_REQUIRE(r < rows_ && c < cols_, "BitMatrix::set out of range");
+  w_[r * wordsPerRow_ + c / kWordBits] |= Word{1} << (c % kWordBits);
+}
+
+void BitMatrix::set(std::size_t r, std::size_t c, bool value) { value ? set(r, c) : reset(r, c); }
+
+void BitMatrix::reset(std::size_t r, std::size_t c) {
+  MCX_REQUIRE(r < rows_ && c < cols_, "BitMatrix::reset out of range");
+  w_[r * wordsPerRow_ + c / kWordBits] &= ~(Word{1} << (c % kWordBits));
+}
+
+void BitMatrix::setRow(std::size_t r, bool value) {
+  for (std::size_t c = 0; c < cols_; ++c) set(r, c, value);
+}
+
+void BitMatrix::setCol(std::size_t c, bool value) {
+  for (std::size_t r = 0; r < rows_; ++r) set(r, c, value);
+}
+
+std::size_t BitMatrix::count() const {
+  std::size_t n = 0;
+  for (Word w : w_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitMatrix::rowCount(std::size_t r) const {
+  MCX_REQUIRE(r < rows_, "BitMatrix::rowCount out of range");
+  std::size_t n = 0;
+  for (Word w : rowWords(r)) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitMatrix::colCount(std::size_t c) const {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < rows_; ++r) n += test(r, c) ? 1 : 0;
+  return n;
+}
+
+bool BitMatrix::rowSubsetOf(std::size_t r, const BitMatrix& o, std::size_t r2) const {
+  MCX_REQUIRE(cols_ == o.cols_, "BitMatrix::rowSubsetOf column mismatch");
+  const auto a = rowWords(r);
+  const auto b = o.rowWords(r2);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if ((a[i] & ~b[i]) != 0) return false;
+  return true;
+}
+
+std::span<const BitMatrix::Word> BitMatrix::rowWords(std::size_t r) const {
+  MCX_REQUIRE(r < rows_, "BitMatrix::rowWords out of range");
+  return {w_.data() + r * wordsPerRow_, wordsPerRow_};
+}
+
+std::span<BitMatrix::Word> BitMatrix::rowWords(std::size_t r) {
+  MCX_REQUIRE(r < rows_, "BitMatrix::rowWords out of range");
+  return {w_.data() + r * wordsPerRow_, wordsPerRow_};
+}
+
+std::string BitMatrix::toString(char zero, char one) const {
+  std::string s;
+  s.reserve(rows_ * (cols_ + 1));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) s.push_back(test(r, c) ? one : zero);
+    s.push_back('\n');
+  }
+  return s;
+}
+
+}  // namespace mcx

@@ -1,0 +1,63 @@
+// BitMatrix: a dense rows x cols bit matrix with word-aligned rows.
+//
+// Rows are stored contiguously and padded to a word boundary so that
+// row-level subset tests (the inner loop of crossbar row matching) operate
+// on whole 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcx {
+
+class BitMatrix {
+public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols, bool value = false);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  bool test(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c);
+  void set(std::size_t r, std::size_t c, bool value);
+  void reset(std::size_t r, std::size_t c);
+
+  void setRow(std::size_t r, bool value);
+  void setCol(std::size_t c, bool value);
+
+  /// Number of set bits in the whole matrix.
+  std::size_t count() const;
+  /// Number of set bits in row @p r.
+  std::size_t rowCount(std::size_t r) const;
+  /// Number of set bits in column @p c.
+  std::size_t colCount(std::size_t c) const;
+
+  /// True iff every set bit of row @p r is also set in row @p r2 of @p o.
+  /// This is the crossbar matching rule: a "required" pattern row fits a
+  /// "capability" row.
+  bool rowSubsetOf(std::size_t r, const BitMatrix& o, std::size_t r2) const;
+
+  std::span<const Word> rowWords(std::size_t r) const;
+  std::span<Word> rowWords(std::size_t r);
+
+  bool operator==(const BitMatrix& o) const = default;
+
+  /// Multi-line string; '1' for set, '.' for clear (readable layouts).
+  std::string toString(char zero = '.', char one = '1') const;
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t wordsPerRow_ = 0;
+  std::vector<Word> w_;
+};
+
+}  // namespace mcx

@@ -1,0 +1,154 @@
+#include "util/bits.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+constexpr std::size_t wordIndex(std::size_t i) { return i / DynBits::kWordBits; }
+constexpr DynBits::Word wordMask(std::size_t i) {
+  return DynBits::Word{1} << (i % DynBits::kWordBits);
+}
+}  // namespace
+
+DynBits::DynBits(std::size_t n, bool value)
+    : n_(n), w_((n + kWordBits - 1) / kWordBits, value ? ~Word{0} : Word{0}) {
+  if (value) maskTail();
+}
+
+void DynBits::maskTail() {
+  const std::size_t rem = n_ % kWordBits;
+  if (rem != 0 && !w_.empty()) w_.back() &= (Word{1} << rem) - 1;
+}
+
+bool DynBits::test(std::size_t i) const {
+  MCX_REQUIRE(i < n_, "DynBits::test out of range");
+  return (w_[wordIndex(i)] & wordMask(i)) != 0;
+}
+
+void DynBits::set(std::size_t i) {
+  MCX_REQUIRE(i < n_, "DynBits::set out of range");
+  w_[wordIndex(i)] |= wordMask(i);
+}
+
+void DynBits::set(std::size_t i, bool value) { value ? set(i) : reset(i); }
+
+void DynBits::reset(std::size_t i) {
+  MCX_REQUIRE(i < n_, "DynBits::reset out of range");
+  w_[wordIndex(i)] &= ~wordMask(i);
+}
+
+void DynBits::flip(std::size_t i) {
+  MCX_REQUIRE(i < n_, "DynBits::flip out of range");
+  w_[wordIndex(i)] ^= wordMask(i);
+}
+
+void DynBits::setAll() {
+  std::fill(w_.begin(), w_.end(), ~Word{0});
+  maskTail();
+}
+
+void DynBits::resetAll() { std::fill(w_.begin(), w_.end(), Word{0}); }
+
+std::size_t DynBits::count() const {
+  std::size_t c = 0;
+  for (Word w : w_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynBits::any() const {
+  for (Word w : w_)
+    if (w != 0) return true;
+  return false;
+}
+
+bool DynBits::all() const { return count() == n_; }
+
+std::size_t DynBits::findFirst() const { return findNext(0); }
+
+std::size_t DynBits::findNext(std::size_t from) const {
+  if (from >= n_) return n_;
+  std::size_t wi = wordIndex(from);
+  Word w = w_[wi] & (~Word{0} << (from % kWordBits));
+  while (true) {
+    if (w != 0) {
+      const std::size_t i = wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+      return i < n_ ? i : n_;
+    }
+    if (++wi >= w_.size()) return n_;
+    w = w_[wi];
+  }
+}
+
+DynBits& DynBits::operator&=(const DynBits& o) {
+  MCX_REQUIRE(n_ == o.n_, "DynBits size mismatch");
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] &= o.w_[i];
+  return *this;
+}
+
+DynBits& DynBits::operator|=(const DynBits& o) {
+  MCX_REQUIRE(n_ == o.n_, "DynBits size mismatch");
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] |= o.w_[i];
+  return *this;
+}
+
+DynBits& DynBits::operator^=(const DynBits& o) {
+  MCX_REQUIRE(n_ == o.n_, "DynBits size mismatch");
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] ^= o.w_[i];
+  return *this;
+}
+
+DynBits& DynBits::andNot(const DynBits& o) {
+  MCX_REQUIRE(n_ == o.n_, "DynBits size mismatch");
+  for (std::size_t i = 0; i < w_.size(); ++i) w_[i] &= ~o.w_[i];
+  return *this;
+}
+
+DynBits DynBits::operator~() const {
+  DynBits r(*this);
+  for (Word& w : r.w_) w = ~w;
+  r.maskTail();
+  return r;
+}
+
+bool DynBits::operator==(const DynBits& o) const { return n_ == o.n_ && w_ == o.w_; }
+
+bool DynBits::subsetOf(const DynBits& o) const {
+  MCX_REQUIRE(n_ == o.n_, "DynBits size mismatch");
+  for (std::size_t i = 0; i < w_.size(); ++i)
+    if ((w_[i] & ~o.w_[i]) != 0) return false;
+  return true;
+}
+
+bool DynBits::intersects(const DynBits& o) const {
+  MCX_REQUIRE(n_ == o.n_, "DynBits size mismatch");
+  for (std::size_t i = 0; i < w_.size(); ++i)
+    if ((w_[i] & o.w_[i]) != 0) return true;
+  return false;
+}
+
+std::string DynBits::toString() const {
+  std::string s(n_, '0');
+  forEachSet([&](std::size_t i) { s[i] = '1'; });
+  return s;
+}
+
+int DynBits::compare(const DynBits& o) const {
+  if (n_ != o.n_) return n_ < o.n_ ? -1 : 1;
+  for (std::size_t i = 0; i < w_.size(); ++i)
+    if (w_[i] != o.w_[i]) return w_[i] < o.w_[i] ? -1 : 1;
+  return 0;
+}
+
+std::size_t DynBits::hash() const {
+  std::size_t h = n_ * 0x9e3779b97f4a7c15ull;
+  for (Word w : w_) {
+    h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace mcx

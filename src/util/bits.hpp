@@ -1,0 +1,101 @@
+// DynBits: a dynamically sized bitset over 64-bit words.
+//
+// This is the workhorse of the cube/cover representation (logic/) and of the
+// crossbar matrices (xbar/). Word-level access is part of the public API so
+// that hot loops (row matching, cube intersection) can run at memory speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcx {
+
+class DynBits {
+public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  DynBits() = default;
+  /// Construct @p n bits, all initialized to @p value.
+  explicit DynBits(std::size_t n, bool value = false);
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i);
+  void set(std::size_t i, bool value);
+  void reset(std::size_t i);
+  void flip(std::size_t i);
+
+  void setAll();
+  void resetAll();
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+  /// True iff every bit is set.
+  bool all() const;
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t findFirst() const;
+  /// Index of the lowest set bit at or after @p from, or size() if none.
+  std::size_t findNext(std::size_t from) const;
+
+  DynBits& operator&=(const DynBits& o);
+  DynBits& operator|=(const DynBits& o);
+  DynBits& operator^=(const DynBits& o);
+  /// this &= ~o
+  DynBits& andNot(const DynBits& o);
+
+  friend DynBits operator&(DynBits a, const DynBits& b) { return a &= b; }
+  friend DynBits operator|(DynBits a, const DynBits& b) { return a |= b; }
+  friend DynBits operator^(DynBits a, const DynBits& b) { return a ^= b; }
+
+  /// Bitwise complement within size().
+  DynBits operator~() const;
+
+  bool operator==(const DynBits& o) const;
+  bool operator!=(const DynBits& o) const { return !(*this == o); }
+
+  /// True iff every set bit of *this is also set in @p o.
+  bool subsetOf(const DynBits& o) const;
+  /// True iff (*this & o) has at least one set bit.
+  bool intersects(const DynBits& o) const;
+
+  /// Call @p fn(index) for every set bit, in increasing order.
+  template <typename Fn>
+  void forEachSet(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < w_.size(); ++wi) {
+      Word w = w_[wi];
+      while (w != 0) {
+        const unsigned b = static_cast<unsigned>(__builtin_ctzll(w));
+        fn(wi * kWordBits + b);
+        w &= w - 1;
+      }
+    }
+  }
+
+  const std::vector<Word>& words() const { return w_; }
+  std::vector<Word>& mutableWords() { return w_; }
+
+  /// "10110..." with bit 0 first.
+  std::string toString() const;
+
+  /// Total-order comparison (for use as map keys / canonicalization).
+  int compare(const DynBits& o) const;
+  bool operator<(const DynBits& o) const { return compare(o) < 0; }
+
+  std::size_t hash() const;
+
+private:
+  void maskTail();
+
+  std::size_t n_ = 0;
+  std::vector<Word> w_;
+};
+
+}  // namespace mcx

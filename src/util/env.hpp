@@ -1,0 +1,20 @@
+// Environment-variable overrides for the benchmark harness.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace mcx {
+
+/// Read a non-negative integer from the environment, or @p fallback.
+inline std::size_t envSizeT(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  try {
+    return std::stoul(value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace mcx

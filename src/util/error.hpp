@@ -1,0 +1,42 @@
+// Error handling primitives shared by all mcx libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcx {
+
+/// Base class of all errors thrown by mcx libraries.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing external input (PLA files, SOP expressions) fails.
+class ParseError : public Error {
+public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void failRequire(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement failed (" + cond + ")" +
+                        (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace mcx
+
+/// Precondition check that throws mcx::InvalidArgument (always enabled).
+#define MCX_REQUIRE(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) ::mcx::detail::failRequire(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,49 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+//
+// All Monte Carlo experiments in the library take an explicit Rng so runs
+// are reproducible; std::mt19937 is avoided because its streams differ
+// between standard library implementations for some distribution types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcx {
+
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Raw 64 random bits.
+  std::uint64_t operator()();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniformInt(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-sample seeding).
+  Rng split();
+
+private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mcx

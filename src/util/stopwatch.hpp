@@ -1,0 +1,25 @@
+// Wall-clock timing for the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace mcx {
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcx

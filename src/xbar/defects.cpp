@@ -1,0 +1,55 @@
+#include "xbar/defects.hpp"
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+DefectMap::DefectMap(std::size_t rows, std::size_t cols)
+    : open_(rows, cols), closed_(rows, cols) {}
+
+DefectType DefectMap::type(std::size_t r, std::size_t c) const {
+  if (closed_.test(r, c)) return DefectType::StuckClosed;
+  if (open_.test(r, c)) return DefectType::StuckOpen;
+  return DefectType::None;
+}
+
+void DefectMap::setType(std::size_t r, std::size_t c, DefectType t) {
+  open_.set(r, c, t == DefectType::StuckOpen);
+  closed_.set(r, c, t == DefectType::StuckClosed);
+}
+
+bool DefectMap::rowPoisoned(std::size_t r) const { return closed_.rowCount(r) > 0; }
+
+bool DefectMap::colPoisoned(std::size_t c) const { return closed_.colCount(c) > 0; }
+
+DefectMap DefectMap::sample(std::size_t rows, std::size_t cols, double stuckOpenRate,
+                            double stuckClosedRate, Rng& rng) {
+  MCX_REQUIRE(stuckOpenRate >= 0.0 && stuckClosedRate >= 0.0 &&
+                  stuckOpenRate + stuckClosedRate <= 1.0,
+              "DefectMap::sample: bad rates");
+  DefectMap map(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double u = rng.uniform();
+      if (u < stuckOpenRate)
+        map.setType(r, c, DefectType::StuckOpen);
+      else if (u < stuckOpenRate + stuckClosedRate)
+        map.setType(r, c, DefectType::StuckClosed);
+    }
+  }
+  return map;
+}
+
+BitMatrix crossbarMatrix(const DefectMap& defects) {
+  BitMatrix cm(defects.rows(), defects.cols(), true);
+  for (std::size_t r = 0; r < defects.rows(); ++r)
+    for (std::size_t c = 0; c < defects.cols(); ++c)
+      if (defects.isStuckOpen(r, c)) cm.reset(r, c);
+  for (std::size_t r = 0; r < defects.rows(); ++r)
+    if (defects.rowPoisoned(r)) cm.setRow(r, false);
+  for (std::size_t c = 0; c < defects.cols(); ++c)
+    if (defects.colPoisoned(c)) cm.setCol(c, false);
+  return cm;
+}
+
+}  // namespace mcx

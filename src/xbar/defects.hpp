@@ -1,0 +1,59 @@
+// Defect model of the paper (Section IV).
+//
+// Each crosspoint is independently defective: stuck-at-open (permanently
+// R_OFF — usable wherever a *disabled* switch is needed, fatal where an
+// *active* one is) or stuck-at-closed (permanently R_ON — poisons its whole
+// horizontal and vertical line: the line initialization and NAND evaluation
+// both read the forced logic 0).
+//
+// The crossbar matrix (CM) follows Fig. 8: entry 1 = functional crosspoint
+// (matches both 1 and 0 in the FM), entry 0 = unusable (matches only 0).
+#pragma once
+
+#include <cstddef>
+
+#include "util/bit_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+
+enum class DefectType : unsigned char { None, StuckOpen, StuckClosed };
+
+class DefectMap {
+public:
+  DefectMap() = default;
+  DefectMap(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return open_.rows(); }
+  std::size_t cols() const { return open_.cols(); }
+
+  DefectType type(std::size_t r, std::size_t c) const;
+  void setType(std::size_t r, std::size_t c, DefectType t);
+
+  bool isStuckOpen(std::size_t r, std::size_t c) const { return open_.test(r, c); }
+  bool isStuckClosed(std::size_t r, std::size_t c) const { return closed_.test(r, c); }
+
+  /// True iff the row contains a stuck-at-closed crosspoint (line unusable).
+  bool rowPoisoned(std::size_t r) const;
+  /// True iff the column contains a stuck-at-closed crosspoint.
+  bool colPoisoned(std::size_t c) const;
+
+  std::size_t stuckOpenCount() const { return open_.count(); }
+  std::size_t stuckClosedCount() const { return closed_.count(); }
+
+  /// Independent uniform per-crosspoint sampling (the paper's defect
+  /// generation: "assigning an independent defect probability/rate to each
+  /// crosspoint that shows a uniform distribution").
+  static DefectMap sample(std::size_t rows, std::size_t cols, double stuckOpenRate,
+                          double stuckClosedRate, Rng& rng);
+
+private:
+  BitMatrix open_;
+  BitMatrix closed_;
+};
+
+/// The paper's CM: functional = 1; stuck-open crosspoints = 0; stuck-closed
+/// crosspoints additionally clear their entire row and column.
+BitMatrix crossbarMatrix(const DefectMap& defects);
+
+}  // namespace mcx

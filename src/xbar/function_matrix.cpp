@@ -1,0 +1,80 @@
+#include "xbar/function_matrix.hpp"
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+FunctionMatrix::FunctionMatrix(std::size_t nin, std::size_t nout, std::size_t products,
+                               std::size_t extraConnectionCols)
+    : nin_(nin),
+      nout_(nout),
+      products_(products),
+      conns_(extraConnectionCols),
+      bits_(products + nout, 2 * nin + extraConnectionCols + 2 * nout) {}
+
+std::size_t FunctionMatrix::colOfPosLiteral(std::size_t var) const {
+  MCX_REQUIRE(var < nin_, "FunctionMatrix: bad variable");
+  return var;
+}
+
+std::size_t FunctionMatrix::colOfNegLiteral(std::size_t var) const {
+  MCX_REQUIRE(var < nin_, "FunctionMatrix: bad variable");
+  return nin_ + var;
+}
+
+std::size_t FunctionMatrix::colOfConnection(std::size_t conn) const {
+  MCX_REQUIRE(conn < conns_, "FunctionMatrix: bad connection column");
+  return 2 * nin_ + conn;
+}
+
+std::size_t FunctionMatrix::colOfOutput(std::size_t o) const {
+  MCX_REQUIRE(o < nout_, "FunctionMatrix: bad output");
+  return 2 * nin_ + conns_ + o;
+}
+
+std::size_t FunctionMatrix::colOfOutputBar(std::size_t o) const {
+  MCX_REQUIRE(o < nout_, "FunctionMatrix: bad output");
+  return 2 * nin_ + conns_ + nout_ + o;
+}
+
+double FunctionMatrix::inclusionRatio() const {
+  return mcx::inclusionRatio(usedSwitches(), dims());
+}
+
+FunctionMatrix FunctionMatrix::withInputPermutation(const std::vector<std::size_t>& perm) const {
+  MCX_REQUIRE(perm.size() == nin_, "withInputPermutation: bad permutation size");
+  FunctionMatrix r(nin_, nout_, products_, conns_);
+  for (std::size_t row = 0; row < rows(); ++row) {
+    for (std::size_t v = 0; v < nin_; ++v) {
+      if (bits_.test(row, colOfPosLiteral(v))) r.bits_.set(row, r.colOfPosLiteral(perm[v]));
+      if (bits_.test(row, colOfNegLiteral(v))) r.bits_.set(row, r.colOfNegLiteral(perm[v]));
+    }
+    for (std::size_t c = 2 * nin_; c < cols(); ++c)
+      if (bits_.test(row, c)) r.bits_.set(row, c);
+  }
+  return r;
+}
+
+FunctionMatrix buildFunctionMatrix(const Cover& cover) {
+  MCX_REQUIRE(!cover.empty() && cover.nout() > 0, "buildFunctionMatrix: empty cover");
+  FunctionMatrix fm(cover.nin(), cover.nout(), cover.size(), 0);
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    const Cube& c = cover.cube(i);
+    MCX_REQUIRE(!c.inputEmpty(), "buildFunctionMatrix: empty cube");
+    for (std::size_t v = 0; v < cover.nin(); ++v) {
+      switch (c.lit(v)) {
+        case Lit::Pos: fm.bits().set(i, fm.colOfPosLiteral(v)); break;
+        case Lit::Neg: fm.bits().set(i, fm.colOfNegLiteral(v)); break;
+        default: break;
+      }
+    }
+    c.outputBits().forEachSet([&](std::size_t o) { fm.bits().set(i, fm.colOfOutput(o)); });
+  }
+  for (std::size_t o = 0; o < cover.nout(); ++o) {
+    fm.bits().set(fm.rowOfOutput(o), fm.colOfOutput(o));
+    fm.bits().set(fm.rowOfOutput(o), fm.colOfOutputBar(o));
+  }
+  return fm;
+}
+
+}  // namespace mcx

@@ -1,0 +1,71 @@
+// FunctionMatrix: the paper's FM — the required-switch pattern of a logic
+// function on the crossbar, partitioned into minterm rows (FMm) and output
+// rows (FMo).
+//
+// Column convention (Fig. 8): x1..xI, !x1..!xI, O1..Om, !O1..!Om.
+// A product row has a 1 on the column of each literal and on column Oj for
+// every output j that contains the product (the AND-plane switch that writes
+// the product's NAND result into the output column). Output row j has 1s on
+// Oj and !Oj (the output-latch switches).
+#pragma once
+
+#include <cstddef>
+
+#include "logic/cover.hpp"
+#include "netlist/nand_network.hpp"
+#include "util/bit_matrix.hpp"
+#include "xbar/area_model.hpp"
+
+namespace mcx {
+
+class FunctionMatrix {
+public:
+  FunctionMatrix() = default;
+  FunctionMatrix(std::size_t nin, std::size_t nout, std::size_t products,
+                 std::size_t extraConnectionCols);
+
+  const BitMatrix& bits() const { return bits_; }
+  BitMatrix& bits() { return bits_; }
+
+  std::size_t rows() const { return bits_.rows(); }
+  std::size_t cols() const { return bits_.cols(); }
+  CrossbarDims dims() const { return {rows(), cols()}; }
+
+  std::size_t nin() const { return nin_; }
+  std::size_t nout() const { return nout_; }
+  /// Number of minterm/gate rows (FMm). Output rows (FMo) follow.
+  std::size_t numProductRows() const { return products_; }
+  std::size_t numOutputRows() const { return nout_; }
+  /// Multi-level connection columns (0 for two-level matrices).
+  std::size_t numConnectionCols() const { return conns_; }
+
+  // Column indices.
+  std::size_t colOfPosLiteral(std::size_t var) const;
+  std::size_t colOfNegLiteral(std::size_t var) const;
+  std::size_t colOfConnection(std::size_t conn) const;
+  std::size_t colOfOutput(std::size_t o) const;
+  std::size_t colOfOutputBar(std::size_t o) const;
+
+  /// Row index of output row @p o.
+  std::size_t rowOfOutput(std::size_t o) const { return products_ + o; }
+
+  /// Number of required active switches (the IR numerator).
+  std::size_t usedSwitches() const { return bits_.count(); }
+  double inclusionRatio() const;
+
+  /// Permute the input variables: variable v uses the column pair of
+  /// position perm[v]. Used by the column-permutation mapper extension.
+  FunctionMatrix withInputPermutation(const std::vector<std::size_t>& perm) const;
+
+private:
+  std::size_t nin_ = 0;
+  std::size_t nout_ = 0;
+  std::size_t products_ = 0;
+  std::size_t conns_ = 0;
+  BitMatrix bits_;
+};
+
+/// Two-level FM of a cover (rows: cover cubes in order, then outputs).
+FunctionMatrix buildFunctionMatrix(const Cover& cover);
+
+}  // namespace mcx

@@ -1,0 +1,65 @@
+#include "xbar/layout.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+std::string columnLabel(const FunctionMatrix& fm, std::size_t c) {
+  if (c < fm.nin()) return "x" + std::to_string(c + 1);
+  if (c < 2 * fm.nin()) return "!x" + std::to_string(c - fm.nin() + 1);
+  const std::size_t base = 2 * fm.nin();
+  if (c < base + fm.numConnectionCols()) return "c" + std::to_string(c - base + 1);
+  const std::size_t obase = base + fm.numConnectionCols();
+  if (c < obase + fm.nout()) return "O" + std::to_string(c - obase + 1);
+  return "!O" + std::to_string(c - obase - fm.nout() + 1);
+}
+
+}  // namespace
+
+std::string TwoLevelLayout::toAsciiDiagram() const {
+  std::ostringstream os;
+  constexpr int w = 4;
+  os << std::string(12, ' ');
+  for (std::size_t c = 0; c < fm.cols(); ++c) {
+    std::string l = columnLabel(fm, c);
+    l.resize(w - 1, ' ');
+    os << l << ' ';
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < fm.rows(); ++r) {
+    std::string label = r < fm.numProductRows() ? "m" + std::to_string(r + 1)
+                                                : "out" + std::to_string(r - fm.numProductRows() + 1);
+    label.resize(11, ' ');
+    os << label << ' ';
+    for (std::size_t c = 0; c < fm.cols(); ++c)
+      os << (fm.bits().test(r, c) ? "#" : ".") << std::string(w - 1, ' ');
+    os << '\n';
+  }
+  os << "rows=" << fm.rows() << " cols=" << fm.cols() << " area=" << fm.dims().area()
+     << " switches=" << fm.usedSwitches() << '\n';
+  return os.str();
+}
+
+TwoLevelLayout buildTwoLevelLayout(Cover cover) {
+  TwoLevelLayout layout;
+  layout.fm = buildFunctionMatrix(cover);
+  layout.cover = std::move(cover);
+  return layout;
+}
+
+DualChoice chooseDual(const Cover& original, const Cover& complement) {
+  MCX_REQUIRE(original.nin() == complement.nin() && original.nout() == complement.nout(),
+              "chooseDual: arity mismatch");
+  DualChoice choice;
+  choice.areaOriginal = twoLevelDims(original).area();
+  choice.areaComplement = twoLevelDims(complement).area();
+  choice.usedComplement = choice.areaComplement < choice.areaOriginal;
+  choice.layout = buildTwoLevelLayout(choice.usedComplement ? complement : original);
+  return choice;
+}
+
+}  // namespace mcx

@@ -1,0 +1,71 @@
+#include "xbar/multilevel_layout.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+MultiLevelLayout buildMultiLevelLayout(NandNetwork network) {
+  MCX_REQUIRE(network.gateCount() > 0 && network.numOutputs() > 0,
+              "buildMultiLevelLayout: empty network");
+
+  // Which gates need a connection column (fan out to other gates)?
+  std::map<NodeId, std::size_t> gatePos;  // gate id -> position in gates()
+  for (std::size_t i = 0; i < network.gates().size(); ++i) gatePos[network.gates()[i]] = i;
+
+  std::vector<bool> feedsGate(network.gates().size(), false);
+  for (NodeId g : network.gates())
+    for (const auto& f : network.fanins(g))
+      if (!network.isPi(f.node)) feedsGate[gatePos.at(f.node)] = true;
+
+  MultiLevelLayout layout;
+  layout.connOfGate.assign(network.gates().size(), MultiLevelLayout::kNoConnection);
+  std::size_t nextConn = 0;
+  for (std::size_t i = 0; i < network.gates().size(); ++i)
+    if (feedsGate[i]) layout.connOfGate[i] = nextConn++;
+
+  layout.fm = FunctionMatrix(network.numPis(), network.numOutputs(), network.gateCount(),
+                             nextConn);
+  FunctionMatrix& fm = layout.fm;
+
+  for (std::size_t i = 0; i < network.gates().size(); ++i) {
+    const NodeId g = network.gates()[i];
+    for (const auto& f : network.fanins(g)) {
+      if (network.isPi(f.node)) {
+        // PI index equals its node id by construction order.
+        const std::size_t v = static_cast<std::size_t>(f.node);
+        fm.bits().set(i, f.invert ? fm.colOfNegLiteral(v) : fm.colOfPosLiteral(v));
+      } else {
+        const std::size_t conn = layout.connOfGate[gatePos.at(f.node)];
+        MCX_REQUIRE(conn != MultiLevelLayout::kNoConnection,
+                    "buildMultiLevelLayout: missing connection column");
+        fm.bits().set(i, fm.colOfConnection(conn));
+      }
+    }
+    if (layout.connOfGate[i] != MultiLevelLayout::kNoConnection)
+      fm.bits().set(i, fm.colOfConnection(layout.connOfGate[i]));
+  }
+  for (std::size_t o = 0; o < network.numOutputs(); ++o) {
+    const std::size_t gi = gatePos.at(network.outputNode(o));
+    fm.bits().set(gi, fm.colOfOutput(o));
+    fm.bits().set(fm.rowOfOutput(o), fm.colOfOutput(o));
+    fm.bits().set(fm.rowOfOutput(o), fm.colOfOutputBar(o));
+  }
+
+  layout.network = std::move(network);
+  return layout;
+}
+
+std::string MultiLevelLayout::toAsciiDiagram() const {
+  std::ostringstream os;
+  os << "multi-level crossbar: gates=" << network.gateCount()
+     << " connections=" << fm.numConnectionCols() << " outputs=" << network.numOutputs() << '\n';
+  os << fm.bits().toString('.', '#');
+  os << "rows=" << fm.rows() << " cols=" << fm.cols() << " area=" << fm.dims().area()
+     << " switches=" << fm.usedSwitches() << '\n';
+  return os.str();
+}
+
+}  // namespace mcx

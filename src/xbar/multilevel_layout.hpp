@@ -1,0 +1,38 @@
+// MultiLevelLayout: a NAND network bound to its crossbar realization
+// (Fig. 5 of the paper).
+//
+// Row order: gates in topological order (they are evaluated one-by-one, the
+// EVM/CR loop of the multi-level state machine), then one output-latch row
+// per output. Each gate that feeds another gate owns one multi-level
+// connection column; a gate row has switches on its fanin literal columns,
+// its fanin connection columns, its own connection column (to write its
+// result) and the output column of every network output it drives.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netlist/nand_network.hpp"
+#include "xbar/function_matrix.hpp"
+
+namespace mcx {
+
+struct MultiLevelLayout {
+  static constexpr std::size_t kNoConnection = std::numeric_limits<std::size_t>::max();
+
+  NandNetwork network;
+  FunctionMatrix fm;
+  /// Gate (by position in network.gates()) -> connection column index
+  /// (relative, see FunctionMatrix::colOfConnection) or kNoConnection.
+  std::vector<std::size_t> connOfGate;
+
+  CrossbarDims dims() const { return fm.dims(); }
+
+  std::string toAsciiDiagram() const;
+};
+
+MultiLevelLayout buildMultiLevelLayout(NandNetwork network);
+
+}  // namespace mcx

@@ -1,0 +1,22 @@
+#include "xbar/timing_model.hpp"
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+std::size_t twoLevelCycles() { return 7; }
+
+std::size_t multiLevelCycles(const NandNetwork& net) {
+  MCX_REQUIRE(net.gateCount() > 0, "multiLevelCycles: empty network");
+  return 2 * net.gateCount() + 4;
+}
+
+AreaDelay twoLevelAreaDelay(const Cover& cover) {
+  return {twoLevelDims(cover).area(), twoLevelCycles()};
+}
+
+AreaDelay multiLevelAreaDelay(const NandNetwork& net) {
+  return {multiLevelDims(net).area(), multiLevelCycles(net)};
+}
+
+}  // namespace mcx

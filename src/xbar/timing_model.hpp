@@ -1,0 +1,36 @@
+// Computation-cycle model of the crossbar state machines (Figs. 2 and 4).
+//
+// Two-level evaluation runs a fixed pipeline:
+//   INA -> RI -> CFM -> EVM -> EVR -> INR -> SO          (7 steps)
+// because all minterms evaluate simultaneously. The multi-level design
+// trades area for time: gates evaluate one-by-one, each followed by a CR
+// (copy result) step except the last:
+//   INA -> RI -> CFM -> (EVM -> CR)^(G-1) -> EVM -> INR -> SO
+// i.e. 2G + 4 steps. This module quantifies the paper's implicit area-delay
+// tradeoff (bench_ablation_area_delay).
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/nand_network.hpp"
+#include "xbar/area_model.hpp"
+
+namespace mcx {
+
+/// Steps of one two-level evaluation (constant).
+std::size_t twoLevelCycles();
+
+/// Steps of one multi-level evaluation of @p net (2G + 4).
+std::size_t multiLevelCycles(const NandNetwork& net);
+
+struct AreaDelay {
+  std::size_t area = 0;
+  std::size_t cycles = 0;
+  /// The area-delay product, the usual figure of merit.
+  std::size_t product() const { return area * cycles; }
+};
+
+AreaDelay twoLevelAreaDelay(const Cover& cover);
+AreaDelay multiLevelAreaDelay(const NandNetwork& net);
+
+}  // namespace mcx

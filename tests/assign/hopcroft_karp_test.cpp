@@ -1,0 +1,113 @@
+#include "assign/hopcroft_karp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assign/munkres.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const BipartiteGraph g(3, 3);
+  const MatchingResult r = hopcroftKarp(g);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_FALSE(r.perfectForLeft(3));
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnPermutation) {
+  BipartiteGraph g(4, 4);
+  g.addEdge(0, 2);
+  g.addEdge(1, 0);
+  g.addEdge(2, 3);
+  g.addEdge(3, 1);
+  const MatchingResult r = hopcroftKarp(g);
+  EXPECT_EQ(r.size, 4u);
+  EXPECT_TRUE(r.perfectForLeft(4));
+  EXPECT_EQ(r.matchOfLeft, (std::vector<std::size_t>{2, 0, 3, 1}));
+}
+
+TEST(HopcroftKarp, AugmentingPathNeeded) {
+  // 0-{0,1}, 1-{0}: greedy 0->0 must be undone.
+  BipartiteGraph g(2, 2);
+  g.addEdge(0, 0);
+  g.addEdge(0, 1);
+  g.addEdge(1, 0);
+  const MatchingResult r = hopcroftKarp(g);
+  EXPECT_EQ(r.size, 2u);
+  EXPECT_EQ(r.matchOfLeft[0], 1u);
+  EXPECT_EQ(r.matchOfLeft[1], 0u);
+}
+
+TEST(HopcroftKarp, DetectsHallViolation) {
+  // Three left vertices share two right neighbors.
+  BipartiteGraph g(3, 3);
+  for (std::size_t l = 0; l < 3; ++l) {
+    g.addEdge(l, 0);
+    g.addEdge(l, 1);
+  }
+  const MatchingResult r = hopcroftKarp(g);
+  EXPECT_EQ(r.size, 2u);
+}
+
+TEST(HopcroftKarp, RectangularRightSurplus) {
+  BipartiteGraph g(2, 5);
+  g.addEdge(0, 4);
+  g.addEdge(1, 4);
+  g.addEdge(1, 2);
+  const MatchingResult r = hopcroftKarp(g);
+  EXPECT_EQ(r.size, 2u);
+  EXPECT_TRUE(r.perfectForLeft(2));
+}
+
+TEST(HopcroftKarp, EdgeValidation) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.addEdge(2, 0), InvalidArgument);
+  EXPECT_THROW(g.addEdge(0, 2), InvalidArgument);
+}
+
+TEST(HopcroftKarp, AgreesWithMunkresFeasibilityOnRandom) {
+  Rng rng(77);
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniformInt(0, 8));
+    BipartiteGraph g(n, n);
+    CostMatrix cost(n, n, 1);
+    for (std::size_t l = 0; l < n; ++l)
+      for (std::size_t r = 0; r < n; ++r)
+        if (rng.bernoulli(0.35)) {
+          g.addEdge(l, r);
+          cost.at(l, r) = 0;
+        }
+    const bool hkPerfect = hopcroftKarp(g).perfectForLeft(n);
+    const bool munkresPerfect = munkresSolve(cost).cost == 0;
+    EXPECT_EQ(hkPerfect, munkresPerfect) << "rep=" << rep;
+  }
+}
+
+TEST(HopcroftKarp, MatchingIsConsistent) {
+  Rng rng(78);
+  BipartiteGraph g(40, 50);
+  std::vector<std::vector<bool>> adj(40, std::vector<bool>(50, false));
+  for (std::size_t l = 0; l < 40; ++l)
+    for (std::size_t r = 0; r < 50; ++r)
+      if (rng.bernoulli(0.2)) {
+        g.addEdge(l, r);
+        adj[l][r] = true;
+      }
+  const MatchingResult m = hopcroftKarp(g);
+  std::vector<bool> rightUsed(50, false);
+  std::size_t matched = 0;
+  for (std::size_t l = 0; l < 40; ++l) {
+    const std::size_t r = m.matchOfLeft[l];
+    if (r == MatchingResult::kUnmatched) continue;
+    ++matched;
+    EXPECT_TRUE(adj[l][r]);          // only real edges
+    EXPECT_FALSE(rightUsed[r]);      // injective
+    rightUsed[r] = true;
+  }
+  EXPECT_EQ(matched, m.size);
+}
+
+}  // namespace
+}  // namespace mcx

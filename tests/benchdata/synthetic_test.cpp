@@ -1,0 +1,65 @@
+#include "benchdata/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/truth_table.hpp"
+#include "netlist/nand_mapper.hpp"
+#include "util/error.hpp"
+#include "xbar/area_model.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(SyntheticCover, ExactShape) {
+  const Cover c = syntheticCover("test-a", 7, 3, 20, 4.0, 1.5);
+  EXPECT_EQ(c.nin(), 7u);
+  EXPECT_EQ(c.nout(), 3u);
+  EXPECT_EQ(c.size(), 20u);
+}
+
+TEST(SyntheticCover, DeterministicPerName) {
+  EXPECT_EQ(syntheticCover("x", 5, 2, 10, 3.0), syntheticCover("x", 5, 2, 10, 3.0));
+  EXPECT_NE(syntheticCover("x", 5, 2, 10, 3.0), syntheticCover("y", 5, 2, 10, 3.0));
+}
+
+TEST(SyntheticCover, IrredundantByConstruction) {
+  const Cover c = syntheticCover("test-b", 6, 2, 25, 3.0);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    for (std::size_t j = 0; j < c.size(); ++j)
+      if (i != j) EXPECT_FALSE(c.cube(i).contains(c.cube(j)));
+}
+
+TEST(ProductOfSums, ExpansionSizeIsProductOfGroupSizes) {
+  const Cover c = productOfSumsCover(8, {2, 3});
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.nin(), 8u);
+  for (const Cube& cube : c.cubes()) EXPECT_EQ(cube.literalCount(), 2u);
+}
+
+TEST(ProductOfSums, SemanticsMatchDefinition) {
+  const Cover c = productOfSumsCover(5, {2, 3});
+  const TruthTable tt = TruthTable::fromCover(c);
+  for (std::size_t m = 0; m < 32; ++m) {
+    const bool g1 = (m & 0b00011) != 0;        // x1 + x2
+    const bool g2 = (m & 0b11100) != 0;        // x3 + x4 + x5
+    EXPECT_EQ(tt.get(0, m), g1 && g2) << "m=" << m;
+  }
+}
+
+TEST(ProductOfSums, FactorsBackToSmallNetwork) {
+  // The t481/cordic substitution property: huge SOP, tiny factored network.
+  const Cover c = productOfSumsCover(16, {4, 4, 4, 4});
+  EXPECT_EQ(c.size(), 256u);
+  const NandNetwork net = mapToNand(c);
+  EXPECT_LT(net.gateCount(), 20u);
+  EXPECT_LT(multiLevelDims(net).area(), twoLevelDims(c).area() / 10);
+}
+
+TEST(ProductOfSums, Validation) {
+  EXPECT_THROW(productOfSumsCover(3, {}), InvalidArgument);
+  EXPECT_THROW(productOfSumsCover(3, {2, 2}), InvalidArgument);   // needs 4 vars
+  EXPECT_THROW(productOfSumsCover(3, {0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

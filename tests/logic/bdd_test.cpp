@@ -1,0 +1,131 @@
+#include "logic/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/generators.hpp"
+#include "logic/isop.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  BddManager mgr(3);
+  EXPECT_NE(mgr.zero(), mgr.one());
+  const BddRef x0 = mgr.variable(0);
+  EXPECT_EQ(x0, mgr.variable(0));  // canonical
+  DynBits in(3);
+  EXPECT_FALSE(mgr.evaluate(x0, in));
+  in.set(0);
+  EXPECT_TRUE(mgr.evaluate(x0, in));
+  EXPECT_TRUE(mgr.evaluate(mgr.one(), in));
+  EXPECT_FALSE(mgr.evaluate(mgr.zero(), in));
+}
+
+TEST(Bdd, BasicAlgebra) {
+  BddManager mgr(2);
+  const BddRef a = mgr.variable(0);
+  const BddRef b = mgr.variable(1);
+  EXPECT_EQ(mgr.bddAnd(a, mgr.one()), a);
+  EXPECT_EQ(mgr.bddAnd(a, mgr.zero()), mgr.zero());
+  EXPECT_EQ(mgr.bddOr(a, mgr.zero()), a);
+  EXPECT_EQ(mgr.bddAnd(a, a), a);
+  EXPECT_EQ(mgr.bddOr(a, mgr.bddNot(a)), mgr.one());
+  EXPECT_EQ(mgr.bddAnd(a, mgr.bddNot(a)), mgr.zero());
+  EXPECT_EQ(mgr.bddXor(a, a), mgr.zero());
+  // Commutativity through canonicity.
+  EXPECT_EQ(mgr.bddAnd(a, b), mgr.bddAnd(b, a));
+  EXPECT_EQ(mgr.bddNot(mgr.bddNot(b)), b);
+}
+
+TEST(Bdd, CanonicityDetectsEquivalence) {
+  BddManager mgr(3);
+  const BddRef a = mgr.variable(0), b = mgr.variable(1), c = mgr.variable(2);
+  // (a+b)(a+c) == a + bc
+  const BddRef lhs = mgr.bddAnd(mgr.bddOr(a, b), mgr.bddOr(a, c));
+  const BddRef rhs = mgr.bddOr(a, mgr.bddAnd(b, c));
+  EXPECT_EQ(lhs, rhs);
+  // De Morgan.
+  EXPECT_EQ(mgr.bddNot(mgr.bddAnd(a, b)), mgr.bddOr(mgr.bddNot(a), mgr.bddNot(b)));
+}
+
+TEST(Bdd, CountMinterms) {
+  BddManager mgr(4);
+  EXPECT_EQ(mgr.countMinterms(mgr.zero()), 0u);
+  EXPECT_EQ(mgr.countMinterms(mgr.one()), 16u);
+  EXPECT_EQ(mgr.countMinterms(mgr.variable(2)), 8u);
+  const BddRef f = mgr.bddAnd(mgr.variable(0), mgr.variable(3));
+  EXPECT_EQ(mgr.countMinterms(f), 4u);
+  const BddRef g = mgr.bddXor(mgr.variable(0), mgr.variable(1));
+  EXPECT_EQ(mgr.countMinterms(g), 8u);
+}
+
+TEST(Bdd, Cofactors) {
+  BddManager mgr(3);
+  const BddRef a = mgr.variable(0), b = mgr.variable(1);
+  const BddRef f = mgr.bddOr(mgr.bddAnd(a, b), mgr.bddNot(a));
+  EXPECT_EQ(mgr.cofactor(f, 0, true), b);
+  EXPECT_EQ(mgr.cofactor(f, 0, false), mgr.one());
+  // Shannon reconstruction: f = a f_a + !a f_!a.
+  const BddRef rebuilt = mgr.bddOr(mgr.bddAnd(a, mgr.cofactor(f, 0, true)),
+                                   mgr.bddAnd(mgr.bddNot(a), mgr.cofactor(f, 0, false)));
+  EXPECT_EQ(rebuilt, f);
+}
+
+TEST(Bdd, TruthTableRoundTrip) {
+  Rng rng(606);
+  for (std::size_t nin = 1; nin <= 8; ++nin) {
+    DynBits tt(std::size_t{1} << nin);
+    for (std::size_t m = 0; m < tt.size(); ++m)
+      if (rng.bernoulli(0.45)) tt.set(m);
+    BddManager mgr(nin);
+    const BddRef f = mgr.fromTruthTable(tt);
+    EXPECT_EQ(mgr.toTruthTable(f), tt) << "nin=" << nin;
+    EXPECT_EQ(mgr.countMinterms(f), tt.count());
+  }
+}
+
+TEST(Bdd, FromCoverMatchesTruthTable) {
+  Rng rng(607);
+  for (int rep = 0; rep < 20; ++rep) {
+    RandomSopOptions opts;
+    opts.nin = 6;
+    opts.nout = 2;
+    opts.products = 8;
+    const Cover cover = randomSop(opts, rng);
+    const TruthTable tt = TruthTable::fromCover(cover);
+    BddManager mgr(6);
+    for (std::size_t o = 0; o < 2; ++o) {
+      const BddRef f = mgr.fromCover(cover, o);
+      EXPECT_EQ(mgr.toTruthTable(f), tt.bits(o)) << "rep=" << rep << " o=" << o;
+    }
+  }
+}
+
+TEST(Bdd, OracleConfirmsIsopAndMinimizerEquivalence) {
+  // Independent cross-check of the synthesis pipeline: cover, its ISOP and
+  // its minimized form all hash to the same BDD node.
+  Rng rng(608);
+  RandomSopOptions opts;
+  opts.nin = 7;
+  opts.nout = 1;
+  opts.products = 12;
+  const Cover cover = randomSop(opts, rng);
+  const TruthTable tt = TruthTable::fromCover(cover);
+  const Cover viaIsop = isopCover(tt);
+  BddManager mgr(7);
+  EXPECT_EQ(mgr.fromCover(cover, 0), mgr.fromCover(viaIsop, 0));
+  EXPECT_EQ(mgr.fromCover(cover, 0), mgr.fromTruthTable(tt.bits(0)));
+}
+
+TEST(Bdd, SizeIsReasonable) {
+  BddManager mgr(8);
+  BddRef parity = mgr.zero();
+  for (std::size_t v = 0; v < 8; ++v) parity = mgr.bddXor(parity, mgr.variable(v));
+  // Parity BDDs are linear in the variable count.
+  EXPECT_LE(mgr.size(parity), 2u * 8u + 4u);
+  EXPECT_EQ(mgr.countMinterms(parity), 128u);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,131 @@
+#include "logic/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/cover.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(Cube, FreshCubeIsFullDontCare) {
+  Cube c(4, 2);
+  for (std::size_t v = 0; v < 4; ++v) EXPECT_EQ(c.lit(v), Lit::DontCare);
+  EXPECT_FALSE(c.out(0));
+  EXPECT_FALSE(c.out(1));
+  EXPECT_FALSE(c.inputEmpty());
+  EXPECT_EQ(c.literalCount(), 0u);
+}
+
+TEST(Cube, SetAndReadLiterals) {
+  Cube c(3, 1);
+  c.setLit(0, Lit::Pos);
+  c.setLit(1, Lit::Neg);
+  c.setLit(2, Lit::Empty);
+  EXPECT_EQ(c.lit(0), Lit::Pos);
+  EXPECT_EQ(c.lit(1), Lit::Neg);
+  EXPECT_EQ(c.lit(2), Lit::Empty);
+  EXPECT_TRUE(c.inputEmpty());
+  EXPECT_EQ(c.literalCount(), 2u);
+}
+
+TEST(Cube, MakeCubeParsesPatterns) {
+  const Cube c = makeCube("1-0", "10");
+  EXPECT_EQ(c.lit(0), Lit::Pos);
+  EXPECT_EQ(c.lit(1), Lit::DontCare);
+  EXPECT_EQ(c.lit(2), Lit::Neg);
+  EXPECT_TRUE(c.out(0));
+  EXPECT_FALSE(c.out(1));
+  EXPECT_EQ(c.toPlaString(), "1-0 10");
+}
+
+TEST(Cube, MakeCubeRejectsGarbage) {
+  EXPECT_THROW(makeCube("x", "1"), ParseError);
+  EXPECT_THROW(makeCube("1", "z"), ParseError);
+}
+
+TEST(Cube, ContainmentInputOnly) {
+  const Cube wide = makeCube("1--", "1");
+  const Cube narrow = makeCube("1-0", "1");
+  EXPECT_TRUE(wide.inputContains(narrow));
+  EXPECT_FALSE(narrow.inputContains(wide));
+  EXPECT_TRUE(wide.inputContains(wide));
+}
+
+TEST(Cube, ContainmentIncludesOutputs) {
+  const Cube a = makeCube("1--", "11");
+  const Cube b = makeCube("1-0", "10");
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+}
+
+TEST(Cube, IntersectionAndDistance) {
+  const Cube a = makeCube("11-", "1");
+  const Cube b = makeCube("1-0", "1");
+  EXPECT_TRUE(a.inputIntersects(b));
+  EXPECT_EQ(a.inputDistance(b), 0u);
+  const Cube c = makeCube("0--", "1");
+  EXPECT_FALSE(a.inputIntersects(c));
+  EXPECT_EQ(a.inputDistance(c), 1u);
+  const Cube d = makeCube("001", "1");
+  EXPECT_EQ(a.inputDistance(d), 2u);
+
+  const Cube ab = a.intersect(b);
+  EXPECT_EQ(ab.lit(0), Lit::Pos);
+  EXPECT_EQ(ab.lit(1), Lit::Pos);
+  EXPECT_EQ(ab.lit(2), Lit::Neg);
+}
+
+TEST(Cube, EmptyIntersectionDetected) {
+  const Cube a = makeCube("1", "1");
+  const Cube b = makeCube("0", "1");
+  EXPECT_TRUE(a.intersect(b).inputEmpty());
+}
+
+TEST(Cube, SupercubeIsBitwiseOr) {
+  const Cube a = makeCube("10-", "10");
+  const Cube b = makeCube("11-", "01");
+  const Cube s = a.supercubeWith(b);
+  EXPECT_EQ(s.lit(0), Lit::Pos);
+  EXPECT_EQ(s.lit(1), Lit::DontCare);
+  EXPECT_EQ(s.lit(2), Lit::DontCare);
+  EXPECT_TRUE(s.out(0));
+  EXPECT_TRUE(s.out(1));
+}
+
+TEST(Cube, CoversMinterm) {
+  const Cube c = makeCube("1-0", "1");
+  DynBits m(3);
+  m.set(0);          // x1=1, x2=0, x3=0
+  EXPECT_TRUE(c.coversMinterm(m));
+  m.set(2);          // x3=1 violates the negative literal
+  EXPECT_FALSE(c.coversMinterm(m));
+}
+
+TEST(Cube, LiteralCountOnWideCubes) {
+  Cube c(100, 1);
+  c.setLit(0, Lit::Pos);
+  c.setLit(63, Lit::Neg);
+  c.setLit(64, Lit::Pos);
+  c.setLit(99, Lit::Neg);
+  EXPECT_EQ(c.literalCount(), 4u);
+  EXPECT_FALSE(c.inputEmpty());
+}
+
+TEST(Cube, DistanceOnWideCubes) {
+  Cube a(80, 0), b(80, 0);
+  a.setLit(70, Lit::Pos);
+  b.setLit(70, Lit::Neg);
+  a.setLit(10, Lit::Pos);
+  b.setLit(10, Lit::Neg);
+  EXPECT_EQ(a.inputDistance(b), 2u);
+}
+
+TEST(Cube, ArityMismatchThrows) {
+  Cube a(3, 1), b(4, 1);
+  EXPECT_THROW(a.inputDistance(b), InvalidArgument);
+  EXPECT_THROW((void)a.lit(3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

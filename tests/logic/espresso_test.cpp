@@ -1,0 +1,235 @@
+#include "logic/espresso.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "logic/generators.hpp"
+#include "logic/isop.hpp"
+#include "logic/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+std::vector<Cube> inputCubes(std::initializer_list<const char*> patterns) {
+  std::vector<Cube> cubes;
+  for (const char* p : patterns) cubes.push_back(makeCube(p, ""));
+  return cubes;
+}
+
+TEST(Cofactor, DropsOppositePhaseAndRaises) {
+  const auto cubes = inputCubes({"1-0", "0-1", "-1-"});
+  const auto pos = cofactor(cubes, 0, true);
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0].inputString(), "--0");
+  EXPECT_EQ(pos[1].inputString(), "-1-");
+}
+
+TEST(CofactorCube, GeneralizedCofactor) {
+  const auto cubes = inputCubes({"11-", "00-"});
+  const Cube c = makeCube("1--", "");
+  const auto cof = cofactorCube(cubes, c);
+  ASSERT_EQ(cof.size(), 1u);
+  EXPECT_EQ(cof[0].inputString(), "-1-");
+}
+
+TEST(Tautology, UniversalCube) {
+  EXPECT_TRUE(tautology(inputCubes({"---"}), 3));
+}
+
+TEST(Tautology, EmptyCoverIsNot) {
+  EXPECT_FALSE(tautology({}, 3));
+}
+
+TEST(Tautology, ComplementaryPairIsTautology) {
+  EXPECT_TRUE(tautology(inputCubes({"1--", "0--"}), 3));
+}
+
+TEST(Tautology, AlmostFullIsNot) {
+  EXPECT_FALSE(tautology(inputCubes({"1--", "01-", "001"}), 3));  // misses 000
+  EXPECT_TRUE(tautology(inputCubes({"1--", "01-", "001", "000"}), 3));
+}
+
+TEST(Tautology, MatchesTruthTableOnRandomCovers) {
+  Rng rng(31);
+  for (int rep = 0; rep < 60; ++rep) {
+    const std::size_t nin = 3 + static_cast<std::size_t>(rng.uniformInt(0, 4));
+    RandomSopOptions opts;
+    opts.nin = nin;
+    opts.nout = 1;
+    opts.products = 1 + static_cast<std::size_t>(rng.uniformInt(0, 12));
+    opts.literalsPerProduct = 1.6;
+    opts.irredundant = false;
+    const Cover cover = randomSop(opts, rng);
+    std::vector<Cube> cubes = cover.cubes();
+    const bool expected = ttOfCubes(cubes, nin).all();
+    EXPECT_EQ(tautology(cubes, nin), expected) << "rep=" << rep;
+  }
+}
+
+TEST(Complement, EmptyCoverGivesUniverse) {
+  const auto comp = complementCubes({}, 3);
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(comp[0].literalCount(), 0u);
+}
+
+TEST(Complement, UniverseGivesEmpty) {
+  EXPECT_TRUE(complementCubes(inputCubes({"---"}), 3).empty());
+}
+
+TEST(Complement, SingleCubeDeMorgan) {
+  const auto comp = complementCubes(inputCubes({"10-"}), 3);
+  // !(x1 !x2) = !x1 + x2
+  const DynBits tt = ttOfCubes(comp, 3);
+  const DynBits orig = ttOfCubes(inputCubes({"10-"}), 3);
+  EXPECT_EQ(tt, ~orig);
+}
+
+TEST(Complement, RandomCoversExact) {
+  Rng rng(47);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t nin = 2 + static_cast<std::size_t>(rng.uniformInt(0, 6));
+    RandomSopOptions opts;
+    opts.nin = nin;
+    opts.nout = 1;
+    opts.products = 1 + static_cast<std::size_t>(rng.uniformInt(0, 10));
+    opts.literalsPerProduct = 2.0;
+    opts.irredundant = false;
+    const Cover cover = randomSop(opts, rng);
+    const auto comp = complementCubes(cover.cubes(), nin);
+    const DynBits orig = ttOfCubes(cover.cubes(), nin);
+    const DynBits compTT = ttOfCubes(comp, nin);
+    EXPECT_EQ(compTT, ~orig) << "rep=" << rep << " nin=" << nin;
+  }
+}
+
+TEST(CubeCoveredBy, DetectsCoverage) {
+  const auto cubes = inputCubes({"1--", "01-"});
+  EXPECT_TRUE(cubeCoveredBy(makeCube("11-", ""), cubes, 3));
+  EXPECT_FALSE(cubeCoveredBy(makeCube("0--", ""), cubes, 3));
+  EXPECT_TRUE(cubeCoveredBy(makeCube("-1-", ""), cubes, 3));
+}
+
+TEST(Supercube, SmallestEnclosingCube) {
+  const Cube s = supercube(inputCubes({"110", "100"}));
+  EXPECT_EQ(s.inputString(), "1-0");
+  EXPECT_THROW(supercube({}), InvalidArgument);
+}
+
+TEST(EspressoMinimize, PreservesFunctionSingleOutput) {
+  Rng rng(91);
+  for (int rep = 0; rep < 25; ++rep) {
+    const std::size_t nin = 3 + static_cast<std::size_t>(rng.uniformInt(0, 5));
+    RandomSopOptions opts;
+    opts.nin = nin;
+    opts.nout = 1;
+    opts.products = 2 + static_cast<std::size_t>(rng.uniformInt(0, 10));
+    opts.literalsPerProduct = 2.5;
+    const Cover cover = randomSop(opts, rng);
+    const Cover minimized = espressoMinimize(cover);
+    EXPECT_EQ(TruthTable::fromCover(minimized), TruthTable::fromCover(cover)) << "rep=" << rep;
+    EXPECT_LE(minimized.size(), cover.size());
+  }
+}
+
+TEST(EspressoMinimize, PreservesFunctionMultiOutput) {
+  Rng rng(92);
+  for (int rep = 0; rep < 15; ++rep) {
+    RandomSopOptions opts;
+    opts.nin = 6;
+    opts.nout = 4;
+    opts.products = 12;
+    opts.literalsPerProduct = 3.0;
+    opts.outputsPerProduct = 1.8;
+    const Cover cover = randomSop(opts, rng);
+    const Cover minimized = espressoMinimize(cover);
+    EXPECT_EQ(TruthTable::fromCover(minimized), TruthTable::fromCover(cover)) << "rep=" << rep;
+  }
+}
+
+TEST(EspressoMinimize, CollapsesRedundantCover) {
+  // x1 + !x1 x2 + x1 x2  ->  two cubes at most (x1 + x2).
+  Cover c(2, 1);
+  c.add(makeCube("1-", "1"));
+  c.add(makeCube("01", "1"));
+  c.add(makeCube("11", "1"));
+  const Cover minimized = espressoMinimize(c);
+  EXPECT_EQ(minimized.size(), 2u);
+  EXPECT_EQ(TruthTable::fromCover(minimized), TruthTable::fromCover(c));
+}
+
+TEST(EspressoMinimize, MergesAdjacentMinterms) {
+  // Four minterms of a 2-variable tautology collapse to one cube.
+  Cover c(2, 1);
+  c.add(makeCube("00", "1"));
+  c.add(makeCube("01", "1"));
+  c.add(makeCube("10", "1"));
+  c.add(makeCube("11", "1"));
+  const Cover minimized = espressoMinimize(c);
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized.cube(0).literalCount(), 0u);
+}
+
+TEST(EspressoMinimize, SharesProductsAcrossOutputs) {
+  // Same function on both outputs, written with disjoint cube lists.
+  Cover c(3, 2);
+  c.add(makeCube("11-", "10"));
+  c.add(makeCube("11-", "01"));
+  const Cover minimized = espressoMinimize(c);
+  EXPECT_EQ(minimized.size(), 1u);
+}
+
+TEST(EspressoMinimize, UsesDontCares) {
+  // f = minterm 3 with everything else DC: must collapse to a universal cube.
+  Cover on(2, 1), dc(2, 1);
+  on.add(makeCube("11", "1"));
+  dc.add(makeCube("0-", "1"));
+  dc.add(makeCube("10", "1"));
+  const Cover minimized = espressoMinimize(on, dc);
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized.cube(0).literalCount(), 0u);
+}
+
+TEST(EspressoMinimize, NoWorseThanIsop) {
+  const TruthTable tt = weightFunction(5);
+  const Cover isopC = isopCover(tt);
+  const Cover polished = espressoMinimize(isopC);
+  EXPECT_LE(polished.size(), isopC.size());
+  EXPECT_EQ(TruthTable::fromCover(polished), tt);
+}
+
+TEST(ComplementCover, MultiOutputComplement) {
+  Rng rng(17);
+  RandomSopOptions opts;
+  opts.nin = 5;
+  opts.nout = 3;
+  opts.products = 8;
+  const Cover cover = randomSop(opts, rng);
+  const Cover comp = complementCover(cover);
+  const TruthTable tt = TruthTable::fromCover(cover);
+  const TruthTable ct = TruthTable::fromCover(comp);
+  EXPECT_EQ(ct, tt.complemented());
+}
+
+// Parameterized sweep: espresso must preserve the function for every input
+// arity in the benchmark-relevant range.
+class EspressoSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EspressoSweep, FunctionPreservedAtArity) {
+  const std::size_t nin = GetParam();
+  Rng rng(1000 + nin);
+  RandomSopOptions opts;
+  opts.nin = nin;
+  opts.nout = 2;
+  opts.products = nin + 2;
+  opts.literalsPerProduct = nin / 2.0;
+  const Cover cover = randomSop(opts, rng);
+  const Cover minimized = espressoMinimize(cover);
+  EXPECT_EQ(TruthTable::fromCover(minimized), TruthTable::fromCover(cover));
+}
+
+INSTANTIATE_TEST_SUITE_P(Arity, EspressoSweep, ::testing::Range<std::size_t>(2, 12));
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,126 @@
+#include "logic/isop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "logic/generators.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(Isop, EmptyFunctionGivesEmptyCover) {
+  const std::size_t nin = 4;
+  DynBits zero(16);
+  DynBits all(16, true);
+  EXPECT_TRUE(isop(zero, zero, nin).empty());
+  EXPECT_TRUE(isop(zero, all, nin).empty());  // lower bound empty: nothing required
+}
+
+TEST(Isop, TautologyGivesSingleUniversalCube) {
+  DynBits all(16, true);
+  const auto cubes = isop(all, all, 4);
+  ASSERT_EQ(cubes.size(), 1u);
+  EXPECT_EQ(cubes[0].literalCount(), 0u);
+}
+
+TEST(Isop, RejectsBadInterval) {
+  DynBits l(8, true);
+  DynBits u(8);
+  EXPECT_THROW(isop(l, u, 3), InvalidArgument);
+  DynBits wrongWidth(4, true);
+  EXPECT_THROW(isop(wrongWidth, wrongWidth, 3), InvalidArgument);
+}
+
+TEST(Isop, ExactCoverOfRandomFunctions) {
+  Rng rng(1234);
+  for (std::size_t nin = 1; nin <= 10; ++nin) {
+    for (int rep = 0; rep < 5; ++rep) {
+      DynBits f(std::size_t{1} << nin);
+      for (std::size_t m = 0; m < f.size(); ++m)
+        if (rng.bernoulli(0.35)) f.set(m);
+      const auto cubes = isop(f, f, nin);
+      EXPECT_EQ(ttOfCubes(cubes, nin), f) << "nin=" << nin;
+    }
+  }
+}
+
+TEST(Isop, CoverStaysInsideDontCareInterval) {
+  Rng rng(77);
+  const std::size_t nin = 8;
+  DynBits on(256), dc(256);
+  for (std::size_t m = 0; m < 256; ++m) {
+    const double u = rng.uniform();
+    if (u < 0.3) on.set(m);
+    else if (u < 0.5) dc.set(m);
+  }
+  DynBits upper = on | dc;
+  const auto cubes = isop(on, upper, nin);
+  const DynBits covered = ttOfCubes(cubes, nin);
+  EXPECT_TRUE(on.subsetOf(covered));
+  EXPECT_TRUE(covered.subsetOf(upper));
+  // Don't-cares usually let ISOP use fewer cubes than the exact cover.
+  const auto exact = isop(on, on, nin);
+  EXPECT_LE(cubes.size(), exact.size());
+}
+
+TEST(Isop, ResultIsIrredundant) {
+  Rng rng(5);
+  const std::size_t nin = 7;
+  DynBits f(128);
+  for (std::size_t m = 0; m < 128; ++m)
+    if (rng.bernoulli(0.4)) f.set(m);
+  const auto cubes = isop(f, f, nin);
+  // Dropping any single cube must lose coverage (Minato ISOPs are
+  // irredundant).
+  for (std::size_t skip = 0; skip < cubes.size(); ++skip) {
+    std::vector<Cube> rest;
+    for (std::size_t i = 0; i < cubes.size(); ++i)
+      if (i != skip) rest.push_back(cubes[i]);
+    EXPECT_NE(ttOfCubes(rest, nin), f) << "cube " << skip << " is redundant";
+  }
+}
+
+TEST(IsopCover, MultiOutputMatchesTruthTable) {
+  const TruthTable tt = weightFunction(5);  // rd53
+  const Cover cover = isopCover(tt);
+  EXPECT_EQ(TruthTable::fromCover(cover), tt);
+  EXPECT_EQ(cover.nin(), 5u);
+  EXPECT_EQ(cover.nout(), 3u);
+}
+
+TEST(IsopCover, MergesSharedInputParts) {
+  // Two outputs with identical functions must share cubes after merging.
+  TruthTable tt(3, 2);
+  for (std::size_t m = 0; m < 8; ++m)
+    if (m & 1u) {
+      tt.set(0, m);
+      tt.set(1, m);
+    }
+  const Cover cover = isopCover(tt);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(cover.cube(0).out(0));
+  EXPECT_TRUE(cover.cube(0).out(1));
+}
+
+TEST(IsopCover, ParityNeedsAllMintermCubes) {
+  const TruthTable tt = parityFunction(4);
+  const Cover cover = isopCover(tt);
+  // Parity has no don't-cares to exploit: 2^(n-1) product terms.
+  EXPECT_EQ(cover.size(), 8u);
+}
+
+TEST(IsopCover, RespectsDcTable) {
+  TruthTable on(4, 1), dc(4, 1);
+  on.set(0, 3);
+  for (std::size_t m = 0; m < 16; ++m)
+    if (m != 3) dc.set(0, m);
+  // Everything except minterm 3 is don't-care: a single universal cube works.
+  const Cover cover = isopCover(on, dc);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover.cube(0).literalCount(), 0u);
+}
+
+}  // namespace
+}  // namespace mcx

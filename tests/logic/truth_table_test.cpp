@@ -1,0 +1,110 @@
+#include "logic/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/cover.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(TruthTable, FromFunctionAndGet) {
+  const TruthTable tt = TruthTable::fromFunction(
+      3, 1, [](std::size_t m, std::size_t) { return (m & 1u) != 0; });  // = x1
+  for (std::size_t m = 0; m < 8; ++m) EXPECT_EQ(tt.get(0, m), (m & 1u) != 0);
+  EXPECT_EQ(tt.countOnes(0), 4u);
+}
+
+TEST(TruthTable, FromCoverMatchesEvaluate) {
+  Cover c(4, 2);
+  c.add(makeCube("1--0", "10"));
+  c.add(makeCube("-01-", "11"));
+  c.add(makeCube("0-0-", "01"));
+  const TruthTable tt = TruthTable::fromCover(c);
+  DynBits in(4);
+  for (std::size_t m = 0; m < 16; ++m) {
+    for (std::size_t v = 0; v < 4; ++v) in.set(v, ((m >> v) & 1u) != 0);
+    const DynBits out = c.evaluate(in);
+    for (std::size_t o = 0; o < 2; ++o) EXPECT_EQ(tt.get(o, m), out.test(o)) << "m=" << m;
+  }
+}
+
+TEST(TruthTable, ComplementFlipsEverything) {
+  const TruthTable tt = TruthTable::fromFunction(
+      3, 2, [](std::size_t m, std::size_t o) { return ((m >> o) & 1u) != 0; });
+  const TruthTable nt = tt.complemented();
+  for (std::size_t o = 0; o < 2; ++o)
+    for (std::size_t m = 0; m < 8; ++m) EXPECT_NE(tt.get(o, m), nt.get(o, m));
+}
+
+TEST(TruthTable, VarMaskSelectsHalfTheSpace) {
+  for (std::size_t nin = 1; nin <= 10; ++nin) {
+    for (std::size_t v = 0; v < nin; ++v) {
+      const DynBits mask = ttVarMask(nin, v);
+      EXPECT_EQ(mask.count(), (std::size_t{1} << nin) / 2) << "nin=" << nin << " v=" << v;
+      for (std::size_t m = 0; m < (std::size_t{1} << nin); ++m)
+        EXPECT_EQ(mask.test(m), ((m >> v) & 1u) != 0) << "nin=" << nin << " v=" << v << " m=" << m;
+    }
+  }
+}
+
+TEST(TruthTable, CofactorsAreIndependentOfVariable) {
+  Rng rng(99);
+  for (std::size_t nin = 2; nin <= 9; ++nin) {
+    DynBits f(std::size_t{1} << nin);
+    for (std::size_t m = 0; m < f.size(); ++m)
+      if (rng.bernoulli(0.4)) f.set(m);
+    for (std::size_t v = 0; v < nin; ++v) {
+      const DynBits f0 = ttCofactor0(f, nin, v);
+      const DynBits f1 = ttCofactor1(f, nin, v);
+      for (std::size_t m = 0; m < f.size(); ++m) {
+        const std::size_t m0 = m & ~(std::size_t{1} << v);
+        const std::size_t m1 = m | (std::size_t{1} << v);
+        EXPECT_EQ(f0.test(m), f.test(m0));
+        EXPECT_EQ(f1.test(m), f.test(m1));
+      }
+    }
+  }
+}
+
+TEST(TruthTable, ShannonExpansionReconstructs) {
+  Rng rng(7);
+  const std::size_t nin = 7;
+  DynBits f(std::size_t{1} << nin);
+  for (std::size_t m = 0; m < f.size(); ++m)
+    if (rng.bernoulli(0.5)) f.set(m);
+  for (std::size_t v = 0; v < nin; ++v) {
+    const DynBits mask = ttVarMask(nin, v);
+    DynBits rebuilt = ttCofactor1(f, nin, v);
+    rebuilt &= mask;
+    DynBits low = ttCofactor0(f, nin, v);
+    low.andNot(mask);
+    rebuilt |= low;
+    EXPECT_EQ(rebuilt, f) << "v=" << v;
+  }
+}
+
+TEST(TruthTable, TtOfCubeMatchesCoversMinterm) {
+  const Cube c = makeCube("1-0-1", "1");
+  const DynBits tt = ttOfCube(c);
+  DynBits in(5);
+  for (std::size_t m = 0; m < 32; ++m) {
+    for (std::size_t v = 0; v < 5; ++v) in.set(v, ((m >> v) & 1u) != 0);
+    EXPECT_EQ(tt.test(m), c.coversMinterm(in)) << "m=" << m;
+  }
+}
+
+TEST(TruthTable, TtOfEmptyCubeIsZero) {
+  Cube c(3, 1);
+  c.setLit(1, Lit::Empty);
+  EXPECT_TRUE(ttOfCube(c).none());
+}
+
+TEST(TruthTable, TtOfCubesIsUnion) {
+  std::vector<Cube> cubes{makeCube("1--", "1"), makeCube("-1-", "1")};
+  const DynBits u = ttOfCubes(cubes, 3);
+  EXPECT_EQ(u.count(), 6u);
+}
+
+}  // namespace
+}  // namespace mcx

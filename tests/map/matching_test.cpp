@@ -1,0 +1,91 @@
+#include "map/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(RowMatching, RequiredOneNeedsFunctionalCell) {
+  BitMatrix fm(1, 4), cm(2, 4, true);
+  fm.set(0, 2);
+  EXPECT_TRUE(rowMatches(fm, 0, cm, 0));
+  cm.reset(1, 2);
+  EXPECT_FALSE(rowMatches(fm, 0, cm, 1));
+}
+
+TEST(RowMatching, ZerosMatchAnything) {
+  BitMatrix fm(1, 4), cm(1, 4);  // CM fully stuck-open
+  EXPECT_TRUE(rowMatches(fm, 0, cm, 0));
+}
+
+TEST(MatchingMatrix, ZeroMeansCompatible) {
+  BitMatrix fm(2, 3), cm(2, 3, true);
+  fm.set(0, 0);
+  fm.set(1, 2);
+  cm.reset(0, 0);  // kills fm row 0 on cm row 0
+  const CostMatrix m = buildMatchingMatrix(fm, {0, 1}, cm, {0, 1});
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(0, 1), 0);
+  EXPECT_EQ(m.at(1, 0), 0);
+  EXPECT_EQ(m.at(1, 1), 0);
+}
+
+TEST(MatchingMatrix, RowSubsets) {
+  BitMatrix fm(3, 2), cm(3, 2, true);
+  fm.set(2, 1);
+  cm.reset(0, 1);
+  const CostMatrix m = buildMatchingMatrix(fm, {2}, cm, {0, 2});
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(0, 1), 0);
+}
+
+TEST(VerifyMapping, AcceptsValidRejectsInvalid) {
+  const Cover cover = parseSop("x1 + x2");
+  const FunctionMatrix fm = buildFunctionMatrix(cover);
+  BitMatrix cm(3, fm.cols(), true);
+
+  MappingResult ok;
+  ok.success = true;
+  ok.rowAssignment = {0, 1, 2};
+  EXPECT_TRUE(verifyMapping(fm, cm, ok));
+
+  MappingResult dup = ok;
+  dup.rowAssignment = {0, 0, 1};
+  EXPECT_FALSE(verifyMapping(fm, cm, dup));
+
+  MappingResult wrongSize = ok;
+  wrongSize.rowAssignment = {0, 1};
+  EXPECT_FALSE(verifyMapping(fm, cm, wrongSize));
+
+  MappingResult notSuccess = ok;
+  notSuccess.success = false;
+  EXPECT_FALSE(verifyMapping(fm, cm, notSuccess));
+
+  cm.reset(1, fm.colOfPosLiteral(0));  // row 1 cannot host product x1 (row 0)
+  MappingResult broken = ok;
+  broken.rowAssignment = {1, 0, 2};
+  EXPECT_FALSE(verifyMapping(fm, cm, broken));
+}
+
+TEST(VerifyMapping, HonorsInputPermutation) {
+  const Cover cover = parseSop("x1", 2);
+  const FunctionMatrix fm = buildFunctionMatrix(cover);
+  BitMatrix cm(2, fm.cols(), true);
+  cm.reset(0, fm.colOfPosLiteral(0));  // x1's own column is dead on row 0
+
+  MappingResult direct;
+  direct.success = true;
+  direct.rowAssignment = {0, 1};
+  EXPECT_FALSE(verifyMapping(fm, cm, direct));
+
+  MappingResult permuted = direct;
+  permuted.inputPermutation = {1, 0};  // route x1 through pair 1
+  EXPECT_TRUE(verifyMapping(fm, cm, permuted));
+}
+
+}  // namespace
+}  // namespace mcx

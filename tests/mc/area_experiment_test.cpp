@@ -1,0 +1,75 @@
+#include "mc/area_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(AreaExperiment, ProducesRequestedSamples) {
+  AreaExperimentConfig cfg;
+  cfg.nin = 6;
+  cfg.samples = 30;
+  const AreaExperimentResult r = runAreaExperiment(cfg);
+  EXPECT_EQ(r.samples.size(), 30u);
+  for (const AreaSample& s : r.samples) {
+    EXPECT_GT(s.products, 0u);
+    EXPECT_GT(s.twoLevelArea, 0u);
+    EXPECT_GT(s.multiLevelArea, 0u);
+  }
+}
+
+TEST(AreaExperiment, SamplesSortedByProducts) {
+  AreaExperimentConfig cfg;
+  cfg.nin = 7;
+  cfg.samples = 25;
+  const AreaExperimentResult r = runAreaExperiment(cfg);
+  for (std::size_t i = 1; i < r.samples.size(); ++i)
+    EXPECT_GE(r.samples[i].products, r.samples[i - 1].products);
+}
+
+TEST(AreaExperiment, TwoLevelAreaFollowsFormula) {
+  AreaExperimentConfig cfg;
+  cfg.nin = 8;
+  cfg.samples = 20;
+  const AreaExperimentResult r = runAreaExperiment(cfg);
+  for (const AreaSample& s : r.samples)
+    EXPECT_EQ(s.twoLevelArea, (s.products + 1) * (2 * 8 + 2));
+}
+
+TEST(AreaExperiment, DeterministicForSeed) {
+  AreaExperimentConfig cfg;
+  cfg.nin = 6;
+  cfg.samples = 15;
+  cfg.seed = 9;
+  const auto a = runAreaExperiment(cfg);
+  const auto b = runAreaExperiment(cfg);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].twoLevelArea, b.samples[i].twoLevelArea);
+    EXPECT_EQ(a.samples[i].multiLevelArea, b.samples[i].multiLevelArea);
+  }
+}
+
+TEST(AreaExperiment, SuccessRateIsAShare) {
+  AreaExperimentConfig cfg;
+  cfg.nin = 8;
+  cfg.samples = 40;
+  const AreaExperimentResult r = runAreaExperiment(cfg);
+  EXPECT_GE(r.successRate(), 0.0);
+  EXPECT_LE(r.successRate(), 1.0);
+}
+
+TEST(AreaExperiment, RejectsBadConfig) {
+  AreaExperimentConfig cfg;
+  cfg.nin = 1;
+  EXPECT_THROW(runAreaExperiment(cfg), InvalidArgument);
+  cfg.nin = 6;
+  cfg.minProducts = 5;
+  cfg.maxProducts = 3;
+  EXPECT_THROW(runAreaExperiment(cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,90 @@
+#include "mc/defect_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "map/exact_mapper.hpp"
+#include "map/hybrid_mapper.hpp"
+
+namespace mcx {
+namespace {
+
+FunctionMatrix testFm() {
+  return buildFunctionMatrix(parseSop("x1 x2 + !x2 x3 + x1 !x3 + x2 x3"));
+}
+
+TEST(DefectExperiment, ZeroRateGivesFullSuccess) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 20;
+  cfg.stuckOpenRate = 0.0;
+  const DefectExperimentResult r = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  EXPECT_EQ(r.successes, 20u);
+  EXPECT_DOUBLE_EQ(r.successRate(), 1.0);
+}
+
+TEST(DefectExperiment, SaturatedRateGivesZeroSuccess) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 10;
+  cfg.stuckOpenRate = 1.0;
+  const DefectExperimentResult r = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  EXPECT_EQ(r.successes, 0u);
+}
+
+TEST(DefectExperiment, DeterministicForFixedSeed) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 50;
+  cfg.stuckOpenRate = 0.15;
+  cfg.seed = 77;
+  const auto a = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  const auto b = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.totalBacktracks, b.totalBacktracks);
+}
+
+TEST(DefectExperiment, ExactAtLeastAsSuccessful) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 60;
+  cfg.stuckOpenRate = 0.12;
+  const auto hba = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  const auto ea = runDefectExperiment(testFm(), ExactMapper(), cfg);
+  EXPECT_GE(ea.successes, hba.successes);
+}
+
+TEST(DefectExperiment, SpareRowsImproveSuccess) {
+  DefectExperimentConfig base;
+  base.samples = 60;
+  base.stuckOpenRate = 0.25;
+  DefectExperimentConfig spare = base;
+  spare.spareRows = 3;
+  const auto without = runDefectExperiment(testFm(), HybridMapper(), base);
+  const auto with = runDefectExperiment(testFm(), HybridMapper(), spare);
+  EXPECT_GE(with.successes, without.successes);
+}
+
+TEST(DefectExperiment, TimingIsPopulated) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 5;
+  const auto r = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  EXPECT_EQ(r.perSampleMillis.count, 5u);
+  EXPECT_GE(r.meanSeconds(), 0.0);
+  EXPECT_GE(r.totalSeconds, 0.0);
+}
+
+TEST(ForEachDefectSample, DeliversRequestedSamples) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 7;
+  cfg.stuckOpenRate = 0.1;
+  std::size_t calls = 0;
+  const FunctionMatrix fm = testFm();
+  forEachDefectSample(fm, cfg, [&](std::size_t idx, const DefectMap& d, const BitMatrix& cm) {
+    EXPECT_EQ(idx, calls);
+    EXPECT_EQ(d.rows(), fm.rows());
+    EXPECT_EQ(cm.rows(), fm.rows());
+    EXPECT_EQ(cm.cols(), fm.cols());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 7u);
+}
+
+}  // namespace
+}  // namespace mcx

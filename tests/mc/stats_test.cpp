@@ -1,0 +1,48 @@
+#include "mc/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcx {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const SummaryStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const SummaryStats s = summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const SummaryStats s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Wilson, ZeroTrials) { EXPECT_DOUBLE_EQ(wilsonHalfWidth(0, 0), 0.0); }
+
+TEST(Wilson, ShrinksWithSampleSize) {
+  const double w200 = wilsonHalfWidth(100, 200);
+  const double w2000 = wilsonHalfWidth(1000, 2000);
+  EXPECT_GT(w200, w2000);
+  EXPECT_GT(w200, 0.0);
+  EXPECT_LT(w200, 0.1);
+}
+
+TEST(Wilson, ExtremeProportionsStayBounded) {
+  EXPECT_GT(wilsonHalfWidth(200, 200), 0.0);
+  EXPECT_LT(wilsonHalfWidth(200, 200), 0.05);
+  EXPECT_GT(wilsonHalfWidth(0, 200), 0.0);
+}
+
+}  // namespace
+}  // namespace mcx

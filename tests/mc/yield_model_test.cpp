@@ -1,0 +1,92 @@
+#include "mc/yield_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "map/hybrid_mapper.hpp"
+#include "mc/defect_experiment.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+FunctionMatrix smallFm() {
+  return buildFunctionMatrix(parseSop("x1 x2 + !x2 x3 + x1 !x3 + x2 x3"));
+}
+
+TEST(YieldModel, ZeroRateIsCertainty) {
+  const YieldEstimate e = estimateYield(smallFm(), 0.0);
+  EXPECT_DOUBLE_EQ(e.successProbability, 1.0);
+  EXPECT_DOUBLE_EQ(e.expectedStrandedRows, 0.0);
+}
+
+TEST(YieldModel, FullRateIsZero) {
+  const YieldEstimate e = estimateYield(smallFm(), 1.0);
+  EXPECT_DOUBLE_EQ(e.successProbability, 0.0);
+}
+
+TEST(YieldModel, MonotoneInRate) {
+  const FunctionMatrix fm = smallFm();
+  double last = 1.1;
+  for (const double q : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    const double p = estimateYield(fm, q).successProbability;
+    EXPECT_LE(p, last);
+    last = p;
+  }
+}
+
+TEST(YieldModel, MonotoneInSpares) {
+  const FunctionMatrix fm = smallFm();
+  double last = -1;
+  for (const std::size_t spare : {0u, 1u, 2u, 4u, 8u}) {
+    const double p = estimateYield(fm, 0.2, spare).successProbability;
+    EXPECT_GE(p, last);
+    last = p;
+  }
+}
+
+TEST(YieldModel, TracksMonteCarloWithDocumentedOptimism) {
+  // The independence approximation ignores rows competing for the same
+  // healthy crossbar rows, so on a tiny 5-row crossbar the model runs
+  // optimistic — it must stay an (approximate) upper bound and within a
+  // generous band of the Monte Carlo truth.
+  const FunctionMatrix fm = smallFm();
+  for (const double q : {0.05, 0.10, 0.15}) {
+    DefectExperimentConfig cfg;
+    cfg.samples = 400;
+    cfg.stuckOpenRate = q;
+    const double mc = runDefectExperiment(fm, HybridMapper(), cfg).successRate();
+    const double model = estimateYield(fm, q).successProbability;
+    EXPECT_GE(model, mc - 0.05) << "q=" << q;  // optimistic bias direction
+    EXPECT_NEAR(model, mc, 0.25) << "q=" << q;
+  }
+}
+
+TEST(YieldModel, TightAtTheExtremes) {
+  const FunctionMatrix fm = smallFm();
+  for (const double q : {0.005, 0.6}) {
+    DefectExperimentConfig cfg;
+    cfg.samples = 300;
+    cfg.stuckOpenRate = q;
+    const double mc = runDefectExperiment(fm, HybridMapper(), cfg).successRate();
+    const double model = estimateYield(fm, q).successProbability;
+    EXPECT_NEAR(model, mc, 0.08) << "q=" << q;
+  }
+}
+
+TEST(YieldModel, SparesForTargetFindsThreshold) {
+  const FunctionMatrix fm = smallFm();
+  const std::size_t spares = sparesForTargetYield(fm, 0.3, 0.95, 32);
+  ASSERT_LE(spares, 32u);
+  EXPECT_GE(estimateYield(fm, 0.3, spares).successProbability, 0.95);
+  if (spares > 0)
+    EXPECT_LT(estimateYield(fm, 0.3, spares - 1).successProbability, 0.95);
+}
+
+TEST(YieldModel, Validation) {
+  EXPECT_THROW(estimateYield(smallFm(), -0.1), InvalidArgument);
+  EXPECT_THROW(sparesForTargetYield(smallFm(), 0.1, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,56 @@
+#include "netlist/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "netlist/nand_mapper.hpp"
+
+namespace mcx {
+namespace {
+
+NandNetwork fig5Network() {
+  return mapToNand(parseSop("x1 + x2 + x3 + x4 + x5 x6 x7 x8"));
+}
+
+TEST(ExportDot, ContainsAllNodesAndEdges) {
+  const NandNetwork net = fig5Network();
+  const std::string dot = toDot(net);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (std::size_t i = 1; i <= 8; ++i)
+    EXPECT_NE(dot.find("x" + std::to_string(i)), std::string::npos);
+  EXPECT_NE(dot.find("NAND"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  // Inverted rails are dashed.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(ExportVerilog, StructureAndPrimitives) {
+  const NandNetwork net = fig5Network();
+  const std::string v = toVerilog(net, "fig5");
+  EXPECT_NE(v.find("module fig5"), std::string::npos);
+  EXPECT_NE(v.find("input x8;"), std::string::npos);
+  EXPECT_NE(v.find("output o1;"), std::string::npos);
+  EXPECT_NE(v.find("nand (g"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Inverted rails of x1..x4 get shared inverters.
+  EXPECT_NE(v.find("not (xb1, x1);"), std::string::npos);
+}
+
+TEST(ExportVerilog, InvertedOutputGetsNot) {
+  // An AND-rooted output is inverted at the latch -> `not` primitive.
+  const NandNetwork net = mapToNand(parseSop("x1 x2 x3"));
+  const std::string v = toVerilog(net);
+  EXPECT_NE(v.find("not (o1"), std::string::npos);
+}
+
+TEST(ExportVerilog, MultiOutputPortsListed) {
+  Cover c(3, 2);
+  c.add(makeCube("11-", "10"));
+  c.add(makeCube("--1", "01"));
+  const std::string v = toVerilog(mapToNand(c));
+  EXPECT_NE(v.find("o1, o2);"), std::string::npos);
+  EXPECT_NE(v.find("output o2;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcx

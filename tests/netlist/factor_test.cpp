@@ -1,0 +1,109 @@
+#include "netlist/factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "logic/generators.hpp"
+#include "logic/sop_parser.hpp"
+#include "logic/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+DynBits treeTT(const FactorTree& tree, std::size_t nin) {
+  DynBits tt(std::size_t{1} << nin);
+  DynBits in(nin);
+  for (std::size_t m = 0; m < tt.size(); ++m) {
+    for (std::size_t v = 0; v < nin; ++v) in.set(v, ((m >> v) & 1u) != 0);
+    if (evaluateFactorTree(tree, in)) tt.set(m);
+  }
+  return tt;
+}
+
+TEST(FactorTree, LiteralBasics) {
+  const FactorTree t = FactorTree::literal(2, true);
+  EXPECT_EQ(t.literalCount(), 1u);
+  EXPECT_EQ(t.toString(), "!x3");
+}
+
+TEST(FactorTree, FlattensNestedSameKind) {
+  auto a = FactorTree::literal(0, false);
+  auto b = FactorTree::literal(1, false);
+  auto c = FactorTree::literal(2, false);
+  std::vector<FactorTree> inner;
+  inner.push_back(a);
+  inner.push_back(b);
+  auto andAB = FactorTree::makeAnd(std::move(inner));
+  std::vector<FactorTree> outer;
+  outer.push_back(std::move(andAB));
+  outer.push_back(c);
+  const auto andABC = FactorTree::makeAnd(std::move(outer));
+  EXPECT_EQ(andABC.children.size(), 3u);
+}
+
+TEST(FactorTree, SingleChildCollapses) {
+  std::vector<FactorTree> one;
+  one.push_back(FactorTree::literal(0, false));
+  const auto t = FactorTree::makeOr(std::move(one));
+  EXPECT_EQ(t.kind, FactorTree::Kind::Literal);
+}
+
+TEST(FactorCover, SingleCubeBecomesAnd) {
+  const Cover c = parseSop("x1 x2 !x3");
+  const FactorTree t = factorCover(c.projection(0), 3);
+  EXPECT_EQ(t.kind, FactorTree::Kind::And);
+  EXPECT_EQ(t.literalCount(), 3u);
+}
+
+TEST(FactorCover, SharedLiteralIsFactoredOut) {
+  // x1 x2 + x1 x3 = x1 (x2 + x3): 3 literals instead of 4.
+  const Cover c = parseSop("x1 x2 + x1 x3");
+  const FactorTree t = factorCover(c.projection(0), 3);
+  EXPECT_EQ(t.literalCount(), 3u);
+  EXPECT_EQ(treeTT(t, 3), ttOfCubes(c.projection(0), 3));
+}
+
+TEST(FactorCover, AbsorbedLiteral) {
+  // x1 + x1 x2 + x3 = x1 + x3.
+  const Cover c = parseSop("x1 + x1 x2 + x3");
+  const FactorTree t = factorCover(c.projection(0), 3);
+  EXPECT_EQ(treeTT(t, 3), ttOfCubes(c.projection(0), 3));
+  EXPECT_LE(t.literalCount(), 2u);
+}
+
+TEST(FactorCover, Fig3FunctionFactorsToTwoTerms) {
+  const Cover c = parseSop("x1 + x2 + x3 + x4 + x5 x6 x7 x8");
+  const FactorTree t = factorCover(c.projection(0), 8);
+  EXPECT_EQ(treeTT(t, 8), ttOfCubes(c.projection(0), 8));
+  EXPECT_EQ(t.literalCount(), 8u);  // no sharing available
+}
+
+TEST(FactorCover, EquivalenceOnRandomCovers) {
+  Rng rng(2024);
+  for (int rep = 0; rep < 60; ++rep) {
+    RandomSopOptions opts;
+    opts.nin = 3 + static_cast<std::size_t>(rng.uniformInt(0, 6));
+    opts.nout = 1;
+    opts.products = 1 + static_cast<std::size_t>(rng.uniformInt(0, 14));
+    opts.literalsPerProduct = 2.5;
+    const Cover c = randomSop(opts, rng);
+    const auto proj = c.projection(0);
+    const FactorTree t = factorCover(proj, opts.nin);
+    EXPECT_EQ(treeTT(t, opts.nin), ttOfCubes(proj, opts.nin)) << "rep=" << rep;
+    EXPECT_LE(t.literalCount(), c.literalCount());
+  }
+}
+
+TEST(FactorCover, RejectsDegenerateCovers) {
+  EXPECT_THROW(factorCover({}, 3), InvalidArgument);
+  std::vector<Cube> constant{makeCube("---", "")};
+  EXPECT_THROW(factorCover(constant, 3), InvalidArgument);
+  Cube empty(3, 0);
+  empty.setLit(0, Lit::Empty);
+  EXPECT_THROW(factorCover({empty}, 3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

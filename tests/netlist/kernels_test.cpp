@@ -1,0 +1,125 @@
+#include "netlist/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/generators.hpp"
+#include "logic/sop_parser.hpp"
+#include "logic/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+std::vector<Cube> cubesOf(const std::string& sop, std::size_t nin = 0) {
+  const Cover c = parseSop(sop, nin);
+  return c.projection(0);
+}
+
+DynBits treeTT(const FactorTree& tree, std::size_t nin) {
+  DynBits tt(std::size_t{1} << nin);
+  DynBits in(nin);
+  for (std::size_t m = 0; m < tt.size(); ++m) {
+    for (std::size_t v = 0; v < nin; ++v) in.set(v, ((m >> v) & 1u) != 0);
+    if (evaluateFactorTree(tree, in)) tt.set(m);
+  }
+  return tt;
+}
+
+TEST(Kernels, CubeFreeDetection) {
+  EXPECT_TRUE(isCubeFree(cubesOf("x1 x2 + x3"), 3));
+  EXPECT_FALSE(isCubeFree(cubesOf("x1 x2 + x1 x3"), 3));  // x1 common
+  EXPECT_FALSE(isCubeFree(cubesOf("x1 x2"), 2));          // single cube
+}
+
+TEST(Kernels, TextbookExample) {
+  // f = a b c + a b d: kernel {c + d} with co-kernel ab.
+  const auto cubes = cubesOf("x1 x2 x3 + x1 x2 x4");
+  const auto kernels = allKernels(cubes, 4);
+  bool found = false;
+  for (const auto& k : kernels) {
+    if (k.kernel.size() == 2 && k.coKernel.literalCount() == 2) {
+      EXPECT_EQ(k.coKernel.inputString(), "11--");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Kernels, Level0KernelIsTheCoverItself) {
+  const auto cubes = cubesOf("x1 x2 + x3 x4");
+  const auto kernels = allKernels(cubes, 4);
+  bool coverItself = false;
+  for (const auto& k : kernels)
+    if (k.kernel.size() == 2 && k.coKernel.literalCount() == 0) coverItself = true;
+  EXPECT_TRUE(coverItself);
+}
+
+TEST(Kernels, KernelsAreCubeFree) {
+  Rng rng(71);
+  RandomSopOptions opts;
+  opts.nin = 6;
+  opts.nout = 1;
+  opts.products = 8;
+  opts.literalsPerProduct = 3.0;
+  const Cover c = randomSop(opts, rng);
+  for (const auto& k : allKernels(c.projection(0), 6)) {
+    if (k.kernel.size() >= 2) EXPECT_TRUE(isCubeFree(k.kernel, 6));
+  }
+}
+
+TEST(AlgebraicDivide, ExactDivision) {
+  // (x1 + x2)(x3) + x4 = x1 x3 + x2 x3 + x4; divide by {x1 + x2}.
+  const auto cubes = cubesOf("x1 x3 + x2 x3 + x4");
+  const auto divisor = cubesOf("x1 + x2", 4);
+  const DivisionResult r = algebraicDivide(cubes, divisor, 4);
+  ASSERT_EQ(r.quotient.size(), 1u);
+  EXPECT_EQ(r.quotient[0].inputString(), "--1-");
+  ASSERT_EQ(r.remainder.size(), 1u);
+  EXPECT_EQ(r.remainder[0].inputString(), "---1");
+}
+
+TEST(AlgebraicDivide, NonDivisorGivesEmptyQuotient) {
+  const auto cubes = cubesOf("x1 x3 + x4");
+  const auto divisor = cubesOf("x1 + x2", 4);
+  const DivisionResult r = algebraicDivide(cubes, divisor, 4);
+  EXPECT_TRUE(r.quotient.empty());
+}
+
+TEST(AlgebraicDivide, ReconstructsCover) {
+  // divisor * quotient + remainder must equal the original cover (as sets).
+  const auto cubes = cubesOf("x1 x3 + x2 x3 + x1 x4 + x2 x4 + x5");
+  const auto divisor = cubesOf("x1 + x2", 5);
+  const DivisionResult r = algebraicDivide(cubes, divisor, 5);
+  EXPECT_EQ(r.quotient.size(), 2u);  // x3 + x4
+  EXPECT_EQ(r.remainder.size(), 1u);
+  EXPECT_EQ(r.quotient.size() * divisor.size() + r.remainder.size(), cubes.size());
+}
+
+TEST(GoodFactor, EquivalentAndNoWorseThanQuickFactor) {
+  Rng rng(72);
+  for (int rep = 0; rep < 30; ++rep) {
+    RandomSopOptions opts;
+    opts.nin = 4 + static_cast<std::size_t>(rng.uniformInt(0, 4));
+    opts.nout = 1;
+    opts.products = 3 + static_cast<std::size_t>(rng.uniformInt(0, 8));
+    opts.literalsPerProduct = 3.0;
+    const Cover c = randomSop(opts, rng);
+    const auto proj = c.projection(0);
+    const FactorTree quick = factorCover(proj, opts.nin);
+    const FactorTree good = goodFactor(proj, opts.nin);
+    EXPECT_EQ(treeTT(good, opts.nin), treeTT(quick, opts.nin)) << "rep=" << rep;
+    EXPECT_LE(good.literalCount(), quick.literalCount() + 2) << "rep=" << rep;
+  }
+}
+
+TEST(GoodFactor, FindsMultiCubeDivisor) {
+  // f = (x1 + x2)(x3 + x4): quick literal factoring cannot see the kernel;
+  // good factoring must reach 4 literals.
+  const auto cubes = cubesOf("x1 x3 + x1 x4 + x2 x3 + x2 x4");
+  const FactorTree good = goodFactor(cubes, 4);
+  EXPECT_EQ(good.literalCount(), 4u);
+  EXPECT_EQ(treeTT(good, 4), ttOfCubes(cubes, 4));
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,155 @@
+#include "netlist/nand_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include "logic/espresso.hpp"
+#include "logic/generators.hpp"
+#include "logic/isop.hpp"
+#include "logic/sop_parser.hpp"
+#include "logic/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(NandMapper, Fig5ExampleGivesTwoGates) {
+  const Cover c = parseSop("x1 + x2 + x3 + x4 + x5 x6 x7 x8");
+  const NandNetwork net = mapToNand(c);
+  EXPECT_EQ(net.gateCount(), 2u);
+  EXPECT_EQ(net.interconnectCount(), 1u);
+  EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable());
+}
+
+TEST(NandMapper, FlatFormIsNandNand) {
+  const Cover c = parseSop("x1 x2 + x3 x4 + x1 x4");
+  NandMapOptions opts;
+  opts.factored = false;
+  const NandNetwork net = mapToNand(c, opts);
+  // 3 product NANDs + 1 top NAND.
+  EXPECT_EQ(net.gateCount(), 4u);
+  EXPECT_EQ(net.levelCount(), 2u);
+  EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable());
+}
+
+// Non-constant outputs are required by the architecture; random draws that
+// hit a tautological projection are skipped.
+bool anyConstantOutput(const Cover& c) {
+  for (std::size_t o = 0; o < c.nout(); ++o) {
+    const auto proj = c.projection(o);
+    if (proj.empty() || tautology(proj, c.nin())) return true;
+  }
+  return false;
+}
+
+TEST(NandMapper, EquivalenceOnRandomSingleOutput) {
+  Rng rng(555);
+  for (int rep = 0; rep < 40; ++rep) {
+    RandomSopOptions sop;
+    sop.nin = 3 + static_cast<std::size_t>(rng.uniformInt(0, 6));
+    sop.nout = 1;
+    sop.products = 1 + static_cast<std::size_t>(rng.uniformInt(0, 10));
+    const Cover c = randomSop(sop, rng);
+    if (anyConstantOutput(c)) continue;
+    const NandNetwork net = mapToNand(c);
+    EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable()) << "rep=" << rep;
+  }
+}
+
+TEST(NandMapper, EquivalenceOnRandomMultiOutput) {
+  Rng rng(556);
+  for (int rep = 0; rep < 20; ++rep) {
+    RandomSopOptions sop;
+    sop.nin = 5;
+    sop.nout = 1 + static_cast<std::size_t>(rng.uniformInt(0, 3));
+    sop.products = 4 + static_cast<std::size_t>(rng.uniformInt(0, 8));
+    sop.outputsPerProduct = 1.5;
+    const Cover c = randomSop(sop, rng);
+    if (anyConstantOutput(c)) continue;
+    const NandNetwork net = mapToNand(c);
+    EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable()) << "rep=" << rep;
+  }
+}
+
+TEST(NandMapper, RejectsTautologicalOutput) {
+  Cover c(2, 1);
+  c.add(makeCube("1-", "1"));
+  c.add(makeCube("0-", "1"));
+  EXPECT_THROW(mapToNand(c), InvalidArgument);
+}
+
+TEST(NandMapper, FoldsInternalTautologies) {
+  // Non-minimal but non-constant: x1 x2 + x1 !x2 + x3 (= x1 + x3). The
+  // quotient by x1 is a tautology, which must constant-fold, not crash.
+  Cover c(3, 1);
+  c.add(makeCube("11-", "1"));
+  c.add(makeCube("10-", "1"));
+  c.add(makeCube("--1", "1"));
+  const NandNetwork net = mapToNand(c);
+  EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable());
+}
+
+TEST(NandMapper, SharesGatesAcrossOutputs) {
+  // Both outputs contain the same product; the product gate must be shared.
+  Cover c(4, 2);
+  c.add(makeCube("11--", "11"));
+  c.add(makeCube("--10", "10"));
+  c.add(makeCube("--01", "01"));
+  const NandNetwork net = mapToNand(c);
+  EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable());
+  // 3 distinct product gates (the shared "11--" emitted once thanks to
+  // structural hashing) + 1 top OR gate per output = 5 gates max.
+  EXPECT_LE(net.gateCount(), 5u);
+}
+
+TEST(NandMapper, FaninBoundRespected) {
+  const Cover c = parseSop("x1 x2 x3 x4 x5 x6 x7 + x8");
+  for (std::size_t k = 2; k <= 4; ++k) {
+    NandMapOptions opts;
+    opts.maxFanin = k;
+    const NandNetwork net = mapToNand(c, opts);
+    EXPECT_LE(net.maxFanin(), k) << "k=" << k;
+    EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable()) << "k=" << k;
+  }
+}
+
+TEST(NandMapper, FaninBoundEquivalenceOnRandom) {
+  Rng rng(557);
+  for (int rep = 0; rep < 20; ++rep) {
+    RandomSopOptions sop;
+    sop.nin = 8;
+    sop.nout = 1;
+    sop.products = 6;
+    sop.literalsPerProduct = 5.0;
+    const Cover c = randomSop(sop, rng);
+    NandMapOptions opts;
+    opts.maxFanin = 2 + static_cast<std::size_t>(rng.uniformInt(0, 2));
+    const NandNetwork net = mapToNand(c, opts);
+    EXPECT_LE(net.maxFanin(), opts.maxFanin);
+    EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable()) << "rep=" << rep;
+  }
+}
+
+TEST(NandMapper, SingleLiteralOutput) {
+  const Cover c = parseSop("x1", 3);
+  const NandNetwork net = mapToNand(c);
+  EXPECT_EQ(TruthTable::fromCover(c), net.toTruthTable());
+  EXPECT_GE(net.gateCount(), 1u);  // wrapped in a gate (outputs must be gates)
+}
+
+TEST(NandMapper, RejectsConstantOutput) {
+  Cover c(2, 1);  // empty projection = constant 0
+  c.add(makeCube("11", "0"));
+  EXPECT_THROW(mapToNand(c), InvalidArgument);
+}
+
+TEST(NandMapper, WeightFunctionEquivalence) {
+  const TruthTable tt = weightFunction(5);
+  const Cover cover = isopCover(tt);
+  const NandNetwork net = mapToNand(cover);
+  EXPECT_EQ(net.toTruthTable(), tt);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,120 @@
+#include "netlist/nand_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+using Fanin = NandNetwork::Fanin;
+
+TEST(NandNetwork, PisAreNodes) {
+  NandNetwork net(3);
+  EXPECT_EQ(net.numPis(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(net.isPi(net.pi(i)));
+  EXPECT_THROW(net.pi(3), InvalidArgument);
+}
+
+TEST(NandNetwork, SingleNandTruth) {
+  NandNetwork net(2);
+  const NodeId g = net.addNand({{net.pi(0), false}, {net.pi(1), false}});
+  net.addOutput(g, false);
+  DynBits in(2);
+  EXPECT_TRUE(net.evaluate(in).test(0));   // NAND(0,0)=1
+  in.set(0);
+  EXPECT_TRUE(net.evaluate(in).test(0));   // NAND(1,0)=1
+  in.set(1);
+  EXPECT_FALSE(net.evaluate(in).test(0));  // NAND(1,1)=0
+}
+
+TEST(NandNetwork, InvertedPiFanin) {
+  NandNetwork net(1);
+  const NodeId g = net.addNand({{net.pi(0), true}});  // NAND(!x) = x
+  net.addOutput(g, false);
+  DynBits in(1);
+  EXPECT_FALSE(net.evaluate(in).test(0));
+  in.set(0);
+  EXPECT_TRUE(net.evaluate(in).test(0));
+}
+
+TEST(NandNetwork, OutputInversionIsFree) {
+  NandNetwork net(2);
+  const NodeId g = net.addNand({{net.pi(0), false}, {net.pi(1), false}});
+  net.addOutput(g, true);  // = AND
+  DynBits in(2);
+  in.set(0);
+  in.set(1);
+  EXPECT_TRUE(net.evaluate(in).test(0));
+}
+
+TEST(NandNetwork, StructuralHashingReusesGates) {
+  NandNetwork net(2);
+  const NodeId a = net.addNand({{net.pi(0), false}, {net.pi(1), false}});
+  const NodeId b = net.addNand({{net.pi(1), false}, {net.pi(0), false}});  // same, reordered
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(net.gateCount(), 1u);
+  const NodeId c = net.addNand({{net.pi(0), true}, {net.pi(1), false}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(net.gateCount(), 2u);
+}
+
+TEST(NandNetwork, DuplicateFaninsCollapse) {
+  NandNetwork net(1);
+  const NodeId g = net.addNand({{net.pi(0), false}, {net.pi(0), false}});
+  EXPECT_EQ(net.fanins(g).size(), 1u);
+}
+
+TEST(NandNetwork, RejectsInvalidConstructs) {
+  NandNetwork net(2);
+  EXPECT_THROW(net.addNand({}), InvalidArgument);
+  EXPECT_THROW(net.addNand({{net.pi(0), false}, {net.pi(0), true}}), InvalidArgument);
+  const NodeId g = net.addNand({{net.pi(0), false}});
+  EXPECT_THROW(net.addNand({{g, true}}), InvalidArgument);  // inverted gate fanin
+  EXPECT_THROW(net.addOutput(net.pi(0), false), InvalidArgument);
+}
+
+TEST(NandNetwork, LevelsAndInterconnect) {
+  NandNetwork net(4);
+  const NodeId g1 = net.addNand({{net.pi(0), false}, {net.pi(1), false}});
+  const NodeId g2 = net.addNand({{g1, false}, {net.pi(2), false}});
+  const NodeId g3 = net.addNand({{g2, false}, {net.pi(3), false}});
+  net.addOutput(g3, false);
+  EXPECT_EQ(net.gateCount(), 3u);
+  EXPECT_EQ(net.levelCount(), 3u);
+  EXPECT_EQ(net.maxFanin(), 2u);
+  EXPECT_EQ(net.interconnectCount(), 2u);  // g1 and g2 feed gates; g3 does not
+}
+
+TEST(NandNetwork, Fig5Network) {
+  // f = x1+x2+x3+x4 + x5 x6 x7 x8 = NAND(!x1,!x2,!x3,!x4, NAND(x5..x8)).
+  NandNetwork net(8);
+  std::vector<Fanin> inner;
+  for (std::size_t i = 4; i < 8; ++i) inner.push_back({net.pi(i), false});
+  const NodeId u = net.addNand(inner);
+  std::vector<Fanin> outer;
+  for (std::size_t i = 0; i < 4; ++i) outer.push_back({net.pi(i), true});
+  outer.push_back({u, false});
+  const NodeId f = net.addNand(outer);
+  net.addOutput(f, false);
+
+  EXPECT_EQ(net.gateCount(), 2u);
+  EXPECT_EQ(net.interconnectCount(), 1u);
+
+  const TruthTable tt = net.toTruthTable();
+  for (std::size_t m = 0; m < 256; ++m) {
+    const bool expected = (m & 0xF) != 0 || (m >> 4) == 0xF;
+    EXPECT_EQ(tt.get(0, m), expected) << "m=" << m;
+  }
+}
+
+TEST(NandNetwork, EvaluateArityChecked) {
+  NandNetwork net(2);
+  const NodeId g = net.addNand({{net.pi(0), false}});
+  net.addOutput(g, false);
+  DynBits wrong(3);
+  EXPECT_THROW(net.evaluate(wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,111 @@
+#include "sim/device_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(Memristor, StartsReset) {
+  const Memristor dev;
+  EXPECT_DOUBLE_EQ(dev.state(), 0.0);
+  EXPECT_NEAR(dev.resistance(), DeviceParams{}.rOff, 1e-9);
+}
+
+TEST(Memristor, SetAndResetEndpoints) {
+  Memristor dev;
+  dev.set();
+  EXPECT_NEAR(dev.resistance(), DeviceParams{}.rOn, 1e-9);
+  dev.reset();
+  EXPECT_NEAR(dev.resistance(), DeviceParams{}.rOff, 1e-9);
+}
+
+TEST(Memristor, RetentionInsideThresholdWindow) {
+  Memristor dev;
+  dev.apply(0.9, 10.0);  // below +-1V threshold: no drift no matter how long
+  EXPECT_DOUBLE_EQ(dev.state(), 0.0);
+  dev.set();
+  dev.apply(-0.9, 10.0);
+  EXPECT_DOUBLE_EQ(dev.state(), 1.0);
+}
+
+TEST(Memristor, SetAboveThresholdResetBelow) {
+  Memristor dev;
+  dev.apply(2.0, 0.5);
+  EXPECT_GT(dev.state(), 0.0);
+  const double after = dev.state();
+  dev.apply(-2.0, 0.5);
+  EXPECT_LT(dev.state(), after);
+}
+
+TEST(Memristor, StateSaturatesInUnitInterval) {
+  Memristor dev;
+  for (int i = 0; i < 100; ++i) dev.apply(3.0, 1.0);
+  EXPECT_LE(dev.state(), 1.0);
+  for (int i = 0; i < 100; ++i) dev.apply(-3.0, 1.0);
+  EXPECT_GE(dev.state(), 0.0);
+}
+
+TEST(Memristor, ResistanceMonotoneInState) {
+  DeviceParams p;
+  double last = Memristor(p, 0.0).resistance();
+  for (double w = 0.1; w <= 1.0; w += 0.1) {
+    const double r = Memristor(p, w).resistance();
+    EXPECT_LT(r, last);
+    last = r;
+  }
+}
+
+TEST(Memristor, LinearMixResistance) {
+  DeviceParams p;
+  p.linearMix = true;
+  EXPECT_NEAR(Memristor(p, 0.5).resistance(), (p.rOn + p.rOff) / 2.0, 1e-9);
+}
+
+TEST(Memristor, RejectsBadParams) {
+  DeviceParams p;
+  p.rOn = 0;
+  EXPECT_THROW(Memristor dev(p), InvalidArgument);
+  DeviceParams q;
+  q.rOff = q.rOn;
+  EXPECT_THROW(Memristor dev(q), InvalidArgument);
+}
+
+TEST(SweepIV, PinchedHysteresis) {
+  const auto points = sweepIV(DeviceParams{}, 2.0, 2, 256);
+  ASSERT_EQ(points.size(), 512u);
+  // I(V=0) ~ 0 at every zero crossing: the defining pinched property.
+  for (const IvPoint& pt : points)
+    if (std::abs(pt.voltage) < 1e-9) EXPECT_NEAR(pt.current, 0.0, 1e-12);
+  // Hysteresis: the device must actually switch (state changes).
+  double minState = 1.0, maxState = 0.0;
+  for (const IvPoint& pt : points) {
+    minState = std::min(minState, pt.state);
+    maxState = std::max(maxState, pt.state);
+  }
+  EXPECT_GT(maxState - minState, 0.5);
+}
+
+TEST(SweepIV, SetIncreasesCurrentAtSameVoltage) {
+  // After a SET cycle the same positive voltage drives much more current.
+  const auto points = sweepIV(DeviceParams{}, 2.0, 1, 512);
+  double early = 0, late = 0;
+  for (const IvPoint& pt : points) {
+    if (pt.time < 0.1 && std::abs(pt.voltage - 1.2) < 0.1) early = std::abs(pt.current);
+    if (pt.time > 0.3 && pt.time < 0.5 && std::abs(pt.voltage - 1.2) < 0.1)
+      late = std::abs(pt.current);
+  }
+  EXPECT_GT(late, early);
+}
+
+TEST(SweepIV, RejectsBadSweep) {
+  EXPECT_THROW(sweepIV(DeviceParams{}, -1.0, 1, 64), InvalidArgument);
+  EXPECT_THROW(sweepIV(DeviceParams{}, 1.0, 0, 64), InvalidArgument);
+  EXPECT_THROW(sweepIV(DeviceParams{}, 1.0, 1, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,83 @@
+#include "sim/transient_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "sim/crossbar_sim.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+TwoLevelLayout testLayout() { return buildTwoLevelLayout(parseSop("x1 x2 + !x2 x3 + x1 x3")); }
+
+TEST(TransientFaults, ZeroRateIsErrorFree) {
+  const TwoLevelLayout layout = testLayout();
+  const DefectMap clean(layout.fm.rows(), layout.fm.cols());
+  Rng rng(1);
+  const TransientFaultStats stats = measureTransientErrors(
+      layout, identityAssignment(layout.fm.rows()), clean, {}, 200, rng);
+  EXPECT_EQ(stats.bitErrors, 0u);
+  EXPECT_EQ(stats.evaluations, 200u);  // 1 output x 200 trials
+  EXPECT_DOUBLE_EQ(stats.bitErrorRate(), 0.0);
+}
+
+TEST(TransientFaults, ErrorsGrowWithFaultRate) {
+  const TwoLevelLayout layout = testLayout();
+  const DefectMap clean(layout.fm.rows(), layout.fm.cols());
+  const auto id = identityAssignment(layout.fm.rows());
+  double last = -1.0;
+  for (const double rate : {0.01, 0.05, 0.2}) {
+    Rng rng(7);
+    TransientFaultConfig cfg;
+    cfg.openRate = rate;
+    cfg.shortRate = rate / 4;
+    const TransientFaultStats stats = measureTransientErrors(layout, id, clean, cfg, 400, rng);
+    EXPECT_GE(stats.bitErrorRate(), last) << "rate=" << rate;
+    last = stats.bitErrorRate();
+  }
+  EXPECT_GT(last, 0.05);  // 20% fault rate must visibly corrupt outputs
+}
+
+TEST(TransientFaults, ShortsAreWorseThanOpens) {
+  // A transient short poisons a whole row and column; at equal rates it
+  // must produce at least as many errors as transient opens.
+  const TwoLevelLayout layout = testLayout();
+  const DefectMap clean(layout.fm.rows(), layout.fm.cols());
+  const auto id = identityAssignment(layout.fm.rows());
+  TransientFaultConfig opens;
+  opens.openRate = 0.08;
+  TransientFaultConfig shorts;
+  shorts.shortRate = 0.08;
+  Rng rngA(3), rngB(3);
+  const auto openStats = measureTransientErrors(layout, id, clean, opens, 600, rngA);
+  const auto shortStats = measureTransientErrors(layout, id, clean, shorts, 600, rngB);
+  EXPECT_GE(shortStats.bitErrorRate() + 0.02, openStats.bitErrorRate());
+}
+
+TEST(TransientFaults, LayersOnPermanentDefects) {
+  // With a permanent defect already breaking the function, transient stats
+  // report those errors too (they compare against the ideal function).
+  const TwoLevelLayout layout = testLayout();
+  DefectMap defects(layout.fm.rows(), layout.fm.cols());
+  defects.setType(0, layout.fm.colOfPosLiteral(0), DefectType::StuckOpen);
+  Rng rng(5);
+  const TransientFaultStats stats = measureTransientErrors(
+      layout, identityAssignment(layout.fm.rows()), defects, {}, 400, rng);
+  EXPECT_GT(stats.bitErrors, 0u);
+}
+
+TEST(TransientFaults, Validation) {
+  const TwoLevelLayout layout = testLayout();
+  const DefectMap clean(layout.fm.rows(), layout.fm.cols());
+  Rng rng(1);
+  TransientFaultConfig bad;
+  bad.openRate = 0.8;
+  bad.shortRate = 0.5;
+  EXPECT_THROW(measureTransientErrors(layout, identityAssignment(layout.fm.rows()), clean, bad,
+                                      10, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx

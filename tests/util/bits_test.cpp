@@ -1,0 +1,180 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(DynBits, DefaultIsEmpty) {
+  DynBits b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynBits, ConstructAllClear) {
+  DynBits b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynBits, ConstructAllSetMasksTail) {
+  DynBits b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+  // The tail word must not carry bits beyond size().
+  EXPECT_EQ(b.words()[1] >> 6, 0u);
+}
+
+TEST(DynBits, SetResetFlipTest) {
+  DynBits b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  b.flip(63);
+  EXPECT_TRUE(b.test(63));
+  b.set(0, false);
+  EXPECT_FALSE(b.test(0));
+}
+
+TEST(DynBits, OutOfRangeThrows) {
+  DynBits b(10);
+  EXPECT_THROW(b.test(10), InvalidArgument);
+  EXPECT_THROW(b.set(10), InvalidArgument);
+  EXPECT_THROW(b.reset(11), InvalidArgument);
+}
+
+TEST(DynBits, FindFirstAndNext) {
+  DynBits b(200);
+  EXPECT_EQ(b.findFirst(), 200u);
+  b.set(5);
+  b.set(77);
+  b.set(199);
+  EXPECT_EQ(b.findFirst(), 5u);
+  EXPECT_EQ(b.findNext(6), 77u);
+  EXPECT_EQ(b.findNext(78), 199u);
+  EXPECT_EQ(b.findNext(200), 200u);
+}
+
+TEST(DynBits, BitwiseOps) {
+  DynBits a(96), b(96);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(90);
+  DynBits andBits = a & b;
+  EXPECT_EQ(andBits.count(), 1u);
+  EXPECT_TRUE(andBits.test(70));
+  DynBits orBits = a | b;
+  EXPECT_EQ(orBits.count(), 3u);
+  DynBits xorBits = a ^ b;
+  EXPECT_EQ(xorBits.count(), 2u);
+  EXPECT_FALSE(xorBits.test(70));
+  DynBits diff = a;
+  diff.andNot(b);
+  EXPECT_EQ(diff.count(), 1u);
+  EXPECT_TRUE(diff.test(1));
+}
+
+TEST(DynBits, ComplementMasksTail) {
+  DynBits a(67);
+  a.set(3);
+  DynBits c = ~a;
+  EXPECT_EQ(c.count(), 66u);
+  EXPECT_FALSE(c.test(3));
+  EXPECT_TRUE(c.test(66));
+}
+
+TEST(DynBits, SizeMismatchThrows) {
+  DynBits a(5), b(6);
+  EXPECT_THROW(a &= b, InvalidArgument);
+  EXPECT_THROW(a.subsetOf(b), InvalidArgument);
+}
+
+TEST(DynBits, SubsetAndIntersect) {
+  DynBits a(128), b(128);
+  a.set(10);
+  a.set(100);
+  b.set(10);
+  b.set(100);
+  b.set(50);
+  EXPECT_TRUE(a.subsetOf(b));
+  EXPECT_FALSE(b.subsetOf(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynBits c(128);
+  c.set(51);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(c.subsetOf(b | c));
+}
+
+TEST(DynBits, SetAllResetAll) {
+  DynBits a(130);
+  a.setAll();
+  EXPECT_TRUE(a.all());
+  a.resetAll();
+  EXPECT_TRUE(a.none());
+}
+
+TEST(DynBits, ForEachSetVisitsInOrder) {
+  DynBits a(300);
+  const std::size_t positions[] = {0, 63, 64, 128, 299};
+  for (const std::size_t p : positions) a.set(p);
+  std::vector<std::size_t> seen;
+  a.forEachSet([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, std::vector<std::size_t>(std::begin(positions), std::end(positions)));
+}
+
+TEST(DynBits, ToStringPlacesBitZeroFirst) {
+  DynBits a(5);
+  a.set(0);
+  a.set(3);
+  EXPECT_EQ(a.toString(), "10010");
+}
+
+TEST(DynBits, CompareIsTotalOrder) {
+  DynBits a(64), b(64);
+  EXPECT_EQ(a.compare(b), 0);
+  b.set(1);
+  EXPECT_NE(a.compare(b), 0);
+  EXPECT_EQ(a.compare(b), -b.compare(a));
+  DynBits shorter(10);
+  EXPECT_LT(shorter.compare(a), 0);
+}
+
+TEST(DynBits, HashDiffersForDifferentContent) {
+  DynBits a(64), b(64);
+  b.set(13);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(DynBits, RandomizedCountMatchesReference) {
+  Rng rng(42);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniformInt(0, 400));
+    DynBits bits(n);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.3)) {
+        if (!bits.test(i)) ++expected;
+        bits.set(i);
+      }
+    }
+    EXPECT_EQ(bits.count(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace mcx

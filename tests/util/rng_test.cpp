@@ -1,0 +1,84 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcx {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool anyDifferent = false;
+  for (int i = 0; i < 10; ++i) anyDifferent |= (a() != b());
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniformInt(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(5, 5), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.split();
+  // Parent and child should not produce identical sequences.
+  bool anyDifferent = false;
+  Rng parentCopy = a;
+  for (int i = 0; i < 10; ++i) anyDifferent |= (parentCopy() != child());
+  EXPECT_TRUE(anyDifferent);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,77 @@
+#include "xbar/multilevel_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "netlist/nand_mapper.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+MultiLevelLayout fig5Layout() {
+  const Cover c = parseSop("x1 + x2 + x3 + x4 + x5 x6 x7 x8");
+  return buildMultiLevelLayout(mapToNand(c));
+}
+
+TEST(MultiLevelLayout, Fig5Geometry) {
+  const MultiLevelLayout layout = fig5Layout();
+  EXPECT_EQ(layout.fm.rows(), 3u);
+  EXPECT_EQ(layout.fm.cols(), 19u);
+  EXPECT_EQ(layout.fm.numConnectionCols(), 1u);
+  EXPECT_EQ(layout.dims().area(), 57u);
+}
+
+TEST(MultiLevelLayout, ConnectionColumnWiring) {
+  const MultiLevelLayout layout = fig5Layout();
+  // Gate 0 (NAND x5..x8) owns connection column 0 and writes into it.
+  ASSERT_EQ(layout.connOfGate.size(), 2u);
+  EXPECT_EQ(layout.connOfGate[0], 0u);
+  EXPECT_EQ(layout.connOfGate[1], MultiLevelLayout::kNoConnection);
+  const std::size_t conn = layout.fm.colOfConnection(0);
+  EXPECT_TRUE(layout.fm.bits().test(0, conn));  // writer
+  EXPECT_TRUE(layout.fm.bits().test(1, conn));  // reader (gate 1)
+}
+
+TEST(MultiLevelLayout, GateRowsCarryLiteralSwitches) {
+  const MultiLevelLayout layout = fig5Layout();
+  const FunctionMatrix& fm = layout.fm;
+  // Gate 0 reads x5..x8 on positive columns.
+  for (std::size_t v = 4; v < 8; ++v) EXPECT_TRUE(fm.bits().test(0, fm.colOfPosLiteral(v)));
+  // Gate 1 reads !x1..!x4.
+  for (std::size_t v = 0; v < 4; ++v) EXPECT_TRUE(fm.bits().test(1, fm.colOfNegLiteral(v)));
+}
+
+TEST(MultiLevelLayout, OutputWiring) {
+  const MultiLevelLayout layout = fig5Layout();
+  const FunctionMatrix& fm = layout.fm;
+  // The output gate (row 1) writes into O1; the latch row has O1 and !O1.
+  EXPECT_TRUE(fm.bits().test(1, fm.colOfOutput(0)));
+  EXPECT_TRUE(fm.bits().test(fm.rowOfOutput(0), fm.colOfOutput(0)));
+  EXPECT_TRUE(fm.bits().test(fm.rowOfOutput(0), fm.colOfOutputBar(0)));
+}
+
+TEST(MultiLevelLayout, MultiOutputNetworks) {
+  Cover c(4, 2);
+  c.add(makeCube("11--", "10"));
+  c.add(makeCube("1--1", "10"));
+  c.add(makeCube("--11", "01"));
+  const MultiLevelLayout layout = buildMultiLevelLayout(mapToNand(c));
+  EXPECT_EQ(layout.fm.nout(), 2u);
+  EXPECT_EQ(layout.fm.rows(), layout.network.gateCount() + 2);
+  EXPECT_EQ(layout.dims(), multiLevelDims(layout.network));
+}
+
+TEST(MultiLevelLayout, RejectsEmptyNetwork) {
+  NandNetwork net(2);
+  EXPECT_THROW(buildMultiLevelLayout(net), InvalidArgument);
+}
+
+TEST(MultiLevelLayout, DiagramMentionsGeometry) {
+  const std::string s = fig5Layout().toAsciiDiagram();
+  EXPECT_NE(s.find("area=57"), std::string::npos);
+  EXPECT_NE(s.find("gates=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,46 @@
+#include "xbar/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "netlist/nand_mapper.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(TimingModel, TwoLevelIsConstantSevenSteps) {
+  EXPECT_EQ(twoLevelCycles(), 7u);
+  const Cover c = parseSop("x1 x2 + x3 + !x4");
+  const AreaDelay ad = twoLevelAreaDelay(c);
+  EXPECT_EQ(ad.cycles, 7u);
+  EXPECT_EQ(ad.area, twoLevelDims(c).area());
+  EXPECT_EQ(ad.product(), ad.area * 7u);
+}
+
+TEST(TimingModel, MultiLevelScalesWithGates) {
+  const Cover c = parseSop("x1 + x2 + x3 + x4 + x5 x6 x7 x8");
+  const NandNetwork net = mapToNand(c);
+  ASSERT_EQ(net.gateCount(), 2u);
+  EXPECT_EQ(multiLevelCycles(net), 8u);  // 2*2 + 4
+  const AreaDelay ad = multiLevelAreaDelay(net);
+  EXPECT_EQ(ad.area, 57u);
+  EXPECT_EQ(ad.cycles, 8u);
+}
+
+TEST(TimingModel, Fig5TradeoffAreaDownCyclesUp) {
+  // The paper's multi-level example halves the area but needs more steps.
+  const Cover c = parseSop("x1 + x2 + x3 + x4 + x5 x6 x7 x8");
+  const AreaDelay two = twoLevelAreaDelay(c);
+  const AreaDelay multi = multiLevelAreaDelay(mapToNand(c));
+  EXPECT_LT(multi.area, two.area);
+  EXPECT_GT(multi.cycles, two.cycles);
+}
+
+TEST(TimingModel, EmptyNetworkRejected) {
+  NandNetwork net(2);
+  EXPECT_THROW(multiLevelCycles(net), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcx
