@@ -32,7 +32,9 @@ int main() {
   const HybridMapper hbaNoBt(noBt);
   const HybridMapper hba;
   const ColumnPermutationMapper colPerm;
-  const ExactMapper ea;
+  ExactMapperOptions munkres;
+  munkres.useMunkres = true;
+  const ExactMapper ea(munkres);  // the paper's Munkres baseline
   const FastExactMapper eaFast;
   const IMapper* mappers[] = {&greedy, &hbaNoBt, &hba, &colPerm, &ea, &eaFast};
 

@@ -5,9 +5,18 @@
 // function matrix has gate rows instead of minterm rows plus connection
 // columns — so HBA and EA run as-is. Every successful mapping is
 // additionally validated end-to-end with the behavioral simulator.
+//
+// This bench also drives the parallel Monte Carlo engine through a threads
+// sweep (1/2/4/hw): success counts and row assignments must be identical at
+// every thread count (the engine's determinism contract), and wall-clock
+// per sweep is emitted as machine-readable JSON (MCX_BENCH_JSON, default
+// BENCH_defect_mc.json) to track the perf trajectory.
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "benchdata/registry.hpp"
+#include "defect_sweep.hpp"
 #include "logic/espresso.hpp"
 #include "logic/isop.hpp"
 #include "logic/generators.hpp"
@@ -24,6 +33,9 @@ int main() {
   using namespace mcx;
 
   const std::size_t samples = envSizeT("MCX_SAMPLES", 100);
+  const char* jsonPathEnv = std::getenv("MCX_BENCH_JSON");
+  const std::string jsonPath =
+      (jsonPathEnv && *jsonPathEnv) ? jsonPathEnv : "BENCH_defect_mc.json";
   std::cout << "Defect-tolerant mapping of multi-level designs (paper future work), "
             << samples << " samples per cell, 10% stuck-at-open\n\n";
 
@@ -35,51 +47,95 @@ int main() {
   workloads.push_back({"rd53", espressoMinimize(isopCover(weightFunction(5)))});
   workloads.push_back({"sqrt8", espressoMinimize(isopCover(sqrtFunction(8)))});
   workloads.push_back({"t481 stand-in", loadBenchmarkFast("t481").cover});
+  // Large multi-level instance (289x299 FM): the one that actually exercises
+  // the engine's solver and threading path.
+  workloads.push_back({"bw", loadBenchmarkFast("bw").cover});
 
-  TextTable table({"circuit", "ML area", "HBA Psucc", "EA Psucc", "sim-validated"});
+  const std::vector<std::size_t> sweep = benchutil::threadsSweep();
+  std::ofstream jsonFile(jsonPath);
+  JsonWriter json(jsonFile);
+  json.beginObject();
+  json.field("bench", "multilevel_defect");
+  json.field("samples", samples);
+  json.field("stuck_open_rate", 0.10);
+  json.field("hardware_concurrency", resolveThreadCount(0));
+  json.key("circuits").beginArray();
+
+  TextTable table({"circuit", "ML area", "HBA Psucc", "EA Psucc", "HBA 1T s", "HBA 4T s",
+                   "4T speedup", "det", "sim-validated"});
+  bool allDeterministic = true;
+
   for (const Workload& w : workloads) {
     const MultiLevelLayout layout = buildMultiLevelLayout(mapToNand(w.cover));
     const FunctionMatrix& fm = layout.fm;
 
-    Rng rng(0x51a);
-    std::size_t hbaOk = 0, eaOk = 0, validated = 0, validationChecks = 0;
+    DefectExperimentConfig cfg;
+    cfg.samples = samples;
+    cfg.stuckOpenRate = 0.10;
+    cfg.seed = 0x51a;
+    cfg.keepMappings = true;
+
+    json.beginObject();
+    json.field("name", w.label);
+    json.field("area", fm.dims().area());
+
+    const HybridMapper hba;
+    const ExactMapper ea;
+
+    json.key("mappers").beginArray();
+    benchutil::SweepOutcome hbaOut = benchutil::runThreadsSweep(fm, hba, cfg, sweep, json);
+    const benchutil::SweepOutcome eaOut = benchutil::runThreadsSweep(fm, ea, cfg, sweep, json);
+    json.endArray();
+    const bool circuitDeterministic = hbaOut.deterministic && eaOut.deterministic;
+    allDeterministic = allDeterministic && circuitDeterministic;
+    const DefectExperimentResult& hbaReference = hbaOut.reference;
+
+    // Spot-check successful HBA mappings functionally: re-derive each
+    // sample's defect map (identical streams by the engine contract) and
+    // simulate the mapped crossbar on random inputs.
+    std::size_t validated = 0, validationChecks = 0;
     const TruthTable ref = TruthTable::fromCover(w.cover);
-    for (std::size_t s = 0; s < samples; ++s) {
-      Rng sampleRng = rng.split();
-      const DefectMap defects =
-          DefectMap::sample(fm.rows(), fm.cols(), 0.10, 0.0, sampleRng);
-      const BitMatrix cm = crossbarMatrix(defects);
-      const MappingResult hba = HybridMapper().map(fm, cm);
-      if (ExactMapper().map(fm, cm).success) ++eaOk;
-      if (!hba.success) continue;
-      ++hbaOk;
-      // Spot-check the mapped crossbar functionally on sampled inputs.
-      if (validationChecks < 10) {
-        ++validationChecks;
-        bool good = true;
-        Rng inputRng(900 + s);
-        for (int check = 0; check < 16 && good; ++check) {
-          DynBits in(w.cover.nin());
-          std::size_t m = 0;
-          for (std::size_t v = 0; v < w.cover.nin(); ++v) {
-            const bool bit = inputRng.bernoulli(0.5);
-            in.set(v, bit);
-            m |= static_cast<std::size_t>(bit) << v;
-          }
-          const DynBits out = simulateMultiLevel(layout, hba.rowAssignment, defects, in);
-          for (std::size_t o = 0; o < w.cover.nout(); ++o)
-            if (out.test(o) != ref.get(o, m)) good = false;
+    forEachDefectSample(fm, cfg, [&](std::size_t s, const DefectMap& defects, const BitMatrix&) {
+      const MappingResult& mapping = hbaReference.mappings[s];
+      if (!mapping.success || validationChecks >= 10) return;
+      ++validationChecks;
+      bool good = true;
+      Rng inputRng(900 + s);
+      for (int check = 0; check < 16 && good; ++check) {
+        DynBits in(w.cover.nin());
+        std::size_t minterm = 0;
+        for (std::size_t v = 0; v < w.cover.nin(); ++v) {
+          const bool bit = inputRng.bernoulli(0.5);
+          in.set(v, bit);
+          minterm |= static_cast<std::size_t>(bit) << v;
         }
-        if (good) ++validated;
+        const DynBits out = simulateMultiLevel(layout, mapping.rowAssignment, defects, in);
+        for (std::size_t o = 0; o < w.cover.nout(); ++o)
+          if (out.test(o) != ref.get(o, minterm)) good = false;
       }
-    }
+      if (good) ++validated;
+    });
+    json.field("sim_validated", validated);
+    json.field("sim_checks", validationChecks);
+    json.endObject();
+
     table.addRow({w.label, std::to_string(fm.dims().area()),
-                  TextTable::percent(double(hbaOk) / double(samples)),
-                  TextTable::percent(double(eaOk) / double(samples)),
+                  TextTable::percent(hbaOut.reference.successRate()),
+                  TextTable::percent(eaOut.reference.successRate()),
+                  TextTable::num(hbaOut.wallAt1, 3), TextTable::num(hbaOut.wallAt4, 3),
+                  hbaOut.wallAt4 > 0 ? TextTable::num(hbaOut.wallAt1 / hbaOut.wallAt4, 2) + "x"
+                                     : "-",
+                  circuitDeterministic ? "yes" : "NO",
                   std::to_string(validated) + "/" + std::to_string(validationChecks)});
   }
+  json.endArray();
+  json.endObject();
+  jsonFile << "\n";
+
   std::cout << table << "\n";
   std::cout << "every simulated spot-check of a successful mapping must pass (last column\n"
-               "n/n): the mapped multi-level crossbar computes the original function.\n";
-  return 0;
+               "n/n): the mapped multi-level crossbar computes the original function.\n"
+               "det = success counts and row assignments identical across the threads\n"
+               "sweep (1/2/4/hw) for a fixed seed. JSON written to " << jsonPath << "\n";
+  return allDeterministic ? 0 : 1;
 }

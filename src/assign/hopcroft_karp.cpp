@@ -1,5 +1,6 @@
 #include "assign/hopcroft_karp.hpp"
 
+#include <bit>
 #include <limits>
 #include <queue>
 
@@ -24,15 +25,58 @@ namespace {
 
 constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
 
-struct HkState {
+// Adjacency-list view of a BipartiteGraph.
+struct ListGraphView {
   const BipartiteGraph& g;
+
+  std::size_t numLeft() const { return g.numLeft(); }
+  std::size_t numRight() const { return g.numRight(); }
+
+  template <typename Fn>
+  bool forEachNeighbor(std::size_t l, Fn&& fn) const {
+    for (const std::size_t r : g.neighbors(l)) {
+      if (fn(r)) return true;
+    }
+    return false;
+  }
+};
+
+// Bit-matrix view: each set bit of row l is an edge l -> (word * 64 + bit),
+// walked word-at-a-time with countr_zero — no per-edge adjacency structure.
+struct BitGraphView {
+  const BitMatrix& adj;
+
+  std::size_t numLeft() const { return adj.rows(); }
+  std::size_t numRight() const { return adj.cols(); }
+
+  template <typename Fn>
+  bool forEachNeighbor(std::size_t l, Fn&& fn) const {
+    const auto words = adj.rowWords(l);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      BitMatrix::Word bits = words[i];
+      while (bits != 0) {
+        const std::size_t r = i * BitMatrix::kWordBits +
+                              static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (fn(r)) return true;
+      }
+    }
+    return false;
+  }
+};
+
+// One Hopcroft-Karp engine for every graph representation: the Graph policy
+// only supplies vertex counts and neighbor iteration.
+template <typename Graph>
+struct HkEngine {
+  Graph g;
   std::vector<std::size_t> matchL, matchR, dist;
 
-  explicit HkState(const BipartiteGraph& graph)
+  explicit HkEngine(Graph graph)
       : g(graph),
-        matchL(graph.numLeft(), MatchingResult::kUnmatched),
-        matchR(graph.numRight(), MatchingResult::kUnmatched),
-        dist(graph.numLeft()) {}
+        matchL(g.numLeft(), MatchingResult::kUnmatched),
+        matchR(g.numRight(), MatchingResult::kUnmatched),
+        dist(g.numLeft()) {}
 
   bool bfs() {
     std::queue<std::size_t> q;
@@ -48,7 +92,7 @@ struct HkState {
     while (!q.empty()) {
       const std::size_t l = q.front();
       q.pop();
-      for (const std::size_t r : g.neighbors(l)) {
+      g.forEachNeighbor(l, [&](std::size_t r) {
         const std::size_t next = matchR[r];
         if (next == MatchingResult::kUnmatched) {
           foundAugmenting = true;
@@ -56,36 +100,45 @@ struct HkState {
           dist[next] = dist[l] + 1;
           q.push(next);
         }
-      }
+        return false;
+      });
     }
     return foundAugmenting;
   }
 
   bool dfs(std::size_t l) {
-    for (const std::size_t r : g.neighbors(l)) {
+    const bool augmented = g.forEachNeighbor(l, [&](std::size_t r) {
       const std::size_t next = matchR[r];
       if (next == MatchingResult::kUnmatched || (dist[next] == dist[l] + 1 && dfs(next))) {
         matchL[l] = r;
         matchR[r] = l;
         return true;
       }
+      return false;
+    });
+    if (!augmented) dist[l] = kInf;
+    return augmented;
+  }
+
+  MatchingResult run() {
+    MatchingResult result;
+    while (bfs()) {
+      for (std::size_t l = 0; l < g.numLeft(); ++l)
+        if (matchL[l] == MatchingResult::kUnmatched && dfs(l)) ++result.size;
     }
-    dist[l] = kInf;
-    return false;
+    result.matchOfLeft = std::move(matchL);
+    return result;
   }
 };
 
 }  // namespace
 
 MatchingResult hopcroftKarp(const BipartiteGraph& graph) {
-  HkState state(graph);
-  MatchingResult result;
-  while (state.bfs()) {
-    for (std::size_t l = 0; l < graph.numLeft(); ++l)
-      if (state.matchL[l] == MatchingResult::kUnmatched && state.dfs(l)) ++result.size;
-  }
-  result.matchOfLeft = std::move(state.matchL);
-  return result;
+  return HkEngine<ListGraphView>(ListGraphView{graph}).run();
+}
+
+MatchingResult hopcroftKarp(const BitMatrix& adjacency) {
+  return HkEngine<BitGraphView>(BitGraphView{adjacency}).run();
 }
 
 }  // namespace mcx

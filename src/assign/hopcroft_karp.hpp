@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/bit_matrix.hpp"
+
 namespace mcx {
 
 class BipartiteGraph {
@@ -39,5 +41,11 @@ struct MatchingResult {
 
 /// Maximum matching via Hopcroft-Karp.
 MatchingResult hopcroftKarp(const BipartiteGraph& graph);
+
+/// Maximum matching directly on a bit-matrix adjacency (left vertex = row,
+/// right vertex = column). Neighbor lists are walked word-at-a-time with
+/// countr_zero, so no per-edge adjacency structure is ever materialized —
+/// the fast path for the crossbar row-matching feasibility question.
+MatchingResult hopcroftKarp(const BitMatrix& adjacency);
 
 }  // namespace mcx

@@ -11,17 +11,32 @@ MappingResult ExactMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) co
   MappingResult result;
   if (fm.rows() > cm.rows()) return result;
 
-  std::vector<std::size_t> fmRows(fm.rows());
-  std::iota(fmRows.begin(), fmRows.end(), 0u);
-  std::vector<std::size_t> cmRows(cm.rows());
-  std::iota(cmRows.begin(), cmRows.end(), 0u);
+  if (opts_.useMunkres) {
+    // The paper's formulation: zero-cost Munkres assignment on the full
+    // matching matrix (the ablation runtime baseline).
+    std::vector<std::size_t> fmRows(fm.rows());
+    std::iota(fmRows.begin(), fmRows.end(), 0u);
+    std::vector<std::size_t> cmRows(cm.rows());
+    std::iota(cmRows.begin(), cmRows.end(), 0u);
 
-  const CostMatrix matching = buildMatchingMatrix(fm.bits(), fmRows, cm, cmRows);
-  const AssignmentResult assignment = munkresSolve(matching);
-  if (assignment.cost != 0) return result;
+    const CostMatrix matching = buildMatchingMatrix(fm.bits(), fmRows, cm, cmRows);
+    const AssignmentResult assignment = munkresSolve(matching);
+    if (assignment.cost != 0) return result;
 
-  result.rowAssignment.resize(fm.rows());
-  for (std::size_t i = 0; i < fm.rows(); ++i) result.rowAssignment[i] = assignment.assignment[i];
+    result.rowAssignment.assign(assignment.assignment.begin(),
+                                assignment.assignment.begin() +
+                                    static_cast<std::ptrdiff_t>(fm.rows()));
+    result.success = true;
+    return result;
+  }
+
+  // Feasibility fast path: Hopcroft-Karp on the word-parallel candidate
+  // adjacency decides the same perfect-matching question in O(E sqrt(V)).
+  const BitMatrix adjacency = buildCandidateAdjacency(fm.bits(), cm);
+  FeasibleAssignment assignment = solveFeasibleAssignment(adjacency);
+  if (!assignment.success) return result;
+
+  result.rowAssignment = std::move(assignment.assignment);
   result.success = true;
   return result;
 }

@@ -1,6 +1,5 @@
 #include "map/fast_exact_mapper.hpp"
 
-#include "assign/hopcroft_karp.hpp"
 #include "util/error.hpp"
 
 namespace mcx {
@@ -10,16 +9,13 @@ MappingResult FastExactMapper::map(const FunctionMatrix& fm, const BitMatrix& cm
   MappingResult result;
   if (fm.rows() > cm.rows()) return result;
 
-  BipartiteGraph graph(fm.rows(), cm.rows());
-  for (std::size_t r = 0; r < fm.rows(); ++r)
-    for (std::size_t h = 0; h < cm.rows(); ++h)
-      if (rowMatches(fm.bits(), r, cm, h)) graph.addEdge(r, h);
+  // Hopcroft-Karp runs directly on the bit adjacency; no per-edge adjacency
+  // lists are materialized.
+  const BitMatrix adjacency = buildCandidateAdjacency(fm.bits(), cm);
+  FeasibleAssignment assignment = solveFeasibleAssignment(adjacency);
+  if (!assignment.success) return result;
 
-  const MatchingResult matching = hopcroftKarp(graph);
-  if (!matching.perfectForLeft(fm.rows())) return result;
-
-  result.rowAssignment.resize(fm.rows());
-  for (std::size_t r = 0; r < fm.rows(); ++r) result.rowAssignment[r] = matching.matchOfLeft[r];
+  result.rowAssignment = std::move(assignment.assignment);
   result.success = true;
   return result;
 }

@@ -19,6 +19,12 @@ namespace mcx {
 struct HybridMapperOptions {
   /// Disable phase-1 backtracking (ablation A3).
   bool backtracking = true;
+  /// Place most-constrained minterm rows (fewest candidate CM rows) first in
+  /// phase 1 (stable, so equal-degree rows keep the paper's top-to-bottom
+  /// order); if that order dead-ends, the paper's top-to-bottom order is
+  /// retried, so the success set is the union of both orders. Disable to
+  /// reproduce the paper's exact single-order greedy.
+  bool sortByCandidates = true;
 };
 
 class HybridMapper final : public IMapper {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "assign/hopcroft_karp.hpp"
 #include "util/error.hpp"
 
 namespace mcx {
@@ -10,13 +11,83 @@ bool rowMatches(const BitMatrix& fm, std::size_t fmRow, const BitMatrix& cm, std
   return fm.rowSubsetOf(fmRow, cm, cmRow);
 }
 
-CostMatrix buildMatchingMatrix(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
-                               const BitMatrix& cm, const std::vector<std::size_t>& cmRows) {
-  CostMatrix cost(fmRows.size(), cmRows.size(), 1);
+BitMatrix buildCandidateAdjacency(const BitMatrix& fm, const BitMatrix& cm) {
+  MCX_REQUIRE(fm.cols() == cm.cols(), "buildCandidateAdjacency: column mismatch");
+  // Zero-column rows are subsets of everything (rowMatches is trivially
+  // true), so the degenerate adjacency is all-ones, not all-zeros.
+  if (fm.cols() == 0) return BitMatrix(fm.rows(), cm.rows(), true);
+  BitMatrix adjacency(fm.rows(), cm.rows());
+  if (fm.rows() == 0 || cm.rows() == 0) return adjacency;
+
+  // Hot inner loop of every mapper: raw row words with a hoisted stride and
+  // a branchless fit test (the ~50/50 fit rate makes a branch mispredict
+  // per pair), accumulating 64 results into each output word.
+  using Word = BitMatrix::Word;
+  const std::size_t words = fm.rowWords(0).size();
+  const Word* cmBase = cm.rowWords(0).data();
+  const std::size_t n = cm.rows();
+  for (std::size_t i = 0; i < fm.rows(); ++i) {
+    const Word* a = fm.rowWords(i).data();
+    Word* out = adjacency.rowWords(i).data();
+    const Word* b = cmBase;
+    for (std::size_t j0 = 0; j0 < n; j0 += BitMatrix::kWordBits) {
+      const std::size_t blockEnd = std::min(n, j0 + BitMatrix::kWordBits);
+      Word acc = 0;
+      if (words == 1) {
+        const Word aw = a[0];
+        for (std::size_t j = j0; j < blockEnd; ++j, b += 1)
+          acc |= static_cast<Word>((aw & ~b[0]) == 0) << (j - j0);
+      } else {
+        for (std::size_t j = j0; j < blockEnd; ++j, b += words) {
+          Word miss = 0;
+          for (std::size_t w = 0; w < words; ++w) miss |= a[w] & ~b[w];
+          acc |= static_cast<Word>(miss == 0) << (j - j0);
+        }
+      }
+      out[j0 / BitMatrix::kWordBits] = acc;
+    }
+  }
+  return adjacency;
+}
+
+BitMatrix buildCandidateAdjacency(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
+                                  const BitMatrix& cm, const std::vector<std::size_t>& cmRows) {
+  BitMatrix adjacency(fmRows.size(), cmRows.size());
   for (std::size_t i = 0; i < fmRows.size(); ++i)
     for (std::size_t j = 0; j < cmRows.size(); ++j)
-      if (rowMatches(fm, fmRows[i], cm, cmRows[j])) cost.at(i, j) = 0;
+      if (rowMatches(fm, fmRows[i], cm, cmRows[j])) adjacency.set(i, j);
+  return adjacency;
+}
+
+CostMatrix buildMatchingMatrix(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
+                               const BitMatrix& cm, const std::vector<std::size_t>& cmRows) {
+  return buildMatchingMatrix(buildCandidateAdjacency(fm, fmRows, cm, cmRows));
+}
+
+CostMatrix buildMatchingMatrix(const BitMatrix& adjacency) {
+  CostMatrix cost(adjacency.rows(), adjacency.cols(), 1);
+  for (std::size_t i = 0; i < adjacency.rows(); ++i)
+    for (std::size_t j = 0; j < adjacency.cols(); ++j)
+      if (adjacency.test(i, j)) cost.at(i, j) = 0;
   return cost;
+}
+
+FeasibleAssignment solveFeasibleAssignment(const BitMatrix& adjacency) {
+  FeasibleAssignment result;
+  if (adjacency.rows() > adjacency.cols()) return result;
+  if (adjacency.rows() == 0) {
+    result.success = true;
+    return result;
+  }
+  // Degree early exit: a row with no candidate can never be matched.
+  for (std::size_t i = 0; i < adjacency.rows(); ++i)
+    if (adjacency.rowCount(i) == 0) return result;
+
+  const MatchingResult matching = hopcroftKarp(adjacency);
+  if (!matching.perfectForLeft(adjacency.rows())) return result;
+  result.success = true;
+  result.assignment = matching.matchOfLeft;
+  return result;
 }
 
 bool verifyMapping(const FunctionMatrix& fm, const BitMatrix& cm, const MappingResult& result) {

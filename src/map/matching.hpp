@@ -21,11 +21,40 @@ namespace mcx {
 /// True iff FM row @p fmRow fits CM row @p cmRow.
 bool rowMatches(const BitMatrix& fm, std::size_t fmRow, const BitMatrix& cm, std::size_t cmRow);
 
+/// Candidate adjacency of the matching problem: bit (i, j) set iff FM row i
+/// fits CM row j. Computed once per defect sample with the word-parallel
+/// rowSubsetOf and shared by every downstream consumer (degree checks,
+/// Hopcroft-Karp, cost-matrix construction).
+BitMatrix buildCandidateAdjacency(const BitMatrix& fm, const BitMatrix& cm);
+
+/// Subset variant: bit (i, j) set iff FM row fmRows[i] fits CM row cmRows[j].
+BitMatrix buildCandidateAdjacency(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
+                                  const BitMatrix& cm, const std::vector<std::size_t>& cmRows);
+
 /// The paper's "matching matrix" as a Munkres cost matrix: entry 0 where
 /// FM row fmRows[i] fits CM row cmRows[j], 1 otherwise. A zero-cost perfect
 /// assignment is exactly a valid mapping of the selected rows.
 CostMatrix buildMatchingMatrix(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
                                const BitMatrix& cm, const std::vector<std::size_t>& cmRows);
+
+/// Overload for a precomputed candidate adjacency: cost 0 where the bit is
+/// set, 1 otherwise. Lets callers that already hold the adjacency skip the
+/// per-pair subset tests.
+CostMatrix buildMatchingMatrix(const BitMatrix& adjacency);
+
+/// A solved 0/1 feasibility matching (the unweighted special case of the
+/// paper's assignment problem).
+struct FeasibleAssignment {
+  bool success = false;
+  /// assignment[i] = adjacency column matched to row i, when success.
+  std::vector<std::size_t> assignment;
+};
+
+/// Decide the pure feasibility case via Hopcroft-Karp on the candidate
+/// adjacency — O(E sqrt(V)) instead of Munkres' O(n^3). An FM row with zero
+/// candidates fails before any solving. Munkres remains the solver for
+/// genuinely weighted cost matrices.
+FeasibleAssignment solveFeasibleAssignment(const BitMatrix& adjacency);
 
 struct MappingResult {
   static constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "logic/generators.hpp"
+#include "mc/parallel.hpp"
 #include "util/error.hpp"
 #include "xbar/area_model.hpp"
 
@@ -22,33 +23,40 @@ AreaExperimentResult runAreaExperiment(const AreaExperimentConfig& config) {
   MCX_REQUIRE(maxP >= config.minProducts && config.minProducts >= 1,
               "runAreaExperiment: bad product range");
 
-  Rng rng(config.seed);
+  // One pre-split stream per sample, in sample order: sample i redraws
+  // degenerate (constant) covers within its own stream, so the result set is
+  // identical at any thread count.
+  const std::vector<Rng> streams = splitSampleStreams(config.seed, config.samples);
+
   AreaExperimentResult result;
-  result.samples.reserve(config.samples);
+  result.samples.resize(config.samples);
 
-  while (result.samples.size() < config.samples) {
-    RandomSopOptions sop;
-    sop.nin = config.nin;
-    sop.nout = 1;
-    sop.products = static_cast<std::size_t>(rng.uniformInt(config.minProducts, maxP));
-    sop.literalsPerProduct = config.literalsPerProduct;
-    Cover cover = randomSop(sop, rng);
-    cover = espressoMinimize(cover, config.espresso);
-    if (cover.empty()) continue;  // degenerate (constant) draw; redraw
-    // A cover whose single cube has no literals is constant 1 — skip too.
-    if (cover.size() == 1 && cover.cube(0).literalCount() == 0) continue;
+  parallelForEach(config.samples, config.threads, [&](std::size_t, std::size_t i) {
+    Rng rng = streams[i];
+    for (;;) {
+      RandomSopOptions sop;
+      sop.nin = config.nin;
+      sop.nout = 1;
+      sop.products = static_cast<std::size_t>(rng.uniformInt(config.minProducts, maxP));
+      sop.literalsPerProduct = config.literalsPerProduct;
+      Cover cover = randomSop(sop, rng);
+      cover = espressoMinimize(cover, config.espresso);
+      if (cover.empty()) continue;  // degenerate (constant) draw; redraw
+      // A cover whose single cube has no literals is constant 1 — skip too.
+      if (cover.size() == 1 && cover.cube(0).literalCount() == 0) continue;
 
-    const NandNetwork net = config.useBestMapping
-                                ? mapToNandBest(cover, config.nandMap.maxFanin)
-                                : mapToNand(cover, config.nandMap);
+      const NandNetwork net = config.useBestMapping
+                                  ? mapToNandBest(cover, config.nandMap.maxFanin)
+                                  : mapToNand(cover, config.nandMap);
 
-    AreaSample sample;
-    sample.products = cover.size();
-    sample.gates = net.gateCount();
-    sample.twoLevelArea = twoLevelDims(cover).area();
-    sample.multiLevelArea = multiLevelDims(net).area();
-    result.samples.push_back(sample);
-  }
+      AreaSample& sample = result.samples[i];
+      sample.products = cover.size();
+      sample.gates = net.gateCount();
+      sample.twoLevelArea = twoLevelDims(cover).area();
+      sample.multiLevelArea = multiLevelDims(net).area();
+      return;
+    }
+  });
 
   std::sort(result.samples.begin(), result.samples.end(),
             [](const AreaSample& a, const AreaSample& b) { return a.products < b.products; });

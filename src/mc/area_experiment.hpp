@@ -23,6 +23,10 @@ struct AreaExperimentConfig {
   std::size_t maxProducts = 0;      ///< 0 = nin (tracks the paper's ranges)
   double literalsPerProduct = 3.0;
   std::uint64_t seed = 6;
+  /// Worker threads; 0 = hardware concurrency. Results do not depend on
+  /// this knob (one pre-split RNG stream per sample; degenerate draws are
+  /// redrawn within the sample's own stream).
+  std::size_t threads = 0;
   EspressoOptions espresso;
   /// Pick the best of flat / quick / kernel mapping per sample (like a real
   /// technology mapper); when false, nandMap is used as given.

@@ -1,5 +1,6 @@
 #include "mc/defect_experiment.hpp"
 
+#include "mc/parallel.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -8,14 +9,14 @@ namespace mcx {
 void forEachDefectSample(const FunctionMatrix& fm, const DefectExperimentConfig& config,
                          const std::function<void(std::size_t, const DefectMap&,
                                                   const BitMatrix&)>& fn) {
-  Rng rng(config.seed);
+  const std::vector<Rng> streams = splitSampleStreams(config.seed, config.samples);
   const std::size_t rows = fm.rows() + config.spareRows;
+  DefectMap defects;
+  BitMatrix cm;
   for (std::size_t s = 0; s < config.samples; ++s) {
-    Rng sampleRng = rng.split();
-    const DefectMap defects =
-        DefectMap::sample(rows, fm.cols(), config.stuckOpenRate, config.stuckClosedRate,
-                          sampleRng);
-    const BitMatrix cm = crossbarMatrix(defects);
+    Rng sampleRng = streams[s];
+    defects.resample(rows, fm.cols(), config.stuckOpenRate, config.stuckClosedRate, sampleRng);
+    crossbarMatrixInto(defects, cm);
     fn(s, defects, cm);
   }
 }
@@ -24,23 +25,58 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
                                            const DefectExperimentConfig& config) {
   DefectExperimentResult result;
   result.samples = config.samples;
-  std::vector<double> millis;
-  millis.reserve(config.samples);
 
-  forEachDefectSample(fm, config, [&](std::size_t, const DefectMap&, const BitMatrix& cm) {
+  const std::vector<Rng> streams = splitSampleStreams(config.seed, config.samples);
+  const std::size_t rows = fm.rows() + config.spareRows;
+  const std::size_t threads = resolveThreadCount(config.threads);
+
+  struct PerSample {
+    bool success = false;
+    std::size_t backtracks = 0;
+    double millis = 0;
+  };
+  std::vector<PerSample> outcomes(config.samples);
+  if (config.keepMappings) result.mappings.resize(config.samples);
+
+  // Per-worker scratch arenas: the DefectMap and crossbar BitMatrix buffers
+  // are reused across every sample a worker processes.
+  struct Scratch {
+    DefectMap defects;
+    BitMatrix cm;
+  };
+  std::vector<Scratch> scratch(threads);
+
+  parallelForEach(config.samples, threads, [&](std::size_t worker, std::size_t s) {
+    Scratch& sc = scratch[worker];
+    Rng sampleRng = streams[s];
+    sc.defects.resample(rows, fm.cols(), config.stuckOpenRate, config.stuckClosedRate,
+                        sampleRng);
+    crossbarMatrixInto(sc.defects, sc.cm);
+
     Stopwatch watch;
-    const MappingResult mapping = mapper.map(fm, cm);
+    MappingResult mapping = mapper.map(fm, sc.cm);
     const double sec = watch.seconds();
-    result.totalSeconds += sec;
-    millis.push_back(sec * 1e3);
-    result.totalBacktracks += mapping.backtracks;
-    if (mapping.success) {
-      if (config.verify)
-        MCX_REQUIRE(verifyMapping(fm, cm, mapping),
-                    "runDefectExperiment: mapper returned an invalid mapping");
-      ++result.successes;
-    }
+
+    if (mapping.success && config.verify)
+      MCX_REQUIRE(verifyMapping(fm, sc.cm, mapping),
+                  "runDefectExperiment: mapper returned an invalid mapping");
+
+    PerSample& out = outcomes[s];
+    out.success = mapping.success;
+    out.backtracks = mapping.backtracks;
+    out.millis = sec * 1e3;
+    if (config.keepMappings) result.mappings[s] = std::move(mapping);
   });
+
+  // Merge per-sample outcomes deterministically, in sample order.
+  std::vector<double> millis(config.samples);
+  for (std::size_t s = 0; s < config.samples; ++s) {
+    const PerSample& out = outcomes[s];
+    if (out.success) ++result.successes;
+    result.totalBacktracks += out.backtracks;
+    result.totalSeconds += out.millis / 1e3;
+    millis[s] = out.millis;
+  }
   result.perSampleMillis = summarize(millis);
   return result;
 }

@@ -4,10 +4,17 @@
 // per-crosspoint rates), the crossbar matrix is derived, and the mapper
 // under test runs on an optimum-size (or redundant) crossbar. Success rate
 // and runtime are accumulated — the quantities of Table II.
+//
+// The engine is parallel and deterministic: the root RNG is pre-split into
+// one stream per sample (in sample order), samples are distributed over a
+// worker pool with per-worker scratch arenas, and the per-sample outcomes
+// are merged back in sample order. Defect maps, success counts, and row
+// assignments are therefore bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "map/matching.hpp"
 #include "mc/stats.hpp"
@@ -22,9 +29,15 @@ struct DefectExperimentConfig {
   double stuckClosedRate = 0.0;    ///< paper: only stuck-open on optimum size
   std::size_t spareRows = 0;       ///< redundancy extension (A1)
   std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware concurrency. Results do not depend on
+  /// this knob (per-sample RNG streams are pre-split in sample order).
+  std::size_t threads = 0;
   /// Verify each claimed success against the matching rules (cheap; on by
   /// default so experiments cannot silently report invalid mappings).
   bool verify = true;
+  /// Keep each sample's MappingResult in DefectExperimentResult::mappings
+  /// (sample order). Off by default to keep large sweeps lean.
+  bool keepMappings = false;
 };
 
 struct DefectExperimentResult {
@@ -33,6 +46,8 @@ struct DefectExperimentResult {
   double totalSeconds = 0;
   std::size_t totalBacktracks = 0;
   SummaryStats perSampleMillis;
+  /// Per-sample mapper outputs, in sample order (only when keepMappings).
+  std::vector<MappingResult> mappings;
 
   double successRate() const {
     return samples == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(samples);
@@ -43,12 +58,17 @@ struct DefectExperimentResult {
   }
 };
 
+/// Run the Monte Carlo sweep. The mapper's map() must be safe to call
+/// concurrently from several threads (all library mappers are stateless).
 DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm,
                                            const IMapper& mapper,
                                            const DefectExperimentConfig& config);
 
 /// Per-sample callback variant (used by the yield/redundancy benches to run
-/// several mappers on identical defect draws).
+/// several mappers on identical defect draws). Callbacks run sequentially on
+/// the calling thread, in sample order; the defect draws are the same
+/// streams runDefectExperiment would use. The DefectMap/BitMatrix references
+/// point into reused scratch buffers — copy them to retain a sample.
 void forEachDefectSample(const FunctionMatrix& fm, const DefectExperimentConfig& config,
                          const std::function<void(std::size_t, const DefectMap&,
                                                   const BitMatrix&)>& fn);

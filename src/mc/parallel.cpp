@@ -1,0 +1,64 @@
+#include "mc/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcx {
+
+std::size_t resolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::vector<Rng> splitSampleStreams(std::uint64_t seed, std::size_t samples) {
+  Rng root(seed);
+  std::vector<Rng> streams;
+  streams.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) streams.push_back(root.split());
+  return streams;
+}
+
+void parallelForEach(std::size_t n, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  threads = std::min(resolveThreadCount(threads), std::max<std::size_t>(n, 1));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+
+  // Small chunks balance load across samples of very different cost (a
+  // near-infeasible defect draw can take orders of magnitude longer).
+  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr error;
+  std::mutex errorMutex;
+
+  const auto work = [&](std::size_t worker) {
+    try {
+      for (;;) {
+        const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(errorMutex);
+      if (!error) error = std::current_exception();
+      cursor.store(n, std::memory_order_relaxed);  // cancel remaining chunks
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t w = 1; w < threads; ++w) pool.emplace_back(work, w);
+  work(0);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mcx

@@ -1,0 +1,37 @@
+// Deterministic chunked parallel for-each for the Monte Carlo engine.
+//
+// Work over [0, n) is handed out in contiguous chunks from an atomic cursor
+// to a transient pool of worker threads. Every index runs exactly once and
+// workers are identified by a dense id, so callers can keep per-worker
+// scratch arenas. Determinism of the *results* is the caller's contract:
+// per-sample state (RNG streams) must be pre-split so that any schedule
+// produces the same outputs — see runDefectExperiment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcx {
+
+/// Resolve a thread-count knob: 0 = hardware concurrency (at least 1).
+std::size_t resolveThreadCount(std::size_t requested);
+
+/// One RNG stream per sample, split from the root in sample order — the
+/// thread-count-invariance anchor of every Monte Carlo engine: workers only
+/// ever consume their samples' streams, so any schedule draws identically.
+std::vector<Rng> splitSampleStreams(std::uint64_t seed, std::size_t samples);
+
+/// Invoke fn(worker, index) exactly once for every index in [0, n), using up
+/// to @p threads threads (0 = hardware concurrency). `worker` is a dense id
+/// in [0, resolved threads) for per-worker scratch. With one thread (or
+/// n <= 1) everything runs inline on the calling thread as worker 0. The
+/// first exception thrown by fn cancels the remaining chunks and is
+/// rethrown on the calling thread.
+void parallelForEach(std::size_t n, std::size_t threads,
+                     const std::function<void(std::size_t worker, std::size_t index)>& fn);
+
+}  // namespace mcx

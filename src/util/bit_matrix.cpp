@@ -1,5 +1,6 @@
 #include "util/bit_matrix.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/error.hpp"
@@ -38,11 +39,46 @@ void BitMatrix::reset(std::size_t r, std::size_t c) {
 }
 
 void BitMatrix::setRow(std::size_t r, bool value) {
-  for (std::size_t c = 0; c < cols_; ++c) set(r, c, value);
+  MCX_REQUIRE(r < rows_, "BitMatrix::setRow out of range");
+  const auto words = rowWords(r);
+  if (!value) {
+    for (Word& w : words) w = 0;
+    return;
+  }
+  for (Word& w : words) w = ~Word{0};
+  const std::size_t rem = cols_ % kWordBits;
+  if (rem != 0 && wordsPerRow_ > 0) words[wordsPerRow_ - 1] &= (Word{1} << rem) - 1;
 }
 
 void BitMatrix::setCol(std::size_t c, bool value) {
-  for (std::size_t r = 0; r < rows_; ++r) set(r, c, value);
+  MCX_REQUIRE(c < cols_, "BitMatrix::setCol out of range");
+  const std::size_t word = c / kWordBits;
+  const Word mask = Word{1} << (c % kWordBits);
+  Word* p = w_.data() + word;
+  if (value) {
+    for (std::size_t r = 0; r < rows_; ++r, p += wordsPerRow_) *p |= mask;
+  } else {
+    for (std::size_t r = 0; r < rows_; ++r, p += wordsPerRow_) *p &= ~mask;
+  }
+}
+
+void BitMatrix::fill(bool value) {
+  std::fill(w_.begin(), w_.end(), value ? ~Word{0} : Word{0});
+  if (value) {
+    const std::size_t rem = cols_ % kWordBits;
+    if (rem != 0 && wordsPerRow_ > 0) {
+      const Word mask = (Word{1} << rem) - 1;
+      for (std::size_t r = 0; r < rows_; ++r) w_[r * wordsPerRow_ + wordsPerRow_ - 1] &= mask;
+    }
+  }
+}
+
+void BitMatrix::reshape(std::size_t rows, std::size_t cols, bool value) {
+  rows_ = rows;
+  cols_ = cols;
+  wordsPerRow_ = (cols + kWordBits - 1) / kWordBits;
+  w_.assign(rows * wordsPerRow_, 0);  // assign() reuses the existing allocation
+  if (value) fill(true);
 }
 
 std::size_t BitMatrix::count() const {

@@ -33,6 +33,13 @@ public:
   void setRow(std::size_t r, bool value);
   void setCol(std::size_t c, bool value);
 
+  /// Set or clear every bit, keeping the dimensions.
+  void fill(bool value);
+  /// Resize to rows x cols with every bit set to @p value, reusing the
+  /// existing allocation when possible (scratch-arena reuse in the Monte
+  /// Carlo engine).
+  void reshape(std::size_t rows, std::size_t cols, bool value = false);
+
   /// Number of set bits in the whole matrix.
   std::size_t count() const;
   /// Number of set bits in row @p r.

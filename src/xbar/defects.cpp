@@ -24,32 +24,71 @@ bool DefectMap::colPoisoned(std::size_t c) const { return closed_.colCount(c) > 
 
 DefectMap DefectMap::sample(std::size_t rows, std::size_t cols, double stuckOpenRate,
                             double stuckClosedRate, Rng& rng) {
+  DefectMap map;
+  map.resample(rows, cols, stuckOpenRate, stuckClosedRate, rng);
+  return map;
+}
+
+void DefectMap::resample(std::size_t rows, std::size_t cols, double stuckOpenRate,
+                         double stuckClosedRate, Rng& rng) {
   MCX_REQUIRE(stuckOpenRate >= 0.0 && stuckClosedRate >= 0.0 &&
                   stuckOpenRate + stuckClosedRate <= 1.0,
-              "DefectMap::sample: bad rates");
-  DefectMap map(rows, cols);
+              "DefectMap::resample: bad rates");
+  open_.reshape(rows, cols);
+  closed_.reshape(rows, cols);
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       const double u = rng.uniform();
       if (u < stuckOpenRate)
-        map.setType(r, c, DefectType::StuckOpen);
+        open_.set(r, c);
       else if (u < stuckOpenRate + stuckClosedRate)
-        map.setType(r, c, DefectType::StuckClosed);
+        closed_.set(r, c);
     }
   }
-  return map;
 }
 
 BitMatrix crossbarMatrix(const DefectMap& defects) {
-  BitMatrix cm(defects.rows(), defects.cols(), true);
-  for (std::size_t r = 0; r < defects.rows(); ++r)
-    for (std::size_t c = 0; c < defects.cols(); ++c)
-      if (defects.isStuckOpen(r, c)) cm.reset(r, c);
-  for (std::size_t r = 0; r < defects.rows(); ++r)
-    if (defects.rowPoisoned(r)) cm.setRow(r, false);
-  for (std::size_t c = 0; c < defects.cols(); ++c)
-    if (defects.colPoisoned(c)) cm.setCol(c, false);
+  BitMatrix cm;
+  crossbarMatrixInto(defects, cm);
   return cm;
+}
+
+void crossbarMatrixInto(const DefectMap& defects, BitMatrix& cm) {
+  const std::size_t rows = defects.rows();
+  const std::size_t cols = defects.cols();
+  cm.reshape(rows, cols);
+  if (rows == 0 || cols == 0) return;
+
+  const std::size_t rem = cols % BitMatrix::kWordBits;
+  const BitMatrix::Word tailMask =
+      rem == 0 ? ~BitMatrix::Word{0} : (BitMatrix::Word{1} << rem) - 1;
+
+  // Functional = not stuck-open: one NOT per word instead of per-bit resets.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto open = defects.openBits().rowWords(r);
+    const auto dst = cm.rowWords(r);
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = ~open[i];
+    dst[dst.size() - 1] &= tailMask;
+  }
+
+  if (defects.stuckClosedCount() == 0) return;
+  // A stuck-closed crosspoint poisons its whole row and column. Fold all
+  // closed rows into a column mask, then clear poisoned rows and columns
+  // word-at-a-time.
+  const std::size_t wordsPerRow = cm.rowWords(0).size();
+  std::vector<BitMatrix::Word> colPoison(wordsPerRow, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto closed = defects.closedBits().rowWords(r);
+    for (std::size_t i = 0; i < wordsPerRow; ++i) colPoison[i] |= closed[i];
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto dst = cm.rowWords(r);
+    if (defects.closedBits().rowCount(r) > 0) {
+      for (auto& w : dst) w = 0;
+    } else {
+      for (std::size_t i = 0; i < wordsPerRow; ++i) dst[i] &= ~colPoison[i];
+    }
+  }
 }
 
 }  // namespace mcx

@@ -41,11 +41,20 @@ public:
   std::size_t stuckOpenCount() const { return open_.count(); }
   std::size_t stuckClosedCount() const { return closed_.count(); }
 
+  const BitMatrix& openBits() const { return open_; }
+  const BitMatrix& closedBits() const { return closed_; }
+
   /// Independent uniform per-crosspoint sampling (the paper's defect
   /// generation: "assigning an independent defect probability/rate to each
   /// crosspoint that shows a uniform distribution").
   static DefectMap sample(std::size_t rows, std::size_t cols, double stuckOpenRate,
                           double stuckClosedRate, Rng& rng);
+
+  /// In-place variant of sample(): identical draw sequence, but reuses the
+  /// existing bit buffers (per-thread scratch arenas in the Monte Carlo
+  /// engine avoid a pair of allocations per sample).
+  void resample(std::size_t rows, std::size_t cols, double stuckOpenRate,
+                double stuckClosedRate, Rng& rng);
 
 private:
   BitMatrix open_;
@@ -55,5 +64,10 @@ private:
 /// The paper's CM: functional = 1; stuck-open crosspoints = 0; stuck-closed
 /// crosspoints additionally clear their entire row and column.
 BitMatrix crossbarMatrix(const DefectMap& defects);
+
+/// In-place variant of crossbarMatrix(): word-parallel derivation into a
+/// reusable buffer (one word op per 64 crosspoints instead of a per-bit
+/// test/reset loop).
+void crossbarMatrixInto(const DefectMap& defects, BitMatrix& cm);
 
 }  // namespace mcx

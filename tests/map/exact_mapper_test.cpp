@@ -85,5 +85,28 @@ TEST(ExactMapper, ResultsVerifyOnRandomDefects) {
   }
 }
 
+TEST(ExactMapper, MunkresBaselineAgreesWithFastPath) {
+  // The paper's Munkres formulation and the Hopcroft-Karp fast path decide
+  // the same feasibility question: identical success sets on random defects.
+  Rng rng(0xea);
+  RandomSopOptions opts;
+  opts.nin = 5;
+  opts.nout = 2;
+  opts.products = 8;
+  const Cover cover = randomSop(opts, rng);
+  const FunctionMatrix fm = buildFunctionMatrix(cover);
+  ExactMapperOptions munkres;
+  munkres.useMunkres = true;
+  for (int rep = 0; rep < 60; ++rep) {
+    Rng sample = rng.split();
+    const DefectMap defects = DefectMap::sample(fm.rows(), fm.cols(), 0.15, 0.0, sample);
+    const BitMatrix cm = crossbarMatrix(defects);
+    const MappingResult fast = ExactMapper().map(fm, cm);
+    const MappingResult exact = ExactMapper(munkres).map(fm, cm);
+    EXPECT_EQ(fast.success, exact.success) << "rep=" << rep;
+    if (exact.success) EXPECT_TRUE(verifyMapping(fm, cm, exact)) << "rep=" << rep;
+  }
+}
+
 }  // namespace
 }  // namespace mcx

@@ -101,8 +101,9 @@ TEST(HybridMapper, ResultsAlwaysVerifyOnRandomDefects) {
 }
 
 TEST(HybridMapper, BacktrackRelocatesPreviousOwner) {
-  // Product A fits CM rows {0,1,2}; product B fits only {0}. Greedy puts A
-  // on 0 and dead-ends on B; one-level backtracking must relocate A.
+  // Product A fits CM rows {0,1,2}; product B fits only {0}. In the paper's
+  // top-to-bottom greedy order A grabs 0 and B dead-ends; one-level
+  // backtracking must relocate A.
   FunctionMatrix fm(1, 1, 2, 0);  // 3 rows (2 products + 1 output), 4 cols
   fm.bits().set(0, 2);            // product A
   fm.bits().set(1, 0);            // product B
@@ -112,7 +113,9 @@ TEST(HybridMapper, BacktrackRelocatesPreviousOwner) {
   BitMatrix cm(3, 4, true);
   cm.reset(1, 0);
   cm.reset(2, 0);
-  const MappingResult r = HybridMapper().map(fm, cm);
+  HybridMapperOptions paperOrder;
+  paperOrder.sortByCandidates = false;
+  const MappingResult r = HybridMapper(paperOrder).map(fm, cm);
   ASSERT_TRUE(r.success);
   EXPECT_GE(r.backtracks, 1u);
   EXPECT_EQ(r.rowAssignment[1], 0u);  // B ends up on the only row it fits
@@ -120,7 +123,27 @@ TEST(HybridMapper, BacktrackRelocatesPreviousOwner) {
 
   HybridMapperOptions noBt;
   noBt.backtracking = false;
+  noBt.sortByCandidates = false;
   EXPECT_FALSE(HybridMapper(noBt).map(fm, cm).success);
+}
+
+TEST(HybridMapper, CandidateOrderingAvoidsBacktracking) {
+  // Same dead-end instance: most-constrained-first ordering (the default)
+  // places B before A and never needs the repair.
+  FunctionMatrix fm(1, 1, 2, 0);
+  fm.bits().set(0, 2);
+  fm.bits().set(1, 0);
+  fm.bits().set(1, 2);
+  fm.bits().set(2, 2);
+  fm.bits().set(2, 3);
+  BitMatrix cm(3, 4, true);
+  cm.reset(1, 0);
+  cm.reset(2, 0);
+  const MappingResult r = HybridMapper().map(fm, cm);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.backtracks, 0u);
+  EXPECT_EQ(r.rowAssignment[1], 0u);
+  EXPECT_TRUE(verifyMapping(fm, cm, r));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "logic/sop_parser.hpp"
+#include "util/rng.hpp"
 
 namespace mcx {
 namespace {
@@ -85,6 +86,95 @@ TEST(VerifyMapping, HonorsInputPermutation) {
   MappingResult permuted = direct;
   permuted.inputPermutation = {1, 0};  // route x1 through pair 1
   EXPECT_TRUE(verifyMapping(fm, cm, permuted));
+}
+
+TEST(CandidateAdjacency, AgreesWithRowMatches) {
+  Rng rng(21);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t rows = 3 + rep % 5;
+    const std::size_t cols = 70;  // multi-word rows
+    BitMatrix fm(rows, cols), cm(rows + 2, cols);
+    for (std::size_t r = 0; r < fm.rows(); ++r)
+      for (std::size_t c = 0; c < cols; ++c) fm.set(r, c, rng.bernoulli(0.2));
+    for (std::size_t r = 0; r < cm.rows(); ++r)
+      for (std::size_t c = 0; c < cols; ++c) cm.set(r, c, rng.bernoulli(0.8));
+    const BitMatrix adjacency = buildCandidateAdjacency(fm, cm);
+    ASSERT_EQ(adjacency.rows(), fm.rows());
+    ASSERT_EQ(adjacency.cols(), cm.rows());
+    for (std::size_t i = 0; i < fm.rows(); ++i)
+      for (std::size_t j = 0; j < cm.rows(); ++j)
+        EXPECT_EQ(adjacency.test(i, j), rowMatches(fm, i, cm, j));
+  }
+}
+
+TEST(MatchingMatrix, AdjacencyOverloadMatchesDirectConstruction) {
+  Rng rng(5);
+  BitMatrix fm(4, 9), cm(6, 9);
+  for (std::size_t r = 0; r < fm.rows(); ++r)
+    for (std::size_t c = 0; c < fm.cols(); ++c) fm.set(r, c, rng.bernoulli(0.3));
+  for (std::size_t r = 0; r < cm.rows(); ++r)
+    for (std::size_t c = 0; c < cm.cols(); ++c) cm.set(r, c, rng.bernoulli(0.7));
+  std::vector<std::size_t> fmRows{0, 1, 2, 3}, cmRows{0, 1, 2, 3, 4, 5};
+  const CostMatrix direct = buildMatchingMatrix(fm, fmRows, cm, cmRows);
+  const CostMatrix viaAdj =
+      buildMatchingMatrix(buildCandidateAdjacency(fm, fmRows, cm, cmRows));
+  ASSERT_EQ(direct.rows(), viaAdj.rows());
+  ASSERT_EQ(direct.cols(), viaAdj.cols());
+  for (std::size_t i = 0; i < direct.rows(); ++i)
+    for (std::size_t j = 0; j < direct.cols(); ++j)
+      EXPECT_EQ(direct.at(i, j), viaAdj.at(i, j));
+}
+
+TEST(FeasibleAssignment, HopcroftKarpAgreesWithMunkresOnRandomMatrices) {
+  // Property: on a random 0/1 adjacency, the Hopcroft-Karp fast path reports
+  // feasible exactly when Munkres finds a zero-cost assignment.
+  Rng rng(31337);
+  for (int rep = 0; rep < 300; ++rep) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniformInt(0, 7));
+    const std::size_t m = n + static_cast<std::size_t>(rng.uniformInt(0, 4));
+    const double density = 0.1 + 0.8 * rng.uniform();
+    BitMatrix adjacency(n, m);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        if (rng.bernoulli(density)) adjacency.set(i, j);
+
+    const FeasibleAssignment fast = solveFeasibleAssignment(adjacency);
+    const AssignmentResult exact = munkresSolve(buildMatchingMatrix(adjacency));
+    EXPECT_EQ(fast.success, exact.cost == 0) << "rep=" << rep;
+
+    if (fast.success) {
+      // The returned assignment must be a valid system of distinct
+      // representatives over set adjacency bits.
+      ASSERT_EQ(fast.assignment.size(), n);
+      std::vector<bool> used(m, false);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_LT(fast.assignment[i], m);
+        EXPECT_TRUE(adjacency.test(i, fast.assignment[i])) << "rep=" << rep;
+        EXPECT_FALSE(used[fast.assignment[i]]) << "rep=" << rep;
+        used[fast.assignment[i]] = true;
+      }
+    }
+  }
+}
+
+TEST(CandidateAdjacency, ZeroColumnRowsFitEverything) {
+  // Empty rows are subsets of anything: both overloads must agree.
+  const BitMatrix fm(3, 0), cm(4, 0);
+  const BitMatrix full = buildCandidateAdjacency(fm, cm);
+  EXPECT_EQ(full.count(), 3u * 4u);
+  const BitMatrix subset = buildCandidateAdjacency(fm, {0, 2}, cm, {1, 3});
+  EXPECT_EQ(subset.count(), 2u * 2u);
+}
+
+TEST(FeasibleAssignment, EmptyRowFailsBeforeSolving) {
+  BitMatrix adjacency(3, 4, true);
+  adjacency.setRow(1, false);
+  EXPECT_FALSE(solveFeasibleAssignment(adjacency).success);
+}
+
+TEST(FeasibleAssignment, MoreRowsThanColumnsIsInfeasible) {
+  const BitMatrix adjacency(4, 3, true);
+  EXPECT_FALSE(solveFeasibleAssignment(adjacency).success);
 }
 
 }  // namespace

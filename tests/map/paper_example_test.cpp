@@ -77,16 +77,26 @@ TEST(PaperExample, KnownValidAssignmentHasZeroCost) {
 }
 
 TEST(PaperExample, HybridNeedsBacktracking) {
-  // Greedy-only placement dead-ends (m4 fits only H2, grabbed by m1):
-  // backtracking must be exercised and must succeed.
+  // In the paper's top-to-bottom greedy order, greedy-only placement
+  // dead-ends (m4 fits only H2, grabbed by m1): backtracking must be
+  // exercised and must succeed.
   const FunctionMatrix fm = buildFunctionMatrix(fig8Cover());
   const BitMatrix cm = crossbarMatrix(fig8Defects());
   HybridMapperOptions noBt;
   noBt.backtracking = false;
+  noBt.sortByCandidates = false;
   EXPECT_FALSE(HybridMapper(noBt).map(fm, cm).success);
-  const MappingResult withBt = HybridMapper().map(fm, cm);
+  HybridMapperOptions paperOrder;
+  paperOrder.sortByCandidates = false;
+  const MappingResult withBt = HybridMapper(paperOrder).map(fm, cm);
   EXPECT_TRUE(withBt.success);
   EXPECT_GE(withBt.backtracks, 1u);
+
+  // Most-constrained-first ordering (the default) solves the same instance
+  // without any repair: m4 is placed before m1 can steal H2.
+  const MappingResult sorted = HybridMapper().map(fm, cm);
+  EXPECT_TRUE(sorted.success);
+  EXPECT_EQ(sorted.backtracks, 0u);
 }
 
 TEST(PaperExample, DefectOnUsedSwitchBlocksThatPlacement) {

@@ -70,6 +70,52 @@ TEST(DefectExperiment, TimingIsPopulated) {
   EXPECT_GE(r.totalSeconds, 0.0);
 }
 
+TEST(DefectExperiment, ResultsAreIdenticalAtAnyThreadCount) {
+  DefectExperimentConfig base;
+  base.samples = 64;
+  base.stuckOpenRate = 0.12;
+  base.seed = 0xfeed;
+  base.keepMappings = true;
+  base.threads = 1;
+  const auto reference = runDefectExperiment(testFm(), HybridMapper(), base);
+  ASSERT_EQ(reference.mappings.size(), base.samples);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    DefectExperimentConfig cfg = base;
+    cfg.threads = threads;
+    const auto got = runDefectExperiment(testFm(), HybridMapper(), cfg);
+    EXPECT_EQ(got.successes, reference.successes) << "threads=" << threads;
+    EXPECT_EQ(got.totalBacktracks, reference.totalBacktracks) << "threads=" << threads;
+    ASSERT_EQ(got.mappings.size(), reference.mappings.size());
+    for (std::size_t s = 0; s < got.mappings.size(); ++s) {
+      EXPECT_EQ(got.mappings[s].success, reference.mappings[s].success)
+          << "threads=" << threads << " sample=" << s;
+      EXPECT_EQ(got.mappings[s].rowAssignment, reference.mappings[s].rowAssignment)
+          << "threads=" << threads << " sample=" << s;
+    }
+  }
+}
+
+TEST(DefectExperiment, MatchesForEachDefectSampleStreams) {
+  // The engine and the callback variant must see the same defect draws.
+  DefectExperimentConfig cfg;
+  cfg.samples = 16;
+  cfg.stuckOpenRate = 0.15;
+  cfg.seed = 99;
+  cfg.keepMappings = true;
+  cfg.threads = 4;
+  const auto result = runDefectExperiment(testFm(), HybridMapper(), cfg);
+
+  const HybridMapper mapper;
+  const FunctionMatrix fm = testFm();
+  forEachDefectSample(fm, cfg, [&](std::size_t s, const DefectMap&, const BitMatrix& cm) {
+    const MappingResult direct = mapper.map(fm, cm);
+    ASSERT_LT(s, result.mappings.size());
+    EXPECT_EQ(direct.success, result.mappings[s].success) << "sample=" << s;
+    EXPECT_EQ(direct.rowAssignment, result.mappings[s].rowAssignment) << "sample=" << s;
+  });
+}
+
 TEST(ForEachDefectSample, DeliversRequestedSamples) {
   DefectExperimentConfig cfg;
   cfg.samples = 7;

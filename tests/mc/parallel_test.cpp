@@ -1,0 +1,52 @@
+#include "mc/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace mcx {
+namespace {
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<std::atomic<int>> hits(137);
+    parallelForEach(hits.size(), threads,
+                    [&](std::size_t, std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParallelForEach, WorkerIdsAreDense) {
+  const std::size_t threads = 4;
+  std::atomic<std::size_t> bad{0};
+  parallelForEach(1000, threads, [&](std::size_t worker, std::size_t) {
+    if (worker >= threads) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(ParallelForEach, EmptyRangeIsANoOp) {
+  std::atomic<int> calls{0};
+  parallelForEach(0, 4, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForEach, PropagatesTheFirstException) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_THROW(parallelForEach(100, threads,
+                                 [](std::size_t, std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolveThreadCount(0), 1u);
+  EXPECT_EQ(resolveThreadCount(3), 3u);
+}
+
+}  // namespace
+}  // namespace mcx

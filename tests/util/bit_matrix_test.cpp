@@ -90,5 +90,45 @@ TEST(BitMatrix, EqualityIsStructural) {
   EXPECT_NE(a, b);
 }
 
+TEST(BitMatrix, SetRowWordWiseMasksTail) {
+  BitMatrix m(3, 70);  // two words per row, 6 tail bits
+  m.setRow(1, true);
+  EXPECT_EQ(m.rowCount(1), 70u);
+  EXPECT_EQ(m.count(), 70u);
+  m.set(0, 69);
+  m.setRow(1, false);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_TRUE(m.test(0, 69));
+  // Tail padding must stay clear so operator== and count() remain exact.
+  BitMatrix viaBits(3, 70);
+  viaBits.set(0, 69);
+  EXPECT_EQ(m, viaBits);
+}
+
+TEST(BitMatrix, SetColTouchesEveryRow) {
+  BitMatrix m(5, 130);
+  m.setCol(128, true);
+  EXPECT_EQ(m.colCount(128), 5u);
+  EXPECT_EQ(m.count(), 5u);
+  m.setCol(128, false);
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BitMatrix, FillAndReshapeReuseBuffers) {
+  BitMatrix m(4, 70);
+  m.fill(true);
+  EXPECT_EQ(m.count(), 4u * 70u);
+  m.fill(false);
+  EXPECT_EQ(m.count(), 0u);
+  m.reshape(2, 130, true);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 130u);
+  EXPECT_EQ(m.count(), 2u * 130u);
+  EXPECT_EQ(m, BitMatrix(2, 130, true));
+  m.reshape(3, 5);
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m, BitMatrix(3, 5));
+}
+
 }  // namespace
 }  // namespace mcx
