@@ -8,6 +8,7 @@
 #include "map/exact_mapper.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "mc/defect_experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/env.hpp"
 #include "util/text_table.hpp"
 #include "xbar/function_matrix.hpp"
@@ -16,7 +17,7 @@ int main() {
   using namespace mcx;
 
   const std::size_t samples = envSizeT("MCX_SAMPLES", 100);
-  const double rates[] = {0.02, 0.05, 0.10, 0.15, 0.20, 0.30};
+  const std::vector<double>& rates = standardRateGrid();
   const char* circuits[] = {"rd53", "misex1", "sao2", "rd73", "clip"};
 
   std::cout << "Ablation: success rate vs defect rate (optimum-size crossbars, " << samples

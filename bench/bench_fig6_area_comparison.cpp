@@ -6,11 +6,18 @@
 // multi-level crossbar is smaller. The paper's trends: success rate FALLS
 // with input size and RISES with product count.
 //
+// The scenario extension the paper's figure lacks: each sample's two-level
+// and multi-level implementations are also mapped against defect maps from
+// a scenario (MCX_AREA_SCENARIO preset name, default paper-iid at 10%), so
+// the table shows the area/yield tradeoff next to the area win rate.
+//
 // Override the sample count with MCX_SAMPLES.
+#include <cstdlib>
 #include <iostream>
 #include <map>
 
 #include "mc/area_experiment.hpp"
+#include "scenario/registry.hpp"
 #include "util/env.hpp"
 #include "util/text_table.hpp"
 
@@ -18,11 +25,17 @@ int main() {
   using namespace mcx;
 
   const std::size_t samples = envSizeT("MCX_SAMPLES", 200);
+  const char* scenarioEnv = std::getenv("MCX_AREA_SCENARIO");
+  const std::string scenarioName =
+      (scenarioEnv != nullptr && *scenarioEnv != '\0') ? scenarioEnv : "paper-iid";
+  const std::shared_ptr<const DefectModel> scenario = makeScenario(scenarioName, 0.10);
   std::cout << "Figure 6: two-level vs multi-level area cost, random functions, "
             << samples << " samples per input size\n";
-  std::cout << "paper reference success rates: I=8: 65%, I=9: 60%, I=10: 54%, I=15: 33%\n\n";
+  std::cout << "paper reference success rates: I=8: 65%, I=9: 60%, I=10: 54%, I=15: 33%\n";
+  std::cout << "yield columns: mapping success under " << scenario->describe() << "\n\n";
 
-  TextTable summary({"input size", "success rate", "paper", "mean two-level", "mean multi-level"});
+  TextTable summary({"input size", "success rate", "paper", "mean two-level",
+                     "mean multi-level", "2L yield", "ML yield"});
   const std::map<std::size_t, const char*> paperRates{
       {8, "65%"}, {9, "60%"}, {10, "54%"}, {15, "33%"}};
 
@@ -37,19 +50,24 @@ int main() {
     // success rates) reproduces both Fig. 6 trends: multi-level wins get
     // rarer as inputs grow and commoner as products grow.
     cfg.literalsPerProduct = 0.36 + 0.148 * static_cast<double>(nin);
+    cfg.defectModel = scenario;
+    cfg.defectDraws = 12;
     const AreaExperimentResult r = runAreaExperiment(cfg);
     results.push_back(r);
 
-    double twoSum = 0, multiSum = 0;
+    double twoSum = 0, multiSum = 0, twoYield = 0, multiYield = 0;
     for (const AreaSample& s : r.samples) {
       twoSum += static_cast<double>(s.twoLevelArea);
       multiSum += static_cast<double>(s.multiLevelArea);
+      twoYield += s.twoLevelYield;
+      multiYield += s.multiLevelYield;
     }
     const auto it = paperRates.find(nin);
+    const double n = static_cast<double>(r.samples.size());
     summary.addRow({std::to_string(nin), TextTable::percent(r.successRate()),
                     it != paperRates.end() ? it->second : "-",
-                    TextTable::num(twoSum / double(r.samples.size()), 1),
-                    TextTable::num(multiSum / double(r.samples.size()), 1)});
+                    TextTable::num(twoSum / n, 1), TextTable::num(multiSum / n, 1),
+                    TextTable::percent(twoYield / n), TextTable::percent(multiYield / n)});
   }
   std::cout << summary << "\n";
 

@@ -33,9 +33,7 @@ int main() {
   using namespace mcx;
 
   const std::size_t samples = envSizeT("MCX_SAMPLES", 100);
-  const char* jsonPathEnv = std::getenv("MCX_BENCH_JSON");
-  const std::string jsonPath =
-      (jsonPathEnv && *jsonPathEnv) ? jsonPathEnv : "BENCH_defect_mc.json";
+  const std::string jsonPath = benchutil::jsonOutputPath("BENCH_defect_mc.json");
   std::cout << "Defect-tolerant mapping of multi-level designs (paper future work), "
             << samples << " samples per cell, 10% stuck-at-open\n\n";
 

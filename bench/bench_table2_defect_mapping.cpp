@@ -23,9 +23,7 @@ int main() {
   using namespace mcx;
 
   const std::size_t samples = envSizeT("MCX_SAMPLES", 200);
-  const char* jsonPathEnv = std::getenv("MCX_BENCH_JSON");
-  const std::string jsonPath =
-      (jsonPathEnv && *jsonPathEnv) ? jsonPathEnv : "BENCH_table2_defect_mc.json";
+  const std::string jsonPath = benchutil::jsonOutputPath("BENCH_table2_defect_mc.json");
   std::cout << "Table II: HBA vs EA on optimum-size crossbars, 10% stuck-at-open, "
             << samples << " samples per circuit\n\n";
 

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "map/matching.hpp"
@@ -27,6 +29,13 @@ inline std::vector<std::size_t> threadsSweep() {
   return sweep;
 }
 
+/// Machine-readable output path: MCX_BENCH_JSON, or the bench's default
+/// (shared by every JSON-emitting bench; previously copy-pasted).
+inline std::string jsonOutputPath(const std::string& fallback) {
+  const char* env = std::getenv("MCX_BENCH_JSON");
+  return (env != nullptr && *env != '\0') ? env : fallback;
+}
+
 struct SweepOutcome {
   /// The result of the first (threads = sweep.front()) run.
   DefectExperimentResult reference;
@@ -41,6 +50,7 @@ inline SweepOutcome runThreadsSweep(const FunctionMatrix& fm, const IMapper& map
   SweepOutcome out;
   json.beginObject();
   json.field("mapper", mapper.name());
+  json.field("scenario", cfg.model ? cfg.model->describe() : std::string("iid (legacy rates)"));
   json.key("runs").beginArray();
   for (const std::size_t threads : sweep) {
     cfg.threads = threads;

@@ -1,31 +1,79 @@
 // Yield explorer: how much redundancy buys how much mapping success.
 //
 // The paper leaves redundant-line yield analysis as future work (Section
-// VI); this example walks a benchmark across defect rates and spare-line
-// budgets, including stuck-at-closed defects — which are untolerable on an
-// optimum-size crossbar but absorbable with spare rows and column pairs.
+// VI); this example walks a benchmark across spare-line budgets under a
+// configurable defect scenario — by default a mixed i.i.d. world including
+// stuck-at-closed defects, which are untolerable on an optimum-size
+// crossbar but absorbable with spare rows and column pairs.
+//
+// Usage:
+//   yield_explorer [--circuit NAME] [--samples N] [--seed S] [--threads N]
+//                  [--scenario PRESET-OR-JSON-SPEC] [--rate R]
+//
+// --scenario takes a registry preset name (see scenario_runner --list) or
+// an inline JSON spec; --rate sets the preset's overall defect budget.
+// Samples are distributed over --threads workers with pre-split per-sample
+// RNG streams, so results do not depend on the thread count.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "benchdata/registry.hpp"
 #include "map/redundant_mapper.hpp"
+#include "mc/parallel.hpp"
 #include "mc/stats.hpp"
+#include "scenario/registry.hpp"
+#include "util/cli.hpp"
 #include "util/env.hpp"
+#include "util/error.hpp"
 #include "util/text_table.hpp"
 #include "xbar/function_matrix.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcx;
 
-  const std::size_t samples = envSizeT("MCX_SAMPLES", 100);
-  const BenchmarkCircuit bench = loadBenchmarkFast("misex1");
+  std::string circuit = "misex1";
+  std::size_t samples = envSizeT("MCX_SAMPLES", 100);
+  std::uint64_t seed = 97;
+  std::size_t threads = 0;  // hardware concurrency
+  std::string scenarioArg;
+  double rate = 0.055;  // the historical default budget (5% open + 0.5% closed)
+
+  std::shared_ptr<const DefectModel> model;
+  BenchmarkCircuit bench;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--circuit")
+        circuit = cli::stringValue(argc, argv, i);
+      else if (arg == "--samples")
+        samples = cli::sizeValue(argc, argv, i);
+      else if (arg == "--seed")
+        seed = cli::u64Value(argc, argv, i);
+      else if (arg == "--threads")
+        threads = cli::sizeValue(argc, argv, i);
+      else if (arg == "--scenario")
+        scenarioArg = cli::stringValue(argc, argv, i);
+      else if (arg == "--rate")
+        rate = cli::doubleValue(argc, argv, i);
+      else {
+        std::cerr << "unknown flag " << arg << " (see the header of yield_explorer.cpp)\n";
+        return 2;
+      }
+    }
+    model = scenarioArg.empty()
+                ? std::make_shared<IidBernoulli>(rate * 10.0 / 11.0, rate / 11.0)
+                : makeScenario(scenarioArg, rate);
+    bench = loadBenchmarkFast(circuit);
+  } catch (const std::exception& e) {  // mcx::Error, std::stoul/stod, ...
+    std::cerr << "yield_explorer: " << e.what() << "\n";
+    return 2;
+  }
   const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
   std::cout << "circuit: " << bench.info.name << "  (" << fm.rows() << "x" << fm.cols()
-            << " optimum crossbar, " << samples << " Monte Carlo samples per cell)\n\n";
-
-  const double stuckOpen = 0.05;
-  const double stuckClosed = 0.005;
-  std::cout << "defect rates: " << stuckOpen * 100 << "% stuck-open, " << stuckClosed * 100
-            << "% stuck-closed (stuck-closed poisons a whole row AND column)\n\n";
+            << " optimum crossbar, " << samples << " Monte Carlo samples per cell)\n";
+  std::cout << "scenario: " << model->describe() << "  (seed " << seed << ", "
+            << resolveThreadCount(threads) << " threads)\n\n";
 
   TextTable table({"spare rows", "spare in-pairs", "spare out-pairs", "success rate"});
   for (const std::size_t spare : {0u, 1u, 2u, 4u, 8u}) {
@@ -36,18 +84,24 @@ int main() {
     const CrossbarDims dims = redundantDims(fm, spec);
     const RedundantMapper mapper(spec);
 
-    Rng rng(97 + spare);
+    // One pre-split stream per sample (in sample order): success counts are
+    // identical at any --threads value.
+    const std::vector<Rng> streams = splitSampleStreams(seed + spare, samples);
+    std::vector<char> success(samples, 0);
+    const std::size_t workers = resolveThreadCount(threads);
+    std::vector<DefectMap> scratch(workers);
+    parallelForEach(samples, threads, [&](std::size_t worker, std::size_t s) {
+      Rng sampleRng = streams[s];
+      model->generate(dims.rows, dims.cols, sampleRng, scratch[worker]);
+      if (mapper.map(fm, scratch[worker], 1000 + s).success) success[s] = 1;
+    });
     std::size_t successes = 0;
-    for (std::size_t s = 0; s < samples; ++s) {
-      Rng sampleRng = rng.split();
-      const DefectMap defects =
-          DefectMap::sample(dims.rows, dims.cols, stuckOpen, stuckClosed, sampleRng);
-      if (mapper.map(fm, defects, 1000 + s).success) ++successes;
-    }
-    const double rate = static_cast<double>(successes) / static_cast<double>(samples);
+    for (const char ok : success) successes += static_cast<std::size_t>(ok);
+
+    const double successRate = static_cast<double>(successes) / static_cast<double>(samples);
     table.addRow({std::to_string(spare), std::to_string(spec.spareInputPairs),
                   std::to_string(spec.spareOutputPairs),
-                  TextTable::percent(rate) + " +/- " +
+                  TextTable::percent(successRate) + " +/- " +
                       TextTable::percent(wilsonHalfWidth(successes, samples), 1)});
   }
   std::cout << table;

@@ -3,11 +3,34 @@
 #include <algorithm>
 
 #include "logic/generators.hpp"
+#include "map/hybrid_mapper.hpp"
 #include "mc/parallel.hpp"
 #include "util/error.hpp"
 #include "xbar/area_model.hpp"
+#include "xbar/function_matrix.hpp"
+#include "xbar/multilevel_layout.hpp"
 
 namespace mcx {
+
+namespace {
+
+/// Mapping success rate of @p fm on its optimum-size crossbar under
+/// @p model, over @p draws defect maps from @p rng.
+double mappingYield(const FunctionMatrix& fm, const DefectModel& model, std::size_t draws,
+                    Rng& rng) {
+  const HybridMapper mapper;
+  DefectMap defects;
+  BitMatrix cm;
+  std::size_t successes = 0;
+  for (std::size_t d = 0; d < draws; ++d) {
+    model.generate(fm.rows(), fm.cols(), rng, defects);
+    crossbarMatrixInto(defects, cm);
+    if (mapper.map(fm, cm).success) ++successes;
+  }
+  return draws == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(draws);
+}
+
+}  // namespace
 
 double AreaExperimentResult::successRate() const {
   if (samples.empty()) return 0.0;
@@ -54,6 +77,14 @@ AreaExperimentResult runAreaExperiment(const AreaExperimentConfig& config) {
       sample.gates = net.gateCount();
       sample.twoLevelArea = twoLevelDims(cover).area();
       sample.multiLevelArea = multiLevelDims(net).area();
+      if (config.defectModel) {
+        sample.twoLevelYield =
+            mappingYield(buildFunctionMatrix(cover), *config.defectModel,
+                         config.defectDraws, rng);
+        sample.multiLevelYield =
+            mappingYield(buildMultiLevelLayout(net).fm, *config.defectModel,
+                         config.defectDraws, rng);
+      }
       return;
     }
   });

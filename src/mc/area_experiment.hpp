@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "logic/espresso.hpp"
 #include "netlist/nand_mapper.hpp"
+#include "scenario/defect_model.hpp"
 
 namespace mcx {
 
@@ -32,6 +34,13 @@ struct AreaExperimentConfig {
   /// technology mapper); when false, nandMap is used as given.
   bool useBestMapping = true;
   NandMapOptions nandMap;           ///< used when useBestMapping is false
+  /// Optional defect scenario: when set, each sample's two-level and
+  /// multi-level implementations are additionally mapped (HBA) against
+  /// defectDraws maps from the model, recording per-implementation yield —
+  /// the area/yield tradeoff Fig. 6 does not capture. Draws come from the
+  /// sample's own pre-split stream, so results stay thread-count-invariant.
+  std::shared_ptr<const DefectModel> defectModel;
+  std::size_t defectDraws = 20;
 };
 
 struct AreaSample {
@@ -39,6 +48,8 @@ struct AreaSample {
   std::size_t gates = 0;         ///< NAND gates in the multi-level network
   std::size_t twoLevelArea = 0;
   std::size_t multiLevelArea = 0;
+  double twoLevelYield = -1.0;   ///< mapping success rate; -1 = not measured
+  double multiLevelYield = -1.0;
 };
 
 struct AreaExperimentResult {

@@ -6,16 +6,27 @@
 
 namespace mcx {
 
+namespace {
+
+/// The configured scenario, or the legacy rate-pair model when unset.
+std::shared_ptr<const DefectModel> resolveModel(const DefectExperimentConfig& config) {
+  if (config.model) return config.model;
+  return std::make_shared<IidBernoulli>(config.stuckOpenRate, config.stuckClosedRate);
+}
+
+}  // namespace
+
 void forEachDefectSample(const FunctionMatrix& fm, const DefectExperimentConfig& config,
                          const std::function<void(std::size_t, const DefectMap&,
                                                   const BitMatrix&)>& fn) {
+  const std::shared_ptr<const DefectModel> model = resolveModel(config);
   const std::vector<Rng> streams = splitSampleStreams(config.seed, config.samples);
   const std::size_t rows = fm.rows() + config.spareRows;
   DefectMap defects;
   BitMatrix cm;
   for (std::size_t s = 0; s < config.samples; ++s) {
     Rng sampleRng = streams[s];
-    defects.resample(rows, fm.cols(), config.stuckOpenRate, config.stuckClosedRate, sampleRng);
+    model->generate(rows, fm.cols(), sampleRng, defects);
     crossbarMatrixInto(defects, cm);
     fn(s, defects, cm);
   }
@@ -26,6 +37,7 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
   DefectExperimentResult result;
   result.samples = config.samples;
 
+  const std::shared_ptr<const DefectModel> model = resolveModel(config);
   const std::vector<Rng> streams = splitSampleStreams(config.seed, config.samples);
   const std::size_t rows = fm.rows() + config.spareRows;
   const std::size_t threads = resolveThreadCount(config.threads);
@@ -49,8 +61,7 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
   parallelForEach(config.samples, threads, [&](std::size_t worker, std::size_t s) {
     Scratch& sc = scratch[worker];
     Rng sampleRng = streams[s];
-    sc.defects.resample(rows, fm.cols(), config.stuckOpenRate, config.stuckClosedRate,
-                        sampleRng);
+    model->generate(rows, fm.cols(), sampleRng, sc.defects);
     crossbarMatrixInto(sc.defects, sc.cm);
 
     Stopwatch watch;

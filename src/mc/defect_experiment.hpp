@@ -1,9 +1,10 @@
 // Monte Carlo defect-tolerant mapping experiments (Section V of the paper).
 //
-// For each sample a fresh defect map is drawn (independent uniform
-// per-crosspoint rates), the crossbar matrix is derived, and the mapper
-// under test runs on an optimum-size (or redundant) crossbar. Success rate
-// and runtime are accumulated — the quantities of Table II.
+// For each sample a fresh defect map is drawn from the configured
+// DefectModel (default: the paper's independent uniform per-crosspoint
+// rates), the crossbar matrix is derived, and the mapper under test runs on
+// an optimum-size (or redundant) crossbar. Success rate and runtime are
+// accumulated — the quantities of Table II.
 //
 // The engine is parallel and deterministic: the root RNG is pre-split into
 // one stream per sample (in sample order), samples are distributed over a
@@ -14,10 +15,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "map/matching.hpp"
 #include "mc/stats.hpp"
+#include "scenario/defect_model.hpp"
 #include "xbar/defects.hpp"
 #include "xbar/function_matrix.hpp"
 
@@ -28,6 +31,10 @@ struct DefectExperimentConfig {
   double stuckOpenRate = 0.10;     ///< the paper's Table II rate
   double stuckClosedRate = 0.0;    ///< paper: only stuck-open on optimum size
   std::size_t spareRows = 0;       ///< redundancy extension (A1)
+  /// Defect-pattern generator (the scenario subsystem). Null keeps the
+  /// legacy rate-pair behaviour — an IidBernoulli at stuckOpenRate /
+  /// stuckClosedRate, draw-for-draw identical to the pre-scenario engine.
+  std::shared_ptr<const DefectModel> model;
   std::uint64_t seed = 1;
   /// Worker threads; 0 = hardware concurrency. Results do not depend on
   /// this knob (per-sample RNG streams are pre-split in sample order).

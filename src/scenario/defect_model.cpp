@@ -1,0 +1,228 @@
+#include "scenario/defect_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+std::string percent(double v) {
+  std::ostringstream out;
+  out << v * 100.0 << "%";
+  return out.str();
+}
+
+/// Mark a crosspoint defective without ever downgrading stuck-closed (the
+/// harsher failure) back to stuck-open.
+void mark(DefectMap& map, std::size_t r, std::size_t c, DefectType t) {
+  if (map.isStuckClosed(r, c)) return;
+  map.setType(r, c, t);
+}
+
+}  // namespace
+
+DefectMap DefectModel::sample(std::size_t rows, std::size_t cols, Rng& rng) const {
+  DefectMap map;
+  generate(rows, cols, rng, map);
+  return map;
+}
+
+// ----------------------------------------------------------- IidBernoulli
+
+IidBernoulli::IidBernoulli(double stuckOpenRate, double stuckClosedRate)
+    : open_(stuckOpenRate), closed_(stuckClosedRate) {
+  MCX_REQUIRE(open_ >= 0.0 && closed_ >= 0.0 && open_ + closed_ <= 1.0,
+              "IidBernoulli: bad rates");
+}
+
+std::string IidBernoulli::describe() const {
+  return "iid(open=" + percent(open_) + ", closed=" + percent(closed_) + ")";
+}
+
+void IidBernoulli::generate(std::size_t rows, std::size_t cols, Rng& rng,
+                            DefectMap& out) const {
+  // Delegate to the paper's sampler: the scenario API must be draw-for-draw
+  // identical to the legacy rate-pair path.
+  out.resample(rows, cols, open_, closed_, rng);
+}
+
+// -------------------------------------------------------- ClusteredDefects
+
+ClusteredDefects::ClusteredDefects(Params params) : params_(params) {
+  // Density is seeds per crosspoint, so like every other rate it lives in
+  // [0,1]; an unbounded value would overflow the cluster-count cast below.
+  MCX_REQUIRE(params_.clusterDensity >= 0.0 && params_.clusterDensity <= 1.0,
+              "ClusteredDefects: density in [0,1]");
+  MCX_REQUIRE(params_.spread >= 0.0 && params_.spread < 1.0,
+              "ClusteredDefects: spread in [0,1)");
+  MCX_REQUIRE(params_.stuckClosedShare >= 0.0 && params_.stuckClosedShare <= 1.0,
+              "ClusteredDefects: closed share in [0,1]");
+}
+
+std::string ClusteredDefects::describe() const {
+  std::ostringstream out;
+  out << "clustered(density=" << params_.clusterDensity << ", spread=" << params_.spread
+      << ", closedShare=" << percent(params_.stuckClosedShare) << ")";
+  return out.str();
+}
+
+void ClusteredDefects::generate(std::size_t rows, std::size_t cols, Rng& rng,
+                                DefectMap& out) const {
+  out.reshape(rows, cols);
+  if (rows == 0 || cols == 0) return;
+
+  const double expected = params_.clusterDensity * static_cast<double>(rows * cols);
+  std::size_t clusters = static_cast<std::size_t>(expected);
+  if (rng.bernoulli(expected - static_cast<double>(clusters))) ++clusters;
+
+  for (std::size_t k = 0; k < clusters; ++k) {
+    std::size_t r = static_cast<std::size_t>(rng.uniformInt(0, rows - 1));
+    std::size_t c = static_cast<std::size_t>(rng.uniformInt(0, cols - 1));
+    for (;;) {
+      const DefectType t = rng.bernoulli(params_.stuckClosedShare) ? DefectType::StuckClosed
+                                                                   : DefectType::StuckOpen;
+      mark(out, r, c, t);
+      if (!rng.bernoulli(params_.spread)) break;
+      // Grow by one step of a lattice random walk, clamped at the borders
+      // (edge clusters hug the edge, as real particles do).
+      switch (rng.uniformInt(0, 3)) {
+        case 0: r = r + 1 < rows ? r + 1 : r; break;
+        case 1: r = r > 0 ? r - 1 : r; break;
+        case 2: c = c + 1 < cols ? c + 1 : c; break;
+        default: c = c > 0 ? c - 1 : c; break;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- LineCorrelated
+
+LineCorrelated::LineCorrelated(Params params) : params_(params) {
+  for (const double p : {params_.rowStuckClosedRate, params_.colStuckClosedRate,
+                         params_.rowStuckOpenRate, params_.colStuckOpenRate})
+    MCX_REQUIRE(p >= 0.0 && p <= 1.0, "LineCorrelated: rates in [0,1]");
+}
+
+std::string LineCorrelated::describe() const {
+  return "lines(rowClosed=" + percent(params_.rowStuckClosedRate) +
+         ", colClosed=" + percent(params_.colStuckClosedRate) +
+         ", rowOpen=" + percent(params_.rowStuckOpenRate) +
+         ", colOpen=" + percent(params_.colStuckOpenRate) + ")";
+}
+
+void LineCorrelated::generate(std::size_t rows, std::size_t cols, Rng& rng,
+                              DefectMap& out) const {
+  out.reshape(rows, cols);
+  if (rows == 0 || cols == 0) return;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (rng.bernoulli(params_.rowStuckOpenRate))
+      for (std::size_t c = 0; c < cols; ++c) mark(out, r, c, DefectType::StuckOpen);
+    if (rng.bernoulli(params_.rowStuckClosedRate)) {
+      const std::size_t c = static_cast<std::size_t>(rng.uniformInt(0, cols - 1));
+      mark(out, r, c, DefectType::StuckClosed);
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (rng.bernoulli(params_.colStuckOpenRate))
+      for (std::size_t r = 0; r < rows; ++r) mark(out, r, c, DefectType::StuckOpen);
+    if (rng.bernoulli(params_.colStuckClosedRate)) {
+      const std::size_t r = static_cast<std::size_t>(rng.uniformInt(0, rows - 1));
+      mark(out, r, c, DefectType::StuckClosed);
+    }
+  }
+}
+
+// --------------------------------------------------------- RadialGradient
+
+RadialGradient::RadialGradient(Params params) : params_(params) {
+  MCX_REQUIRE(params_.centerRate >= 0.0 && params_.centerRate <= 1.0 &&
+                  params_.edgeRate >= 0.0 && params_.edgeRate <= 1.0,
+              "RadialGradient: rates in [0,1]");
+  MCX_REQUIRE(params_.stuckClosedShare >= 0.0 && params_.stuckClosedShare <= 1.0,
+              "RadialGradient: closed share in [0,1]");
+}
+
+std::string RadialGradient::describe() const {
+  return "gradient(center=" + percent(params_.centerRate) +
+         ", edge=" + percent(params_.edgeRate) +
+         ", closedShare=" + percent(params_.stuckClosedShare) + ")";
+}
+
+void RadialGradient::generate(std::size_t rows, std::size_t cols, Rng& rng,
+                              DefectMap& out) const {
+  out.reshape(rows, cols);
+  if (rows == 0 || cols == 0) return;
+
+  const double centerR = static_cast<double>(rows - 1) / 2.0;
+  const double centerC = static_cast<double>(cols - 1) / 2.0;
+  const double maxDist = std::sqrt(centerR * centerR + centerC * centerC);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double dr = static_cast<double>(r) - centerR;
+      const double dc = static_cast<double>(c) - centerC;
+      const double d = maxDist > 0 ? std::sqrt(dr * dr + dc * dc) / maxDist : 0.0;
+      const double p = params_.centerRate + (params_.edgeRate - params_.centerRate) * d;
+      const double u = rng.uniform();
+      if (u < p * (1.0 - params_.stuckClosedShare))
+        out.setType(r, c, DefectType::StuckOpen);
+      else if (u < p)
+        out.setType(r, c, DefectType::StuckClosed);
+    }
+  }
+}
+
+// --------------------------------------------------------- CompositeModel
+
+CompositeModel::CompositeModel(std::string label,
+                               std::vector<std::shared_ptr<const DefectModel>> parts)
+    : label_(std::move(label)), parts_(std::move(parts)) {
+  MCX_REQUIRE(!parts_.empty(), "CompositeModel: needs at least one part");
+  for (const auto& part : parts_)
+    MCX_REQUIRE(part != nullptr, "CompositeModel: null part");
+}
+
+std::string CompositeModel::describe() const {
+  std::string out = label_ + " = ";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += parts_[i]->describe();
+  }
+  return out;
+}
+
+void CompositeModel::generate(std::size_t rows, std::size_t cols, Rng& rng,
+                              DefectMap& out) const {
+  // The first part writes straight into the caller's scratch; later parts
+  // reuse a per-thread buffer, keeping the Monte Carlo hot loop
+  // allocation-free per sample (the engine's scratch-arena contract). A
+  // *nested* composite among the later parts would receive that same
+  // buffer as its own `out` and self-overlay, so the shared scratch is
+  // borrowed only at the outermost level — recursive calls fall back to a
+  // local buffer.
+  parts_[0]->generate(rows, cols, rng, out);
+  if (parts_.size() == 1) return;
+  thread_local DefectMap sharedScratch;
+  thread_local bool sharedScratchBusy = false;
+  struct Borrow {
+    bool taken;
+    bool& busy;
+    explicit Borrow(bool& b) : taken(!b), busy(b) {
+      if (taken) busy = true;
+    }
+    ~Borrow() {
+      if (taken) busy = false;
+    }
+  } borrow(sharedScratchBusy);
+  DefectMap local;
+  DefectMap& part = borrow.taken ? sharedScratch : local;
+  for (std::size_t i = 1; i < parts_.size(); ++i) {
+    parts_[i]->generate(rows, cols, rng, part);
+    out.overlay(part);
+  }
+}
+
+}  // namespace mcx

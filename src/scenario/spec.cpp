@@ -1,0 +1,205 @@
+#include "scenario/spec.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  SpecValue parseDocument() {
+    SpecValue v = parseValue();
+    skipWhitespace();
+    require(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("scenario spec: " + msg + " at offset " + std::to_string(pos_));
+  }
+
+  void require(bool cond, const char* msg) const {
+    if (!cond) fail(msg);
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skipWhitespace();
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(peek() == c, "unexpected character");
+    ++pos_;
+  }
+
+  bool consumeKeyword(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  SpecValue parseValue() {
+    SpecValue v;
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"':
+        v.kind = SpecValue::Kind::String;
+        v.string = parseString();
+        return v;
+      case 't':
+        require(consumeKeyword("true"), "bad keyword");
+        v.kind = SpecValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        require(consumeKeyword("false"), "bad keyword");
+        v.kind = SpecValue::Kind::Bool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        require(consumeKeyword("null"), "bad keyword");
+        return v;
+      default: return parseNumber();
+    }
+  }
+
+  SpecValue parseObject() {
+    SpecValue v;
+    v.kind = SpecValue::Kind::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      require(peek() == '"', "object key must be a string");
+      std::string key = parseString();
+      expect(':');
+      v.members.emplace_back(std::move(key), parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      require(c == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  SpecValue parseArray() {
+    SpecValue v;
+    v.kind = SpecValue::Kind::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      require(c == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        require(pos_ < text_.size(), "unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape sequence");
+        }
+      }
+      out += c;
+    }
+    require(pos_ < text_.size(), "unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  // Scan the JSON number grammar explicitly, then convert with
+  // std::from_chars: strtod would honor the process locale and accept
+  // non-JSON tokens (nan, inf, hex floats, leading '+').
+  SpecValue parseNumber() {
+    skipWhitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t first = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      require(pos_ > first, "expected a JSON value");
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      digits();
+    }
+    SpecValue v;
+    v.kind = SpecValue::Kind::Number;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v.number);
+    require(ec == std::errc() && end == text_.data() + pos_, "bad JSON number");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const SpecValue* SpecValue::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [name, value] : members)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+double SpecValue::numberOr(const std::string& key, double fallback) const {
+  const SpecValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind != Kind::Number)
+    throw ParseError("scenario spec: member \"" + key + "\" must be a number");
+  return v->number;
+}
+
+std::string SpecValue::stringOr(const std::string& key, const std::string& fallback) const {
+  const SpecValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind != Kind::String)
+    throw ParseError("scenario spec: member \"" + key + "\" must be a string");
+  return v->string;
+}
+
+SpecValue parseSpec(const std::string& text) { return Parser(text).parseDocument(); }
+
+}  // namespace mcx

@@ -1,0 +1,45 @@
+// Minimal JSON parsing for declarative scenario specs.
+//
+// The scenario registry and the scenario_runner sweep CLI accept small JSON
+// documents ({"model": "clustered", "density": 8e-4, ...}); this is the
+// read-side companion of util/json_writer.hpp. Deliberately tiny: objects,
+// arrays, strings (with the writer's escape set), numbers, booleans, and
+// null — no streaming, no comments, no DOM mutation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcx {
+
+struct SpecValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<SpecValue> array;
+  /// Object members in document order (specs are small; no hashing needed).
+  std::vector<std::pair<std::string, SpecValue>> members;
+
+  bool isObject() const { return kind == Kind::Object; }
+  bool isArray() const { return kind == Kind::Array; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  const SpecValue* find(const std::string& key) const;
+
+  /// Typed member accessors with fallbacks; throw ParseError when the member
+  /// exists but has the wrong type (a silently ignored typo'd spec would
+  /// run the wrong scenario).
+  double numberOr(const std::string& key, double fallback) const;
+  std::string stringOr(const std::string& key, const std::string& fallback) const;
+};
+
+/// Parse a complete JSON document; throws mcx::ParseError on malformed
+/// input or trailing garbage.
+SpecValue parseSpec(const std::string& text);
+
+}  // namespace mcx

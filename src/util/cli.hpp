@@ -1,0 +1,49 @@
+// Minimal flag-value helpers shared by the bench/example CLIs.
+//
+// Each helper pulls the value of argv[i] (the flag currently being parsed),
+// advancing i, and throws mcx::InvalidArgument on a missing value or a
+// malformed number — the callers' try/catch turns that into a usage error.
+// Unlike std::stoul/stod, the numeric forms reject trailing garbage
+// ("--samples 12abc") and locale effects (std::from_chars).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcx::cli {
+
+inline std::string stringValue(int argc, char** argv, int& i) {
+  const std::string flag = argv[i];
+  MCX_REQUIRE(i + 1 < argc, flag + " needs a value");
+  return argv[++i];
+}
+
+namespace detail {
+template <typename T>
+T numberValue(int argc, char** argv, int& i) {
+  const std::string flag = argv[i];
+  const std::string text = stringValue(argc, argv, i);
+  T value{};
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  MCX_REQUIRE(ec == std::errc() && end == text.data() + text.size(),
+              flag + ": bad value \"" + text + "\"");
+  return value;
+}
+}  // namespace detail
+
+inline std::size_t sizeValue(int argc, char** argv, int& i) {
+  return detail::numberValue<std::size_t>(argc, argv, i);
+}
+
+inline std::uint64_t u64Value(int argc, char** argv, int& i) {
+  return detail::numberValue<std::uint64_t>(argc, argv, i);
+}
+
+inline double doubleValue(int argc, char** argv, int& i) {
+  return detail::numberValue<double>(argc, argv, i);
+}
+
+}  // namespace mcx::cli

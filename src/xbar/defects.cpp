@@ -22,6 +22,26 @@ bool DefectMap::rowPoisoned(std::size_t r) const { return closed_.rowCount(r) > 
 
 bool DefectMap::colPoisoned(std::size_t c) const { return closed_.colCount(c) > 0; }
 
+void DefectMap::reshape(std::size_t rows, std::size_t cols) {
+  open_.reshape(rows, cols);
+  closed_.reshape(rows, cols);
+}
+
+void DefectMap::overlay(const DefectMap& other) {
+  MCX_REQUIRE(rows() == other.rows() && cols() == other.cols(),
+              "DefectMap::overlay: dimension mismatch");
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto open = open_.rowWords(r);
+    const auto closed = closed_.rowWords(r);
+    const auto otherOpen = other.open_.rowWords(r);
+    const auto otherClosed = other.closed_.rowWords(r);
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      closed[i] |= otherClosed[i];
+      open[i] = (open[i] | otherOpen[i]) & ~closed[i];
+    }
+  }
+}
+
 DefectMap DefectMap::sample(std::size_t rows, std::size_t cols, double stuckOpenRate,
                             double stuckClosedRate, Rng& rng) {
   DefectMap map;

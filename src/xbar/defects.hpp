@@ -56,6 +56,15 @@ public:
   void resample(std::size_t rows, std::size_t cols, double stuckOpenRate,
                 double stuckClosedRate, Rng& rng);
 
+  /// Resize to rows x cols with every crosspoint functional, reusing the
+  /// existing allocations (scratch-arena entry point for DefectModels).
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Union this map with @p other (same dimensions): a crosspoint is
+  /// defective if it is defective in either map, and stuck-closed dominates
+  /// stuck-open (the harsher failure wins). CompositeModel layering.
+  void overlay(const DefectMap& other);
+
 private:
   BitMatrix open_;
   BitMatrix closed_;

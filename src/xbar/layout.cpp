@@ -8,14 +8,22 @@ namespace mcx {
 
 namespace {
 
+// Built via append rather than operator+ chains: GCC 12's -Wrestrict fires
+// a false positive (PR 105329) on inlined char* + std::string concatenation.
+std::string numberedLabel(const char* prefix, std::size_t index) {
+  std::string out(prefix);
+  out += std::to_string(index);
+  return out;
+}
+
 std::string columnLabel(const FunctionMatrix& fm, std::size_t c) {
-  if (c < fm.nin()) return "x" + std::to_string(c + 1);
-  if (c < 2 * fm.nin()) return "!x" + std::to_string(c - fm.nin() + 1);
+  if (c < fm.nin()) return numberedLabel("x", c + 1);
+  if (c < 2 * fm.nin()) return numberedLabel("!x", c - fm.nin() + 1);
   const std::size_t base = 2 * fm.nin();
-  if (c < base + fm.numConnectionCols()) return "c" + std::to_string(c - base + 1);
+  if (c < base + fm.numConnectionCols()) return numberedLabel("c", c - base + 1);
   const std::size_t obase = base + fm.numConnectionCols();
-  if (c < obase + fm.nout()) return "O" + std::to_string(c - obase + 1);
-  return "!O" + std::to_string(c - obase - fm.nout() + 1);
+  if (c < obase + fm.nout()) return numberedLabel("O", c - obase + 1);
+  return numberedLabel("!O", c - obase - fm.nout() + 1);
 }
 
 }  // namespace
@@ -31,8 +39,9 @@ std::string TwoLevelLayout::toAsciiDiagram() const {
   }
   os << '\n';
   for (std::size_t r = 0; r < fm.rows(); ++r) {
-    std::string label = r < fm.numProductRows() ? "m" + std::to_string(r + 1)
-                                                : "out" + std::to_string(r - fm.numProductRows() + 1);
+    std::string label = r < fm.numProductRows()
+                            ? numberedLabel("m", r + 1)
+                            : numberedLabel("out", r - fm.numProductRows() + 1);
     label.resize(11, ' ');
     os << label << ' ';
     for (std::size_t c = 0; c < fm.cols(); ++c)

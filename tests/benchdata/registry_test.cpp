@@ -31,8 +31,9 @@ TEST(Registry, SyntheticStandInsMatchPaperStats) {
     EXPECT_EQ(c.cover.size(), info.products) << info.name;
     // misex3c's printed area (11856) disagrees with the paper's own formula
     // ((197+14)(56) = 11816); its note documents this.
-    if (info.paperAreaTwoLevel && info.name != "misex3c")
+    if (info.paperAreaTwoLevel && info.name != "misex3c") {
       EXPECT_EQ(twoLevelDims(c.cover).area(), *info.paperAreaTwoLevel) << info.name;
+    }
   }
 }
 

@@ -26,7 +26,9 @@ TEST(SyntheticCover, IrredundantByConstruction) {
   const Cover c = syntheticCover("test-b", 6, 2, 25, 3.0);
   for (std::size_t i = 0; i < c.size(); ++i)
     for (std::size_t j = 0; j < c.size(); ++j)
-      if (i != j) EXPECT_FALSE(c.cube(i).contains(c.cube(j)));
+      if (i != j) {
+        EXPECT_FALSE(c.cube(i).contains(c.cube(j)));
+      }
 }
 
 TEST(ProductOfSums, ExpansionSizeIsProductOfGroupSizes) {

@@ -47,7 +47,9 @@ TEST(RandomSop, IrredundantOptionAvoidsContainment) {
   const Cover c = randomSop(opts, rng);
   for (std::size_t i = 0; i < c.size(); ++i)
     for (std::size_t j = 0; j < c.size(); ++j)
-      if (i != j) EXPECT_FALSE(c.cube(i).contains(c.cube(j)));
+      if (i != j) {
+        EXPECT_FALSE(c.cube(i).contains(c.cube(j)));
+      }
 }
 
 TEST(WeightFunction, Rd53Shape) {

@@ -81,7 +81,9 @@ TEST(ExactMapper, ResultsVerifyOnRandomDefects) {
     const DefectMap defects = DefectMap::sample(fm.rows(), fm.cols(), 0.1, 0.0, sample);
     const BitMatrix cm = crossbarMatrix(defects);
     const MappingResult r = ExactMapper().map(fm, cm);
-    if (r.success) EXPECT_TRUE(verifyMapping(fm, cm, r)) << "rep=" << rep;
+    if (r.success) {
+      EXPECT_TRUE(verifyMapping(fm, cm, r)) << "rep=" << rep;
+    }
   }
 }
 
@@ -104,7 +106,9 @@ TEST(ExactMapper, MunkresBaselineAgreesWithFastPath) {
     const MappingResult fast = ExactMapper().map(fm, cm);
     const MappingResult exact = ExactMapper(munkres).map(fm, cm);
     EXPECT_EQ(fast.success, exact.success) << "rep=" << rep;
-    if (exact.success) EXPECT_TRUE(verifyMapping(fm, cm, exact)) << "rep=" << rep;
+    if (exact.success) {
+      EXPECT_TRUE(verifyMapping(fm, cm, exact)) << "rep=" << rep;
+    }
   }
 }
 

@@ -50,7 +50,9 @@ TEST(FastExactMapper, AgreesWithMunkresExactMapperEverywhere) {
     const MappingResult a = ea.map(fm, cm);
     const MappingResult b = fast.map(fm, cm);
     EXPECT_EQ(a.success, b.success) << "rep=" << rep;
-    if (b.success) EXPECT_TRUE(verifyMapping(fm, cm, b)) << "rep=" << rep;
+    if (b.success) {
+      EXPECT_TRUE(verifyMapping(fm, cm, b)) << "rep=" << rep;
+    }
   }
 }
 

@@ -48,7 +48,9 @@ TEST(MapperProperties, SuccessesAlwaysVerify) {
   for (const auto& [fm, cm] : instances) {
     for (const IMapper* mapper : std::initializer_list<const IMapper*>{&hba, &ea, &greedy}) {
       const MappingResult r = mapper->map(fm, cm);
-      if (r.success) EXPECT_TRUE(verifyMapping(fm, cm, r)) << mapper->name();
+      if (r.success) {
+        EXPECT_TRUE(verifyMapping(fm, cm, r)) << mapper->name();
+      }
     }
   }
 }
@@ -58,7 +60,9 @@ TEST(MapperProperties, ExactDominatesHybrid) {
   const HybridMapper hba;
   const ExactMapper ea;
   for (const auto& [fm, cm] : instances) {
-    if (hba.map(fm, cm).success) EXPECT_TRUE(ea.map(fm, cm).success);
+    if (hba.map(fm, cm).success) {
+      EXPECT_TRUE(ea.map(fm, cm).success);
+    }
   }
 }
 
@@ -68,7 +72,9 @@ TEST(MapperProperties, HybridDominatesNoBacktracking) {
   noBt.backtracking = false;
   const HybridMapper with, without(noBt);
   for (const auto& [fm, cm] : instances) {
-    if (without.map(fm, cm).success) EXPECT_TRUE(with.map(fm, cm).success);
+    if (without.map(fm, cm).success) {
+      EXPECT_TRUE(with.map(fm, cm).success);
+    }
   }
 }
 

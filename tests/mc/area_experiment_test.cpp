@@ -61,6 +61,38 @@ TEST(AreaExperiment, SuccessRateIsAShare) {
   EXPECT_LE(r.successRate(), 1.0);
 }
 
+TEST(AreaExperiment, DefectModelAddsYieldMeasurements) {
+  AreaExperimentConfig cfg;
+  cfg.nin = 5;
+  cfg.samples = 10;
+  cfg.seed = 4;
+  cfg.defectModel = std::make_shared<IidBernoulli>(0.05, 0.0);
+  cfg.defectDraws = 12;
+  const AreaExperimentResult r = runAreaExperiment(cfg);
+  for (const AreaSample& s : r.samples) {
+    EXPECT_GE(s.twoLevelYield, 0.0);
+    EXPECT_LE(s.twoLevelYield, 1.0);
+    EXPECT_GE(s.multiLevelYield, 0.0);
+    EXPECT_LE(s.multiLevelYield, 1.0);
+  }
+
+  // Unset model keeps the sentinel, and the yield pass stays thread-count
+  // invariant (per-sample streams).
+  AreaExperimentConfig plain = cfg;
+  plain.defectModel = nullptr;
+  for (const AreaSample& s : runAreaExperiment(plain).samples)
+    EXPECT_DOUBLE_EQ(s.twoLevelYield, -1.0);
+
+  AreaExperimentConfig threaded = cfg;
+  threaded.threads = 4;
+  const AreaExperimentResult r4 = runAreaExperiment(threaded);
+  ASSERT_EQ(r4.samples.size(), r.samples.size());
+  for (std::size_t i = 0; i < r.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r4.samples[i].twoLevelYield, r.samples[i].twoLevelYield);
+    EXPECT_DOUBLE_EQ(r4.samples[i].multiLevelYield, r.samples[i].multiLevelYield);
+  }
+}
+
 TEST(AreaExperiment, RejectsBadConfig) {
   AreaExperimentConfig cfg;
   cfg.nin = 1;

@@ -63,7 +63,9 @@ TEST(Kernels, KernelsAreCubeFree) {
   opts.literalsPerProduct = 3.0;
   const Cover c = randomSop(opts, rng);
   for (const auto& k : allKernels(c.projection(0), 6)) {
-    if (k.kernel.size() >= 2) EXPECT_TRUE(isCubeFree(k.kernel, 6));
+    if (k.kernel.size() >= 2) {
+      EXPECT_TRUE(isCubeFree(k.kernel, 6));
+    }
   }
 }
 

@@ -1,0 +1,263 @@
+#include "scenario/defect_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "map/hybrid_mapper.hpp"
+#include "mc/defect_experiment.hpp"
+#include "util/error.hpp"
+#include "xbar/function_matrix.hpp"
+
+namespace mcx {
+namespace {
+
+FunctionMatrix testFm() {
+  return buildFunctionMatrix(parseSop("x1 x2 + !x2 x3 + x1 !x3 + x2 x3"));
+}
+
+bool sameMap(const DefectMap& a, const DefectMap& b) {
+  return a.openBits() == b.openBits() && a.closedBits() == b.closedBits();
+}
+
+// --- IidBernoulli: the regression anchor of the whole rewiring -----------
+
+TEST(IidBernoulli, DrawForDrawIdenticalToLegacyResample) {
+  const IidBernoulli model(0.12, 0.03);
+  for (const std::uint64_t seed : {1ull, 42ull, 0xfeedull}) {
+    Rng a(seed), b(seed);
+    const DefectMap viaModel = model.sample(37, 53, a);
+    const DefectMap viaLegacy = DefectMap::sample(37, 53, 0.12, 0.03, b);
+    EXPECT_TRUE(sameMap(viaModel, viaLegacy)) << "seed=" << seed;
+    // Identical draw *counts* too: the streams must stay in lockstep.
+    EXPECT_EQ(a(), b()) << "seed=" << seed;
+  }
+}
+
+TEST(IidBernoulli, EngineResultsBitIdenticalToLegacyRatePath) {
+  // DefectExperimentConfig without a model must behave exactly like one
+  // with the equivalent IidBernoulli: same seeds => same success counts and
+  // row assignments (the BENCH_defect_mc.json regression guarantee).
+  const FunctionMatrix fm = testFm();
+  DefectExperimentConfig legacy;
+  legacy.samples = 80;
+  legacy.stuckOpenRate = 0.12;
+  legacy.stuckClosedRate = 0.01;
+  legacy.seed = 0x7ab1e2;
+  legacy.keepMappings = true;
+
+  DefectExperimentConfig scenario = legacy;
+  scenario.model = std::make_shared<IidBernoulli>(0.12, 0.01);
+
+  const auto a = runDefectExperiment(fm, HybridMapper(), legacy);
+  const auto b = runDefectExperiment(fm, HybridMapper(), scenario);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.totalBacktracks, b.totalBacktracks);
+  ASSERT_EQ(a.mappings.size(), b.mappings.size());
+  for (std::size_t s = 0; s < a.mappings.size(); ++s) {
+    EXPECT_EQ(a.mappings[s].success, b.mappings[s].success) << "sample=" << s;
+    EXPECT_EQ(a.mappings[s].rowAssignment, b.mappings[s].rowAssignment) << "sample=" << s;
+  }
+}
+
+TEST(IidBernoulli, Validation) {
+  EXPECT_THROW(IidBernoulli(-0.1, 0.0), InvalidArgument);
+  EXPECT_THROW(IidBernoulli(0.6, 0.6), InvalidArgument);
+}
+
+// --- ClusteredDefects ------------------------------------------------------
+
+TEST(ClusteredDefects, DefectsAreSpatiallyClustered) {
+  ClusteredDefects::Params p;
+  p.clusterDensity = 2e-3;
+  p.spread = 0.9;  // expected cluster size 10
+  const ClusteredDefects model(p);
+  Rng rng(7);
+  const DefectMap map = model.sample(96, 96, rng);
+  ASSERT_GT(map.stuckOpenCount(), 0u);
+
+  // A random-walk cluster leaves its cells 4-adjacent; single-cell clusters
+  // (probability 1 - spread) are the only isolated ones, so the adjacency
+  // share must be far above what i.i.d. sprinkling at this density gives.
+  std::size_t defective = 0, adjacent = 0;
+  for (std::size_t r = 0; r < map.rows(); ++r) {
+    for (std::size_t c = 0; c < map.cols(); ++c) {
+      if (map.type(r, c) == DefectType::None) continue;
+      ++defective;
+      const bool nb =
+          (r > 0 && map.type(r - 1, c) != DefectType::None) ||
+          (r + 1 < map.rows() && map.type(r + 1, c) != DefectType::None) ||
+          (c > 0 && map.type(r, c - 1) != DefectType::None) ||
+          (c + 1 < map.cols() && map.type(r, c + 1) != DefectType::None);
+      if (nb) ++adjacent;
+    }
+  }
+  EXPECT_GT(static_cast<double>(adjacent) / static_cast<double>(defective), 0.5);
+}
+
+TEST(ClusteredDefects, Validation) {
+  ClusteredDefects::Params p;
+  p.clusterDensity = 1e300;  // would overflow the cluster-count cast
+  EXPECT_THROW(ClusteredDefects{p}, InvalidArgument);
+  p.clusterDensity = 5e-4;
+  p.spread = 1.0;  // would never terminate a cluster walk
+  EXPECT_THROW(ClusteredDefects{p}, InvalidArgument);
+}
+
+TEST(ClusteredDefects, DeterministicPerSeed) {
+  ClusteredDefects::Params p;
+  p.clusterDensity = 1e-3;
+  const ClusteredDefects model(p);
+  Rng a(11), b(11), c(12);
+  EXPECT_TRUE(sameMap(model.sample(64, 64, a), model.sample(64, 64, b)));
+  Rng a2(11);
+  EXPECT_FALSE(sameMap(model.sample(64, 64, a2), model.sample(64, 64, c)));
+}
+
+// --- LineCorrelated --------------------------------------------------------
+
+TEST(LineCorrelated, CertainRowFailurePoisonsEveryRow) {
+  LineCorrelated::Params p;
+  p.rowStuckClosedRate = 1.0;
+  const LineCorrelated model(p);
+  Rng rng(3);
+  const DefectMap map = model.sample(12, 20, rng);
+  for (std::size_t r = 0; r < map.rows(); ++r) EXPECT_TRUE(map.rowPoisoned(r)) << r;
+  EXPECT_EQ(map.stuckClosedCount(), 12u);  // exactly one closed crosspoint per row
+}
+
+TEST(LineCorrelated, WholeLineStuckOpenKillsEverySwitchInTheLine) {
+  LineCorrelated::Params p;
+  p.colStuckOpenRate = 0.5;
+  const LineCorrelated model(p);
+  Rng rng(9);
+  const DefectMap map = model.sample(16, 16, rng);
+  ASSERT_GT(map.stuckOpenCount(), 0u);
+  // Stuck-open cells come only in full columns.
+  for (std::size_t c = 0; c < map.cols(); ++c) {
+    const bool anyOpen = map.isStuckOpen(0, c);
+    for (std::size_t r = 0; r < map.rows(); ++r)
+      EXPECT_EQ(map.isStuckOpen(r, c), anyOpen) << "col=" << c << " row=" << r;
+  }
+}
+
+// --- RadialGradient --------------------------------------------------------
+
+TEST(RadialGradient, EdgeIsDenserThanCenter) {
+  RadialGradient::Params p;
+  p.centerRate = 0.01;
+  p.edgeRate = 0.40;
+  const RadialGradient model(p);
+  Rng rng(21);
+  const DefectMap map = model.sample(128, 128, rng);
+
+  // Compare the central quarter against the outer frame.
+  std::size_t center = 0, edge = 0;
+  for (std::size_t r = 0; r < 128; ++r) {
+    for (std::size_t c = 0; c < 128; ++c) {
+      if (map.type(r, c) == DefectType::None) continue;
+      if (r >= 48 && r < 80 && c >= 48 && c < 80) ++center;
+      if (r < 16 || r >= 112 || c < 16 || c >= 112) ++edge;
+    }
+  }
+  EXPECT_GT(edge, center * 3);
+}
+
+TEST(RadialGradient, ClosedShareProducesStuckClosed) {
+  RadialGradient::Params p;
+  p.centerRate = 0.2;
+  p.edgeRate = 0.2;
+  p.stuckClosedShare = 0.5;
+  const RadialGradient model(p);
+  Rng rng(5);
+  const DefectMap map = model.sample(48, 48, rng);
+  EXPECT_GT(map.stuckOpenCount(), 0u);
+  EXPECT_GT(map.stuckClosedCount(), 0u);
+}
+
+// --- CompositeModel --------------------------------------------------------
+
+TEST(CompositeModel, UnionsPartsAndClosedDominates) {
+  const auto allOpen = std::make_shared<IidBernoulli>(1.0, 0.0);
+  const auto allClosed = std::make_shared<IidBernoulli>(0.0, 1.0);
+  const CompositeModel model("both", {allOpen, allClosed});
+  Rng rng(1);
+  const DefectMap map = model.sample(8, 8, rng);
+  EXPECT_EQ(map.stuckClosedCount(), 64u);  // closed wins every conflict
+  EXPECT_EQ(map.stuckOpenCount(), 0u);
+}
+
+TEST(CompositeModel, AtLeastAsDefectiveAsEachPart) {
+  const auto iid = std::make_shared<IidBernoulli>(0.05, 0.0);
+  ClusteredDefects::Params cp;
+  cp.clusterDensity = 1e-3;
+  const auto clustered = std::make_shared<ClusteredDefects>(cp);
+  const CompositeModel model("mix", {clustered, iid});
+
+  Rng composite(77), partOnly(77);
+  const DefectMap whole = model.sample(64, 64, composite);
+  // The first part draws from the same stream prefix, so its pattern is a
+  // subset of the composite's.
+  const DefectMap first = clustered->sample(64, 64, partOnly);
+  for (std::size_t r = 0; r < 64; ++r)
+    for (std::size_t c = 0; c < 64; ++c)
+      if (first.type(r, c) != DefectType::None) {
+        EXPECT_NE(whole.type(r, c), DefectType::None) << r << "," << c;
+      }
+}
+
+TEST(CompositeModel, NestedCompositesDoNotAliasScratch) {
+  // Regression: a composite nested as a non-first part used to receive the
+  // outer loop's per-thread scratch as its own output buffer and
+  // self-overlay, silently discarding all but its last sub-part.
+  const auto none = std::make_shared<IidBernoulli>(0.0, 0.0);
+  const auto allOpen = std::make_shared<IidBernoulli>(1.0, 0.0);
+  const auto inner = std::make_shared<CompositeModel>(
+      "inner", std::vector<std::shared_ptr<const DefectModel>>{allOpen, none});
+  const CompositeModel outer("outer", {none, inner});
+  Rng rng(5);
+  const DefectMap map = outer.sample(8, 8, rng);
+  EXPECT_EQ(map.stuckOpenCount(), 64u);
+}
+
+TEST(CompositeModel, Validation) {
+  EXPECT_THROW(CompositeModel("empty", {}), InvalidArgument);
+  EXPECT_THROW(CompositeModel("null", {nullptr}), InvalidArgument);
+}
+
+// --- DefectMap::overlay (the composite primitive) --------------------------
+
+TEST(DefectMapOverlay, ClosedDominatesOpen) {
+  DefectMap a(4, 4), b(4, 4);
+  a.setType(1, 2, DefectType::StuckOpen);
+  a.setType(0, 0, DefectType::StuckOpen);
+  b.setType(1, 2, DefectType::StuckClosed);
+  b.setType(3, 3, DefectType::StuckOpen);
+  a.overlay(b);
+  EXPECT_EQ(a.type(1, 2), DefectType::StuckClosed);
+  EXPECT_EQ(a.type(0, 0), DefectType::StuckOpen);
+  EXPECT_EQ(a.type(3, 3), DefectType::StuckOpen);
+  EXPECT_EQ(a.type(2, 2), DefectType::None);
+}
+
+TEST(DefectMapOverlay, RejectsDimensionMismatch) {
+  DefectMap a(4, 4), b(4, 5);
+  EXPECT_THROW(a.overlay(b), InvalidArgument);
+}
+
+// --- Model names ------------------------------------------------------------
+
+TEST(DefectModels, NamesAndDescriptionsAreStable) {
+  ClusteredDefects::Params cp;
+  LineCorrelated::Params lp;
+  RadialGradient::Params gp;
+  const auto iid = std::make_shared<IidBernoulli>(0.1, 0.0);
+  EXPECT_EQ(iid->name(), "iid");
+  EXPECT_EQ(ClusteredDefects(cp).name(), "clustered");
+  EXPECT_EQ(LineCorrelated(lp).name(), "lines");
+  EXPECT_EQ(RadialGradient(gp).name(), "gradient");
+  EXPECT_EQ(CompositeModel("x", {iid}).name(), "composite");
+  EXPECT_NE(iid->describe().find("10%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -79,7 +79,9 @@ TEST(SweepIV, PinchedHysteresis) {
   ASSERT_EQ(points.size(), 512u);
   // I(V=0) ~ 0 at every zero crossing: the defining pinched property.
   for (const IvPoint& pt : points)
-    if (std::abs(pt.voltage) < 1e-9) EXPECT_NEAR(pt.current, 0.0, 1e-12);
+    if (std::abs(pt.voltage) < 1e-9) {
+      EXPECT_NEAR(pt.current, 0.0, 1e-12);
+    }
   // Hysteresis: the device must actually switch (state changes).
   double minState = 1.0, maxState = 0.0;
   for (const IvPoint& pt : points) {

@@ -1,0 +1,175 @@
+// Stuck-closed line poisoning in the behavioral simulator and the transient
+// fault harness, exercised with scenario-generated (line-correlated and
+// composite) defect maps rather than the i.i.d. draws the rest of the suite
+// uses.
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "logic/truth_table.hpp"
+#include "scenario/defect_model.hpp"
+#include "sim/crossbar_sim.hpp"
+#include "sim/transient_faults.hpp"
+
+namespace mcx {
+namespace {
+
+TwoLevelLayout testLayout() { return buildTwoLevelLayout(parseSop("x1 x2 + !x1 x3 + x2 !x3")); }
+
+/// Number of (input, output) pairs where the reference function is 1 — the
+/// mismatch count of a crossbar whose outputs are all forced to 0.
+std::size_t onCount(const Cover& cover) {
+  const TruthTable ref = TruthTable::fromCover(cover);
+  std::size_t on = 0;
+  for (std::size_t o = 0; o < cover.nout(); ++o)
+    for (std::size_t m = 0; m < ref.numMinterms(); ++m)
+      if (ref.get(o, m)) ++on;
+  return on;
+}
+
+TEST(LinePoisoningSim, EveryRowStuckClosedForcesAllOutputsLow) {
+  // rowStuckClosedRate = 1: every physical row carries a stuck-closed
+  // crosspoint. Every product row is poisoned (its NAND reads the forced 0)
+  // and every output latch row is poisoned too, so each latch keeps its
+  // R_OFF initialization and every output reads 0 — regardless of which
+  // columns the closed crosspoints happened to poison.
+  const TwoLevelLayout layout = testLayout();
+  LineCorrelated::Params p;
+  p.rowStuckClosedRate = 1.0;
+  const LineCorrelated model(p);
+  Rng rng(17);
+  const DefectMap defects = model.sample(layout.fm.rows(), layout.fm.cols(), rng);
+  for (std::size_t r = 0; r < defects.rows(); ++r) ASSERT_TRUE(defects.rowPoisoned(r));
+
+  const auto id = identityAssignment(layout.fm.rows());
+  EXPECT_EQ(countTwoLevelMismatches(layout, id, defects), onCount(layout.cover));
+}
+
+TEST(LinePoisoningSim, WholeLineStuckOpenSilentlyDropsEveryConnection) {
+  // colStuckOpenRate = 1: all switches unusable but nothing poisoned. No
+  // product ever pulls its output column and every latch switch is broken,
+  // so outputs are all 0 — the stuck-open line failure mode is silent, not
+  // poisoning.
+  const TwoLevelLayout layout = testLayout();
+  LineCorrelated::Params p;
+  p.colStuckOpenRate = 1.0;
+  const LineCorrelated model(p);
+  Rng rng(23);
+  const DefectMap defects = model.sample(layout.fm.rows(), layout.fm.cols(), rng);
+  EXPECT_EQ(defects.stuckClosedCount(), 0u);
+  for (std::size_t r = 0; r < defects.rows(); ++r) ASSERT_FALSE(defects.rowPoisoned(r));
+
+  const auto id = identityAssignment(layout.fm.rows());
+  EXPECT_EQ(countTwoLevelMismatches(layout, id, defects), onCount(layout.cover));
+}
+
+TEST(LinePoisoningSim, PoisonedOutputColumnForcesTheOutputHigh) {
+  // Scenario-generated partial poisoning: scan seeds until a map poisons
+  // the (single) output column while the latch row and its switch stay
+  // healthy. Per Section IV-A the column is forced to R_ON = 0 (= !f), so
+  // after inversion the output reads constant 1.
+  const TwoLevelLayout layout = testLayout();
+  const FunctionMatrix& fm = layout.fm;
+  LineCorrelated::Params p;
+  p.rowStuckClosedRate = 0.4;
+  const LineCorrelated model(p);
+  const auto id = identityAssignment(fm.rows());
+  const std::size_t outCol = fm.colOfOutput(0);
+  const std::size_t outRow = fm.rowOfOutput(0);
+
+  bool found = false;
+  for (std::uint64_t seed = 0; seed < 200 && !found; ++seed) {
+    Rng rng(seed);
+    const DefectMap defects = model.sample(fm.rows(), fm.cols(), rng);
+    if (!defects.colPoisoned(outCol)) continue;
+    if (defects.rowPoisoned(outRow) || defects.isStuckOpen(outRow, outCol)) continue;
+    found = true;
+    DynBits input(fm.nin());
+    for (std::size_t m = 0; m < (std::size_t{1} << fm.nin()); ++m) {
+      for (std::size_t v = 0; v < fm.nin(); ++v) input.set(v, ((m >> v) & 1u) != 0);
+      const DynBits out = simulateTwoLevel(layout, id, defects, input);
+      EXPECT_TRUE(out.test(0)) << "seed=" << seed << " minterm=" << m;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed produced the poisoned-output configuration";
+}
+
+TEST(LinePoisoningTransients, ZeroTransientRateReproducesPermanentDamage) {
+  // With zero transient rates, measureTransientErrors is a deterministic
+  // evaluation of the permanent map: a line-correlated map that breaks the
+  // function must show a positive bit error rate, and a clean map must not.
+  const TwoLevelLayout layout = testLayout();
+  const auto id = identityAssignment(layout.fm.rows());
+
+  LineCorrelated::Params p;
+  p.rowStuckClosedRate = 1.0;
+  Rng mapRng(31);
+  const DefectMap poisoned =
+      LineCorrelated(p).sample(layout.fm.rows(), layout.fm.cols(), mapRng);
+  Rng evalRng(1);
+  const TransientFaultStats broken =
+      measureTransientErrors(layout, id, poisoned, {}, 200, evalRng);
+  EXPECT_EQ(broken.evaluations, 200u * layout.cover.nout());
+  // All outputs forced low: errors exactly on the reference-1 evaluations.
+  EXPECT_GT(broken.bitErrors, 0u);
+
+  const DefectMap clean(layout.fm.rows(), layout.fm.cols());
+  Rng evalRng2(1);
+  const TransientFaultStats ok = measureTransientErrors(layout, id, clean, {}, 200, evalRng2);
+  EXPECT_EQ(ok.bitErrors, 0u);
+}
+
+TEST(LinePoisoningTransients, TransientsCannotWorsenAFullyPoisonedCrossbar) {
+  // Every row poisoned permanently => outputs are all 0 no matter what, so
+  // layering transient upsets on top must not change the error count (the
+  // transient layer only ever adds stuck behaviour, and there is nothing
+  // left to break).
+  const TwoLevelLayout layout = testLayout();
+  const auto id = identityAssignment(layout.fm.rows());
+  LineCorrelated::Params p;
+  p.rowStuckClosedRate = 1.0;
+  Rng mapRng(37);
+  const DefectMap poisoned =
+      LineCorrelated(p).sample(layout.fm.rows(), layout.fm.cols(), mapRng);
+
+  Rng quietRng(9);
+  const TransientFaultStats quiet =
+      measureTransientErrors(layout, id, poisoned, {}, 300, quietRng);
+  TransientFaultConfig noisy;
+  noisy.openRate = 0.2;
+  noisy.shortRate = 0.2;
+  Rng noisyRng(9);
+  const TransientFaultStats stormy =
+      measureTransientErrors(layout, id, poisoned, noisy, 300, noisyRng);
+  EXPECT_EQ(stormy.bitErrors, quiet.bitErrors);
+}
+
+TEST(LinePoisoningTransients, CompositePermanentsLayerUnderTransients) {
+  // Composite permanents (clustered opens + line failures) under a
+  // transient storm: the harness must count every evaluation, and the error
+  // rate must be at least the permanent-only rate observed on the same
+  // inputs (transient shorts poison lines, transient opens drop literals —
+  // on this crossbar every single-switch failure biases outputs toward 0,
+  // and the reference does not change).
+  const TwoLevelLayout layout = testLayout();
+  const auto id = identityAssignment(layout.fm.rows());
+
+  ClusteredDefects::Params cp;
+  cp.clusterDensity = 2e-3;
+  LineCorrelated::Params lp;
+  lp.rowStuckClosedRate = 0.25;
+  const CompositeModel model(
+      "fab", {std::make_shared<ClusteredDefects>(cp), std::make_shared<LineCorrelated>(lp)});
+  Rng mapRng(41);
+  const DefectMap defects = model.sample(layout.fm.rows(), layout.fm.cols(), mapRng);
+
+  TransientFaultConfig storm;
+  storm.shortRate = 0.3;
+  Rng rng(3);
+  const TransientFaultStats stats = measureTransientErrors(layout, id, defects, storm, 250, rng);
+  EXPECT_EQ(stats.evaluations, 250u * layout.cover.nout());
+  EXPECT_GT(stats.bitErrorRate(), 0.0);
+  EXPECT_LE(stats.bitErrorRate(), 1.0);
+}
+
+}  // namespace
+}  // namespace mcx
