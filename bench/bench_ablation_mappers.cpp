@@ -46,6 +46,7 @@ int main() {
       cfg.samples = samples;
       cfg.stuckOpenRate = rate;
       cfg.seed = 0xc0ffee;
+      cfg.timePerSample = true;  // the table reports per-mapper mean time
       const auto r = runDefectExperiment(fm, *mapper, cfg);
       row.push_back(TextTable::percent(r.successRate()) + " @" +
                     TextTable::num(r.meanSeconds() * 1e3, 2) + "ms");

@@ -1,8 +1,12 @@
 // Microbenchmarks (google-benchmark) of the library's hot kernels:
 // row matching, matching-matrix construction, Munkres, tautology checking,
-// complement, ISOP, espresso, factoring, and end-to-end HBA/EA mapping.
+// complement, ISOP, espresso, factoring, end-to-end HBA/EA mapping, and the
+// three layers of the Monte Carlo hot path (legacy vs sparse sampling, full
+// vs incremental adjacency, cold vs warm-started Hopcroft-Karp) on the bw
+// multi-level workload at the paper's 10% stuck-open rate.
 #include <benchmark/benchmark.h>
 
+#include "assign/hopcroft_karp.hpp"
 #include "assign/munkres.hpp"
 #include "benchdata/registry.hpp"
 #include "logic/espresso.hpp"
@@ -11,8 +15,11 @@
 #include "map/exact_mapper.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "netlist/factor.hpp"
+#include "netlist/nand_mapper.hpp"
+#include "scenario/defect_model.hpp"
 #include "xbar/defects.hpp"
 #include "xbar/function_matrix.hpp"
+#include "xbar/multilevel_layout.hpp"
 
 namespace {
 
@@ -99,6 +106,92 @@ void BM_Factor(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(factorCover(cubes, cover.nin()));
 }
 BENCHMARK(BM_Factor);
+
+// --- Monte Carlo hot-path layers on the bw multi-level workload ------------
+
+const FunctionMatrix& bwFunctionMatrix() {
+  static const MultiLevelLayout layout =
+      buildMultiLevelLayout(mapToNand(loadBenchmarkFast("bw").cover));
+  return layout.fm;
+}
+
+void BM_SamplerLegacy(benchmark::State& state) {
+  const FunctionMatrix& fm = bwFunctionMatrix();
+  const IidBernoulli model(0.10, 0.0);
+  Rng rng(6);
+  DefectMap map;
+  DirtyRows dirty;
+  for (auto _ : state) {
+    model.generateTracked(fm.rows(), fm.cols(), rng, map, dirty);
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_SamplerLegacy);
+
+void BM_SamplerSparse(benchmark::State& state) {
+  const FunctionMatrix& fm = bwFunctionMatrix();
+  const SparseIidBernoulli model(0.10, 0.0);
+  Rng rng(6);
+  DefectMap map;
+  DirtyRows dirty;
+  for (auto _ : state) {
+    model.generateTracked(fm.rows(), fm.cols(), rng, map, dirty);
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_SamplerSparse);
+
+void BM_AdjacencyFull(benchmark::State& state) {
+  const FunctionMatrix& fm = bwFunctionMatrix();
+  Rng rng(6);
+  const SparseIidBernoulli model(0.10, 0.0);
+  const DefectMap defects = model.sample(fm.rows(), fm.cols(), rng);
+  const BitMatrix cm = crossbarMatrix(defects);
+  BitMatrix adjacency;
+  for (auto _ : state) {
+    buildCandidateAdjacencyInto(fm.bits(), cm, adjacency);
+    benchmark::DoNotOptimize(adjacency);
+  }
+}
+BENCHMARK(BM_AdjacencyFull);
+
+void BM_AdjacencyIncremental(benchmark::State& state) {
+  const FunctionMatrix& fm = bwFunctionMatrix();
+  Rng rng(6);
+  const SparseIidBernoulli model(0.10, 0.0);
+  DefectMap defects;
+  DirtyRows dirty;
+  model.generateTracked(fm.rows(), fm.cols(), rng, defects, dirty);
+  const BitMatrix cm = crossbarMatrix(defects);
+  MappingContext ctx;
+  ctx.setSample(&defects, &dirty);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.candidateAdjacency(fm.bits(), cm));
+}
+BENCHMARK(BM_AdjacencyIncremental);
+
+void BM_MatchingColdStart(benchmark::State& state) {
+  const FunctionMatrix& fm = bwFunctionMatrix();
+  Rng rng(6);
+  const SparseIidBernoulli model(0.10, 0.0);
+  const DefectMap defects = model.sample(fm.rows(), fm.cols(), rng);
+  const BitMatrix cm = crossbarMatrix(defects);
+  const BitMatrix adjacency = buildCandidateAdjacency(fm.bits(), cm);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hopcroftKarp(adjacency, /*warmStart=*/false));
+}
+BENCHMARK(BM_MatchingColdStart);
+
+void BM_MatchingWarmStart(benchmark::State& state) {
+  const FunctionMatrix& fm = bwFunctionMatrix();
+  Rng rng(6);
+  const SparseIidBernoulli model(0.10, 0.0);
+  const DefectMap defects = model.sample(fm.rows(), fm.cols(), rng);
+  const BitMatrix cm = crossbarMatrix(defects);
+  const BitMatrix adjacency = buildCandidateAdjacency(fm.bits(), cm);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hopcroftKarp(adjacency, /*warmStart=*/true));
+}
+BENCHMARK(BM_MatchingWarmStart);
 
 void BM_MapHba(benchmark::State& state) {
   const BenchmarkCircuit bench = loadBenchmarkFast("alu4");

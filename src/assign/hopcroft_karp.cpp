@@ -2,7 +2,7 @@
 
 #include <bit>
 #include <limits>
-#include <queue>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -39,6 +39,22 @@ struct ListGraphView {
     }
     return false;
   }
+
+  /// Greedy maximal seed: every left takes its first unmatched neighbor.
+  std::size_t greedySeed(std::vector<std::size_t>& matchL,
+                         std::vector<std::size_t>& matchR) const {
+    std::size_t placed = 0;
+    for (std::size_t l = 0; l < g.numLeft(); ++l) {
+      for (const std::size_t r : g.neighbors(l)) {
+        if (matchR[r] != MatchingResult::kUnmatched) continue;
+        matchL[l] = r;
+        matchR[r] = l;
+        ++placed;
+        break;
+      }
+    }
+    return placed;
+  }
 };
 
 // Bit-matrix view: each set bit of row l is an edge l -> (word * 64 + bit),
@@ -63,6 +79,34 @@ struct BitGraphView {
     }
     return false;
   }
+
+  /// Greedy maximal seed, word-parallel: candidate words are ANDed with a
+  /// free-rights mask, so already-taken neighbors are skipped 64 at a time
+  /// instead of bit by bit (they dominate once the matching fills up).
+  std::size_t greedySeed(std::vector<std::size_t>& matchL,
+                         std::vector<std::size_t>& matchR) const {
+    using Word = BitMatrix::Word;
+    if (adj.rows() == 0 || adj.cols() == 0) return 0;
+    const std::size_t words = adj.rowWords(0).size();
+    std::vector<Word> free(words, ~Word{0});
+    free[words - 1] = BitMatrix::tailMask(adj.cols());
+    std::size_t placed = 0;
+    for (std::size_t l = 0; l < adj.rows(); ++l) {
+      const auto row = adj.rowWords(l);
+      for (std::size_t w = 0; w < words; ++w) {
+        const Word cand = row[w] & free[w];
+        if (cand == 0) continue;
+        const std::size_t bit = static_cast<std::size_t>(std::countr_zero(cand));
+        const std::size_t r = w * BitMatrix::kWordBits + bit;
+        free[w] &= ~(Word{1} << bit);
+        matchL[l] = r;
+        matchR[r] = l;
+        ++placed;
+        break;
+      }
+    }
+    return placed;
+  }
 };
 
 // One Hopcroft-Karp engine for every graph representation: the Graph policy
@@ -70,7 +114,7 @@ struct BitGraphView {
 template <typename Graph>
 struct HkEngine {
   Graph g;
-  std::vector<std::size_t> matchL, matchR, dist;
+  std::vector<std::size_t> matchL, matchR, dist, queue;
 
   explicit HkEngine(Graph graph)
       : g(graph),
@@ -79,26 +123,29 @@ struct HkEngine {
         dist(g.numLeft()) {}
 
   bool bfs() {
-    std::queue<std::size_t> q;
+    // Flat FIFO (reused across phases): a std::queue would allocate a deque
+    // chunk per phase, on the warm-started per-sample path.
+    queue.clear();
+    std::size_t head = 0;
     for (std::size_t l = 0; l < g.numLeft(); ++l) {
       if (matchL[l] == MatchingResult::kUnmatched) {
         dist[l] = 0;
-        q.push(l);
+        queue.push_back(l);
       } else {
         dist[l] = kInf;
       }
     }
     bool foundAugmenting = false;
-    while (!q.empty()) {
-      const std::size_t l = q.front();
-      q.pop();
+    while (head < queue.size()) {
+      const std::size_t l = queue[head];
+      ++head;
       g.forEachNeighbor(l, [&](std::size_t r) {
         const std::size_t next = matchR[r];
         if (next == MatchingResult::kUnmatched) {
           foundAugmenting = true;
         } else if (dist[next] == kInf) {
           dist[next] = dist[l] + 1;
-          q.push(next);
+          queue.push_back(next);
         }
         return false;
       });
@@ -120,8 +167,15 @@ struct HkEngine {
     return augmented;
   }
 
-  MatchingResult run() {
+  MatchingResult run(bool warmStart = false) {
     MatchingResult result;
+    if (warmStart) {
+      result.size = g.greedySeed(matchL, matchR);
+      if (result.size == g.numLeft()) {  // perfect already: no phases needed
+        result.matchOfLeft = std::move(matchL);
+        return result;
+      }
+    }
     while (bfs()) {
       for (std::size_t l = 0; l < g.numLeft(); ++l)
         if (matchL[l] == MatchingResult::kUnmatched && dfs(l)) ++result.size;
@@ -133,12 +187,12 @@ struct HkEngine {
 
 }  // namespace
 
-MatchingResult hopcroftKarp(const BipartiteGraph& graph) {
-  return HkEngine<ListGraphView>(ListGraphView{graph}).run();
+MatchingResult hopcroftKarp(const BipartiteGraph& graph, bool warmStart) {
+  return HkEngine<ListGraphView>(ListGraphView{graph}).run(warmStart);
 }
 
-MatchingResult hopcroftKarp(const BitMatrix& adjacency) {
-  return HkEngine<BitGraphView>(BitGraphView{adjacency}).run();
+MatchingResult hopcroftKarp(const BitMatrix& adjacency, bool warmStart) {
+  return HkEngine<BitGraphView>(BitGraphView{adjacency}).run(warmStart);
 }
 
 }  // namespace mcx

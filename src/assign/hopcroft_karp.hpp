@@ -39,13 +39,24 @@ struct MatchingResult {
   bool perfectForLeft(std::size_t numLeft) const { return size == numLeft; }
 };
 
-/// Maximum matching via Hopcroft-Karp.
-MatchingResult hopcroftKarp(const BipartiteGraph& graph);
+/// Maximum matching via Hopcroft-Karp. The same warm-start contract as the
+/// bit-matrix overload below: the greedy seed changes which maximum
+/// matching is returned, never its size.
+MatchingResult hopcroftKarp(const BipartiteGraph& graph, bool warmStart = true);
 
 /// Maximum matching directly on a bit-matrix adjacency (left vertex = row,
 /// right vertex = column). Neighbor lists are walked word-at-a-time with
 /// countr_zero, so no per-edge adjacency structure is ever materialized —
 /// the fast path for the crossbar row-matching feasibility question.
-MatchingResult hopcroftKarp(const BitMatrix& adjacency);
+///
+/// With @p warmStart (the default) the phases are seeded with a greedy
+/// maximal matching — each left vertex takes its first free neighbor — so
+/// augmentation only runs for the leftovers. On the near-clean crossbar
+/// adjacencies of the Monte Carlo sweeps the greedy pass places almost
+/// every FM row (a defect-free CM row accepts any FM row) and the BFS/DFS
+/// phases merely repair around the defective rows. The matching SIZE is
+/// the same either way (Hopcroft-Karp is maximum from any initial
+/// matching); only which maximum matching is returned can differ.
+MatchingResult hopcroftKarp(const BitMatrix& adjacency, bool warmStart = true);
 
 }  // namespace mcx

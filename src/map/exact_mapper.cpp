@@ -7,6 +7,12 @@
 namespace mcx {
 
 MappingResult ExactMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) const {
+  MappingContext ctx;  // no registered sample: full adjacency rebuild
+  return map(fm, cm, ctx);
+}
+
+MappingResult ExactMapper::map(const FunctionMatrix& fm, const BitMatrix& cm,
+                               MappingContext& ctx) const {
   MCX_REQUIRE(fm.cols() == cm.cols(), "ExactMapper: column count mismatch");
   MappingResult result;
   if (fm.rows() > cm.rows()) return result;
@@ -32,7 +38,7 @@ MappingResult ExactMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) co
 
   // Feasibility fast path: Hopcroft-Karp on the word-parallel candidate
   // adjacency decides the same perfect-matching question in O(E sqrt(V)).
-  const BitMatrix adjacency = buildCandidateAdjacency(fm.bits(), cm);
+  const BitMatrix& adjacency = ctx.candidateAdjacency(fm.bits(), cm);
   FeasibleAssignment assignment = solveFeasibleAssignment(adjacency);
   if (!assignment.success) return result;
 

@@ -26,6 +26,8 @@ public:
 
   std::string name() const override { return opts_.useMunkres ? "EA-munkres" : "EA"; }
   MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm) const override;
+  MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm,
+                    MappingContext& ctx) const override;
 
 private:
   ExactMapperOptions opts_;

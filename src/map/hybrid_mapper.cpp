@@ -106,15 +106,22 @@ bool attemptMapping(const FunctionMatrix& fm, const BitMatrix& adjacency,
 }  // namespace
 
 MappingResult HybridMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) const {
+  MappingContext ctx;  // no registered sample: full adjacency rebuild
+  return map(fm, cm, ctx);
+}
+
+MappingResult HybridMapper::map(const FunctionMatrix& fm, const BitMatrix& cm,
+                                MappingContext& ctx) const {
   MCX_REQUIRE(fm.cols() == cm.cols(), "HybridMapper: column count mismatch");
   MappingResult result;
   if (fm.rows() > cm.rows()) return result;
 
   const std::size_t P = fm.numProductRows();
 
-  // One word-parallel adjacency precompute serves the degree check, both
-  // phases, and the backtracking probes (O(1) bit tests afterwards).
-  const BitMatrix adjacency = buildCandidateAdjacency(fm.bits(), cm);
+  // One adjacency precompute serves the degree check, both phases, and the
+  // backtracking probes (O(1) bit tests afterwards); the context rebuilds
+  // it incrementally from the sample's dirty rows when it can.
+  const BitMatrix& adjacency = ctx.candidateAdjacency(fm.bits(), cm);
   std::vector<std::size_t> candidates(fm.rows());
   for (std::size_t r = 0; r < fm.rows(); ++r) {
     candidates[r] = adjacency.rowCount(r);
@@ -129,15 +136,17 @@ MappingResult HybridMapper::map(const FunctionMatrix& fm, const BitMatrix& cm) c
     return result;
   }
 
-  // Most-constrained rows first (stable, so equal-degree rows keep the
-  // paper's top-to-bottom order): they have the fewest escape hatches, and
-  // placing them early slashes the backtracking repairs. When this order
-  // dead-ends, fall back to the paper's top-to-bottom order — the two
-  // greedy orders fail on different instances, so the success set is the
-  // union of both and never below the paper's.
+  // Most-constrained rows first (ties broken by index, so equal-degree rows
+  // keep the paper's top-to-bottom order — same order a stable sort gives,
+  // without stable_sort's per-call buffer allocation): they have the fewest
+  // escape hatches, and placing them early slashes the backtracking
+  // repairs. When this order dead-ends, fall back to the paper's
+  // top-to-bottom order — the two greedy orders fail on different
+  // instances, so the success set is the union of both and never below the
+  // paper's.
   std::vector<std::size_t> sorted = order;
-  std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
-    return candidates[a] < candidates[b];
+  std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a] != candidates[b] ? candidates[a] < candidates[b] : a < b;
   });
   if (attemptMapping(fm, adjacency, sorted, opts_.backtracking, result)) return result;
   if (sorted != order) attemptMapping(fm, adjacency, order, opts_.backtracking, result);

@@ -33,6 +33,8 @@ public:
 
   std::string name() const override { return opts_.backtracking ? "HBA" : "HBA-nobt"; }
   MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm) const override;
+  MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm,
+                    MappingContext& ctx) const override;
 
 private:
   HybridMapperOptions opts_;

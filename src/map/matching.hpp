@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "assign/munkres.hpp"
 #include "util/bit_matrix.hpp"
+#include "xbar/defects.hpp"
 #include "xbar/function_matrix.hpp"
 
 namespace mcx {
@@ -27,9 +29,76 @@ bool rowMatches(const BitMatrix& fm, std::size_t fmRow, const BitMatrix& cm, std
 /// Hopcroft-Karp, cost-matrix construction).
 BitMatrix buildCandidateAdjacency(const BitMatrix& fm, const BitMatrix& cm);
 
+/// In-place variant of buildCandidateAdjacency: identical bits, but reuses
+/// @p out's allocation (the Monte Carlo scratch-arena entry point).
+void buildCandidateAdjacencyInto(const BitMatrix& fm, const BitMatrix& cm, BitMatrix& out);
+
 /// Subset variant: bit (i, j) set iff FM row fmRows[i] fits CM row cmRows[j].
 BitMatrix buildCandidateAdjacency(const BitMatrix& fm, const std::vector<std::size_t>& fmRows,
                                   const BitMatrix& cm, const std::vector<std::size_t>& cmRows);
+
+/// Per-experiment scratch for the Monte Carlo mapping hot path.
+///
+/// The clean crossbar's candidate adjacency is all-ones by construction
+/// (every FM row fits a defect-free CM row), so a sample's adjacency only
+/// differs where its defects bite. When the engine registers the sample's
+/// DefectMap and DirtyRows (setSample), candidateAdjacency() derives each
+/// adjacency row directly from the defects: FM row i loses exactly the CM
+/// rows that have a stuck-open defect in one of i's required columns, so
+/// with the defect matrix transposed once per sample (64x64 bit-block
+/// transpose) row i is the complement of the union of its columns' defect
+/// masks — O(fmOnes x cmRowWords) word ops per sample instead of the full
+/// rebuild's O(fmRows x cmRows x colWords) fit tests. Stuck-closed
+/// poisoning is layered on top: a poisoned CM row is erased for every
+/// non-empty FM row (word-parallel mask) and a poisoned CM column erases
+/// every FM row requiring it (column->rows index built once per FM). Dense
+/// models (DirtyRows in markAll mode) and unregistered calls fall back to
+/// the full word-parallel rebuild. Both paths produce bit-identical
+/// adjacencies — the fast path changes how, never what.
+///
+/// Contract: the registered DefectMap must be the one @p cm was derived
+/// from (crossbarMatrixInto). The per-FM index is cached on an (address,
+/// dims, content hash) key, so switching function matrices — even one
+/// reallocated at the same address — rebinds automatically; keeping one
+/// context per function matrix (as the engine does, one per worker per
+/// experiment) just avoids the rebuild churn.
+class MappingContext {
+public:
+  /// Register the sample behind the next candidateAdjacency() call; null
+  /// pointers force the full rebuild. The pointees must outlive the call.
+  void setSample(const DefectMap* defects, const DirtyRows* dirty) {
+    defects_ = defects;
+    dirty_ = dirty;
+  }
+
+  /// Candidate adjacency of (fm, cm) in a reused internal buffer (valid
+  /// until the next call on this context).
+  const BitMatrix& candidateAdjacency(const BitMatrix& fm, const BitMatrix& cm);
+
+private:
+  void bindFm(const BitMatrix& fm);
+
+  const DefectMap* defects_ = nullptr;
+  const DirtyRows* dirty_ = nullptr;
+
+  // Column -> FM rows index (CSR, for poisoned-column erasure) plus the
+  // all-zero FM rows, built once per bound function matrix.
+  const BitMatrix* fmKey_ = nullptr;
+  std::size_t fmRowsKey_ = 0, fmColsKey_ = 0;
+  std::uint64_t fmHashKey_ = 0;
+  std::size_t fmOnes_ = 0;
+  std::vector<std::uint32_t> colOffsets_;
+  std::vector<std::uint32_t> colRows_;
+  std::vector<unsigned char> fmRowEmpty_;
+
+  // Per-sample scratch: transposed stuck-open matrix, defect-mask union,
+  // poison masks, and the adjacency itself.
+  BitMatrix openT_;
+  std::vector<BitMatrix::Word> unionScratch_;
+  std::vector<BitMatrix::Word> poisonRowMask_;
+  std::vector<BitMatrix::Word> poisonColMask_;
+  BitMatrix adjacency_;
+};
 
 /// The paper's "matching matrix" as a Munkres cost matrix: entry 0 where
 /// FM row fmRows[i] fits CM row cmRows[j], 1 otherwise. A zero-cost perfect
@@ -81,6 +150,16 @@ public:
   /// Map the FM onto the CM (cm.rows() >= fm.rows(), same column count
   /// unless the mapper documents otherwise).
   virtual MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm) const = 0;
+  /// Context-aware overload for the Monte Carlo engine. Mappers that can
+  /// exploit per-experiment state (the incremental candidate adjacency)
+  /// override it; the default ignores the context. Must return exactly what
+  /// map(fm, cm) would — the context changes how the adjacency is built,
+  /// never its content.
+  virtual MappingResult map(const FunctionMatrix& fm, const BitMatrix& cm,
+                            MappingContext& ctx) const {
+    (void)ctx;
+    return map(fm, cm);
+  }
 };
 
 }  // namespace mcx

@@ -42,6 +42,12 @@ struct DefectExperimentConfig {
   /// Verify each claimed success against the matching rules (cheap; on by
   /// default so experiments cannot silently report invalid mappings).
   bool verify = true;
+  /// Time every individual mapper call: fills perSampleMillis and makes
+  /// totalSeconds the sum of mapping times (the paper's "Time" column)
+  /// instead of the run's wall clock. Off by default so sweep-style callers
+  /// don't pay two clock reads per sample; totalSeconds then holds the
+  /// whole run's wall clock (sampling + mapping + verification).
+  bool timePerSample = false;
   /// Keep each sample's MappingResult in DefectExperimentResult::mappings
   /// (sample order). Off by default to keep large sweeps lean.
   bool keepMappings = false;
@@ -50,8 +56,11 @@ struct DefectExperimentConfig {
 struct DefectExperimentResult {
   std::size_t samples = 0;
   std::size_t successes = 0;
+  /// With config.timePerSample: summed mapper time over all samples.
+  /// Without: wall-clock of the whole run (sampling + mapping + verify).
   double totalSeconds = 0;
   std::size_t totalBacktracks = 0;
+  /// Populated only with config.timePerSample.
   SummaryStats perSampleMillis;
   /// Per-sample mapper outputs, in sample order (only when keepMappings).
   std::vector<MappingResult> mappings;
@@ -59,7 +68,8 @@ struct DefectExperimentResult {
   double successRate() const {
     return samples == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(samples);
   }
-  /// Mean mapping time over all samples, in seconds (the paper's "Time").
+  /// Mean per-sample time in seconds: the paper's "Time" column when
+  /// config.timePerSample is set, mean wall time per sample otherwise.
   double meanSeconds() const {
     return samples == 0 ? 0.0 : totalSeconds / static_cast<double>(samples);
   }

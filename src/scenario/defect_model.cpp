@@ -30,6 +30,12 @@ DefectMap DefectModel::sample(std::size_t rows, std::size_t cols, Rng& rng) cons
   return map;
 }
 
+void DefectModel::generateTracked(std::size_t rows, std::size_t cols, Rng& rng,
+                                  DefectMap& out, DirtyRows& dirty) const {
+  generate(rows, cols, rng, out);
+  dirty.scan(out);
+}
+
 // ----------------------------------------------------------- IidBernoulli
 
 IidBernoulli::IidBernoulli(double stuckOpenRate, double stuckClosedRate)
@@ -47,6 +53,109 @@ void IidBernoulli::generate(std::size_t rows, std::size_t cols, Rng& rng,
   // Delegate to the paper's sampler: the scenario API must be draw-for-draw
   // identical to the legacy rate-pair path.
   out.resample(rows, cols, open_, closed_, rng);
+}
+
+// ---------------------------------------------------- SparseIidBernoulli
+
+SparseIidBernoulli::SparseIidBernoulli(double stuckOpenRate, double stuckClosedRate)
+    : IidBernoulli(stuckOpenRate, stuckClosedRate) {}
+
+std::string SparseIidBernoulli::describe() const {
+  return "iid-sparse(open=" + percent(stuckOpenRate()) +
+         ", closed=" + percent(stuckClosedRate()) + ")";
+}
+
+void SparseIidBernoulli::generate(std::size_t rows, std::size_t cols, Rng& rng,
+                                  DefectMap& out) const {
+  sampleSparse(rows, cols, rng, out, nullptr);
+}
+
+void SparseIidBernoulli::generateTracked(std::size_t rows, std::size_t cols, Rng& rng,
+                                         DefectMap& out, DirtyRows& dirty) const {
+  sampleSparse(rows, cols, rng, out, &dirty);
+}
+
+void SparseIidBernoulli::sampleSparse(std::size_t rows, std::size_t cols, Rng& rng,
+                                      DefectMap& out, DirtyRows* dirty) const {
+  const double total = stuckOpenRate() + stuckClosedRate();
+  if (total > kDenseRateCutoff) {
+    // Dense regime: the distinct-site rejection loop would redraw too
+    // often; the parent's one-draw-per-crosspoint sweep wins.
+    out.resample(rows, cols, stuckOpenRate(), stuckClosedRate(), rng);
+    if (dirty != nullptr) dirty->scan(out);
+    return;
+  }
+  out.reshape(rows, cols);
+  if (dirty != nullptr) {
+    dirty->all = false;
+    dirty->rows.clear();
+    dirty->stuckOpen = dirty->stuckClosed = 0;
+  }
+  if (rows == 0 || cols == 0 || total <= 0.0) return;
+
+  // Draw order (fixed by rows/cols and the rates alone): one uniform for
+  // the defect count, then per defect a (row, column) pair — redrawn while
+  // it lands on an already-defective site — and, only when both rates are
+  // nonzero, one uniform for the type. Coordinates come from exact 32-bit
+  // Lemire reductions, two per raw 64-bit draw (crossbars are far below
+  // 2^32 lines; the rejection keeps them exactly uniform).
+  MCX_REQUIRE(rows < (std::uint64_t{1} << 32) && cols < (std::uint64_t{1} << 32),
+              "SparseIidBernoulli: dimensions exceed the 32-bit sampler");
+  const std::uint64_t count = rng.binomial(
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols), total);
+  const double closedShare = stuckClosedRate() / total;
+  const bool mixed = stuckClosedRate() > 0.0 && stuckOpenRate() > 0.0;
+
+  std::uint64_t buffered = 0;
+  unsigned bufferedHalves = 0;
+  const auto next32 = [&]() -> std::uint32_t {
+    if (bufferedHalves == 0) {
+      buffered = rng();
+      bufferedHalves = 2;
+    }
+    const auto v = static_cast<std::uint32_t>(buffered);
+    buffered >>= 32;
+    --bufferedHalves;
+    return v;
+  };
+  const auto lemire32 = [&](std::uint64_t n, std::uint32_t reject) -> std::size_t {
+    for (;;) {
+      const std::uint64_t m = static_cast<std::uint64_t>(next32()) * n;
+      if (static_cast<std::uint32_t>(m) >= reject) return static_cast<std::size_t>(m >> 32);
+    }
+  };
+  const auto rejectBound = [](std::uint64_t n) {
+    return static_cast<std::uint32_t>((std::uint64_t{1} << 32) % n);
+  };
+  const std::uint32_t rowReject = rejectBound(rows);
+  const std::uint32_t colReject = rejectBound(cols);
+
+  // Placement with raw word access (the per-bit accessors' bounds checks
+  // and span setup would double the cost of this O(defects) loop).
+  using Word = BitMatrix::Word;
+  Word* const openBase = out.mutableOpenBits().rowWords(0).data();
+  Word* const closedBase = out.mutableClosedBits().rowWords(0).data();
+  const std::size_t stride = out.mutableOpenBits().rowWords(0).size();
+  for (std::uint64_t d = 0; d < count; ++d) {
+    for (;;) {
+      const std::size_t r = lemire32(rows, rowReject);
+      const std::size_t c = lemire32(cols, colReject);
+      const std::size_t idx = r * stride + c / BitMatrix::kWordBits;
+      const Word mask = Word{1} << (c % BitMatrix::kWordBits);
+      if (((openBase[idx] | closedBase[idx]) & mask) != 0) continue;  // occupied: redraw
+      DefectType t = DefectType::StuckOpen;
+      if (stuckOpenRate() <= 0.0)
+        t = DefectType::StuckClosed;
+      else if (mixed && rng.uniform() < closedShare)
+        t = DefectType::StuckClosed;
+      (t == DefectType::StuckOpen ? openBase : closedBase)[idx] |= mask;
+      break;
+    }
+  }
+  // Defect sites arrive in random order; recover the sorted dirty-row list
+  // with a word-level scan of the finished map (O(area/64), far below the
+  // sampling cost it replaces).
+  if (dirty != nullptr) dirty->scan(out);
 }
 
 // -------------------------------------------------------- ClusteredDefects

@@ -40,6 +40,15 @@ public:
   virtual void generate(std::size_t rows, std::size_t cols, Rng& rng,
                         DefectMap& out) const = 0;
 
+  /// generate() plus a report of the touched crossbar-matrix rows, the
+  /// input of the incremental-adjacency fast path (MappingContext). Same
+  /// draw sequence as generate() — the Monte Carlo engine may call either
+  /// for a sample without perturbing the stream. The default derives the
+  /// dirty set from the finished map with a word-level scan; sparse models
+  /// override to report the rows they touched directly.
+  virtual void generateTracked(std::size_t rows, std::size_t cols, Rng& rng, DefectMap& out,
+                               DirtyRows& dirty) const;
+
   /// Convenience wrapper over generate() for non-scratch-arena callers.
   DefectMap sample(std::size_t rows, std::size_t cols, Rng& rng) const;
 };
@@ -48,7 +57,7 @@ public:
 /// stuck-open / stuck-closed rates. Draw-for-draw identical to
 /// DefectMap::resample, so experiments routed through the scenario API
 /// reproduce the pre-scenario engine exactly.
-class IidBernoulli final : public DefectModel {
+class IidBernoulli : public DefectModel {
 public:
   explicit IidBernoulli(double stuckOpenRate, double stuckClosedRate = 0.0);
 
@@ -62,6 +71,35 @@ public:
 private:
   double open_;
   double closed_;
+};
+
+/// The same i.i.d. per-crosspoint distribution as IidBernoulli, sampled in
+/// O(defects) instead of O(crosspoints): one exact Binomial(area, rate) draw
+/// fixes the defect count, then each defect lands on a uniformly drawn
+/// still-functional crosspoint (rejection on collisions) and picks its type
+/// with one conditional draw when both rates are nonzero. Statistically
+/// identical to the parent — conditioning an i.i.d. field on its defect
+/// count makes the defect sites a uniform distinct sample — but a different
+/// random stream, so it is NOT draw-for-draw compatible with the paper's
+/// sampler; the legacy path stays the bit-identity regression anchor.
+/// Above kDenseRateCutoff the rejection loop stops paying and the model
+/// falls back to the parent's dense draw-for-draw sweep.
+class SparseIidBernoulli final : public IidBernoulli {
+public:
+  /// Total defect rate above which the dense sweep is used instead.
+  static constexpr double kDenseRateCutoff = 0.25;
+
+  explicit SparseIidBernoulli(double stuckOpenRate, double stuckClosedRate = 0.0);
+
+  std::string name() const override { return "iid-sparse"; }
+  std::string describe() const override;
+  void generate(std::size_t rows, std::size_t cols, Rng& rng, DefectMap& out) const override;
+  void generateTracked(std::size_t rows, std::size_t cols, Rng& rng, DefectMap& out,
+                       DirtyRows& dirty) const override;
+
+private:
+  void sampleSparse(std::size_t rows, std::size_t cols, Rng& rng, DefectMap& out,
+                    DirtyRows* dirty) const;
 };
 
 /// Particle-induced clusters: seed points land uniformly (expected

@@ -43,7 +43,7 @@ std::shared_ptr<const DefectModel> makeComposite(double rate) {
       std::vector<std::shared_ptr<const DefectModel>>{
           makeClustered(rate / 2.0),
           makeLines(rate / 10.0),
-          std::make_shared<IidBernoulli>(rate / 2.0, 0.0),
+          std::make_shared<SparseIidBernoulli>(rate / 2.0, 0.0),
       });
 }
 
@@ -66,10 +66,15 @@ void requireOnlyKeys(const SpecValue& spec, std::initializer_list<const char*> a
 
 const std::vector<ScenarioPreset>& scenarioPresets() {
   static const std::vector<ScenarioPreset> presets = {
+      // The i.i.d. presets run the O(defects) sparse sampler: same
+      // distribution as the paper's sweep, different stream. The
+      // draw-for-draw legacy anchor is the engine's null-model rate pair.
       {"paper-iid", "the paper's model: i.i.d. stuck-open only (Tables II-III)",
-       [](double rate) { return std::make_shared<IidBernoulli>(rate, 0.0); }},
+       [](double rate) { return std::make_shared<SparseIidBernoulli>(rate, 0.0); }},
       {"iid-mixed", "i.i.d. with 10% of defects stuck-closed (line poisoning)",
-       [](double rate) { return std::make_shared<IidBernoulli>(rate * 0.9, rate * 0.1); }},
+       [](double rate) {
+         return std::make_shared<SparseIidBernoulli>(rate * 0.9, rate * 0.1);
+       }},
       {"clustered", "particle clusters: geometric random-walk blobs", makeClustered},
       {"lines", "whole-line failures: stuck-closed rows/columns", makeLines},
       {"gradient", "wafer-edge radial ramp of the stuck-open rate", makeGradient},
@@ -103,6 +108,11 @@ std::shared_ptr<const DefectModel> modelFromSpec(const SpecValue& spec) {
     requireOnlyKeys(spec, {"model", "open", "closed"});
     return std::make_shared<IidBernoulli>(spec.numberOr("open", 0.10),
                                           spec.numberOr("closed", 0.0));
+  }
+  if (model == "iid-sparse") {
+    requireOnlyKeys(spec, {"model", "open", "closed"});
+    return std::make_shared<SparseIidBernoulli>(spec.numberOr("open", 0.10),
+                                                spec.numberOr("closed", 0.0));
   }
   if (model == "clustered") {
     requireOnlyKeys(spec, {"model", "density", "spread", "closedShare"});

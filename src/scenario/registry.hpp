@@ -34,6 +34,7 @@ const ScenarioPreset* findScenarioPreset(const std::string& name);
 
 /// Build a model from a JSON spec:
 ///   {"model": "iid",       "open": 0.10, "closed": 0.0}
+///   {"model": "iid-sparse", "open": 0.10, "closed": 0.0}   // O(defects) draw
 ///   {"model": "clustered", "density": 8e-4, "spread": 0.85, "closedShare": 0.1}
 ///   {"model": "lines",     "rowClosed": 0.05, "colClosed": 0.02,
 ///                          "rowOpen": 0.0, "colOpen": 0.0}

@@ -12,30 +12,10 @@ BitMatrix::BitMatrix(std::size_t rows, std::size_t cols, bool value)
       cols_(cols),
       wordsPerRow_((cols + kWordBits - 1) / kWordBits),
       w_(rows * wordsPerRow_, value ? ~Word{0} : Word{0}) {
-  if (value) {
-    const std::size_t rem = cols_ % kWordBits;
-    if (rem != 0 && wordsPerRow_ > 0) {
-      const Word mask = (Word{1} << rem) - 1;
-      for (std::size_t r = 0; r < rows_; ++r) w_[r * wordsPerRow_ + wordsPerRow_ - 1] &= mask;
-    }
+  if (value && wordsPerRow_ > 0) {
+    const Word mask = tailMask(cols_);
+    for (std::size_t r = 0; r < rows_; ++r) w_[r * wordsPerRow_ + wordsPerRow_ - 1] &= mask;
   }
-}
-
-bool BitMatrix::test(std::size_t r, std::size_t c) const {
-  MCX_REQUIRE(r < rows_ && c < cols_, "BitMatrix::test out of range");
-  return (w_[r * wordsPerRow_ + c / kWordBits] >> (c % kWordBits)) & 1u;
-}
-
-void BitMatrix::set(std::size_t r, std::size_t c) {
-  MCX_REQUIRE(r < rows_ && c < cols_, "BitMatrix::set out of range");
-  w_[r * wordsPerRow_ + c / kWordBits] |= Word{1} << (c % kWordBits);
-}
-
-void BitMatrix::set(std::size_t r, std::size_t c, bool value) { value ? set(r, c) : reset(r, c); }
-
-void BitMatrix::reset(std::size_t r, std::size_t c) {
-  MCX_REQUIRE(r < rows_ && c < cols_, "BitMatrix::reset out of range");
-  w_[r * wordsPerRow_ + c / kWordBits] &= ~(Word{1} << (c % kWordBits));
 }
 
 void BitMatrix::setRow(std::size_t r, bool value) {
@@ -46,8 +26,7 @@ void BitMatrix::setRow(std::size_t r, bool value) {
     return;
   }
   for (Word& w : words) w = ~Word{0};
-  const std::size_t rem = cols_ % kWordBits;
-  if (rem != 0 && wordsPerRow_ > 0) words[wordsPerRow_ - 1] &= (Word{1} << rem) - 1;
+  if (wordsPerRow_ > 0) words[wordsPerRow_ - 1] &= tailMask(cols_);
 }
 
 void BitMatrix::setCol(std::size_t c, bool value) {
@@ -64,12 +43,9 @@ void BitMatrix::setCol(std::size_t c, bool value) {
 
 void BitMatrix::fill(bool value) {
   std::fill(w_.begin(), w_.end(), value ? ~Word{0} : Word{0});
-  if (value) {
-    const std::size_t rem = cols_ % kWordBits;
-    if (rem != 0 && wordsPerRow_ > 0) {
-      const Word mask = (Word{1} << rem) - 1;
-      for (std::size_t r = 0; r < rows_; ++r) w_[r * wordsPerRow_ + wordsPerRow_ - 1] &= mask;
-    }
+  if (value && wordsPerRow_ > 0) {
+    const Word mask = tailMask(cols_);
+    for (std::size_t r = 0; r < rows_; ++r) w_[r * wordsPerRow_ + wordsPerRow_ - 1] &= mask;
   }
 }
 
@@ -109,14 +85,45 @@ bool BitMatrix::rowSubsetOf(std::size_t r, const BitMatrix& o, std::size_t r2) c
   return true;
 }
 
-std::span<const BitMatrix::Word> BitMatrix::rowWords(std::size_t r) const {
-  MCX_REQUIRE(r < rows_, "BitMatrix::rowWords out of range");
-  return {w_.data() + r * wordsPerRow_, wordsPerRow_};
+namespace {
+
+/// In-place 64x64 bit-block transpose (Hacker's Delight fig. 7-3 scaled
+/// from 32 to 64 and flipped to this codebase's LSB-first convention):
+/// element (k, b) is bit b of x[k].
+void transpose64(BitMatrix::Word x[64]) {
+  using Word = BitMatrix::Word;
+  Word m = 0x00000000FFFFFFFFull;
+  for (std::size_t j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const Word t = ((x[k] >> j) ^ x[k | j]) & m;
+      x[k] ^= t << j;
+      x[k | j] ^= t;
+    }
+  }
 }
 
-std::span<BitMatrix::Word> BitMatrix::rowWords(std::size_t r) {
-  MCX_REQUIRE(r < rows_, "BitMatrix::rowWords out of range");
-  return {w_.data() + r * wordsPerRow_, wordsPerRow_};
+}  // namespace
+
+void BitMatrix::assignTransposed(const BitMatrix& src) {
+  MCX_REQUIRE(this != &src, "BitMatrix::assignTransposed: cannot transpose in place");
+  reshape(src.cols(), src.rows());
+  if (src.rows() == 0 || src.cols() == 0) return;
+  const std::size_t srcWords = src.wordsPerRow_;
+  const Word* const srcBase = src.w_.data();
+  Word* const dstBase = w_.data();
+  Word block[kWordBits];
+  for (std::size_t r0 = 0; r0 < src.rows(); r0 += kWordBits) {
+    const std::size_t blockRows = std::min(kWordBits, src.rows() - r0);
+    for (std::size_t w = 0; w < srcWords; ++w) {
+      for (std::size_t k = 0; k < blockRows; ++k) block[k] = srcBase[(r0 + k) * srcWords + w];
+      for (std::size_t k = blockRows; k < kWordBits; ++k) block[k] = 0;
+      transpose64(block);
+      const std::size_t c0 = w * kWordBits;
+      const std::size_t blockCols = std::min(kWordBits, src.cols() - c0);
+      for (std::size_t k = 0; k < blockCols; ++k)
+        dstBase[(c0 + k) * wordsPerRow_ + r0 / kWordBits] = block[k];
+    }
+  }
 }
 
 std::string BitMatrix::toString(char zero, char one) const {

@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <bit>
+#include <cmath>
 
 namespace mcx {
 
@@ -59,6 +60,49 @@ bool Rng::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform() < p;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double nd = static_cast<double>(n);
+  // PMF at the mode via log-gamma (never underflows: the mode's mass is
+  // ~1/stddev), then multiplicative recurrences towards both tails.
+  std::uint64_t mode = static_cast<std::uint64_t>((nd + 1.0) * p);
+  if (mode > n) mode = n;
+  const double md = static_cast<double>(mode);
+  const double logPm = std::lgamma(nd + 1.0) - std::lgamma(md + 1.0) -
+                       std::lgamma(nd - md + 1.0) + md * std::log(p) +
+                       (nd - md) * std::log1p(-p);
+  const double pMode = std::exp(logPm);
+  const double odds = p / (1.0 - p);
+
+  // Invert a reordered CDF: subtract mass alternately above/below the mode
+  // until the uniform is exhausted. Any fixed ordering of the outcomes is a
+  // valid inversion; outward-from-the-mode keeps the expected walk short.
+  double u = uniform() - pMode;
+  if (u < 0.0) return mode;
+  double massHi = pMode, massLo = pMode;
+  std::uint64_t hi = mode, lo = mode;
+  for (;;) {
+    bool advanced = false;
+    if (hi < n) {
+      massHi *= (nd - static_cast<double>(hi)) / (static_cast<double>(hi) + 1.0) * odds;
+      ++hi;
+      u -= massHi;
+      if (u < 0.0) return hi;
+      advanced = true;
+    }
+    if (lo > 0) {
+      massLo *= static_cast<double>(lo) / (nd - static_cast<double>(lo) + 1.0) / odds;
+      --lo;
+      u -= massLo;
+      if (u < 0.0) return lo;
+      advanced = true;
+    }
+    // Rounding can leave a sliver of u after all mass is consumed.
+    if (!advanced) return mode;
+  }
 }
 
 Rng Rng::split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ull); }

@@ -29,6 +29,13 @@ public:
   /// True with probability p (clamped to [0,1]).
   bool bernoulli(double p);
 
+  /// Exact Binomial(n, p) draw from a single uniform: the number of
+  /// successes in n independent Bernoulli(p) trials, without performing the
+  /// trials. Inverts the CDF by chopping probability mass outward from the
+  /// mode, so the cost is O(stddev) — the O(defects) sampling fast path
+  /// draws its defect count with this instead of one uniform per crosspoint.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

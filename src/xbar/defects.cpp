@@ -1,5 +1,7 @@
 #include "xbar/defects.hpp"
 
+#include <bit>
+
 #include "util/error.hpp"
 
 namespace mcx {
@@ -16,6 +18,27 @@ DefectType DefectMap::type(std::size_t r, std::size_t c) const {
 void DefectMap::setType(std::size_t r, std::size_t c, DefectType t) {
   open_.set(r, c, t == DefectType::StuckOpen);
   closed_.set(r, c, t == DefectType::StuckClosed);
+}
+
+void DirtyRows::scan(const DefectMap& map) {
+  all = false;
+  rows.clear();
+  stuckOpen = stuckClosed = 0;
+  // Single pass: defect counts and row dirtiness from the same word loads.
+  for (std::size_t r = 0; r < map.rows(); ++r) {
+    const auto open = map.openBits().rowWords(r);
+    const auto closed = map.closedBits().rowWords(r);
+    BitMatrix::Word any = 0;
+    std::size_t nOpen = 0, nClosed = 0;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      nOpen += static_cast<std::size_t>(std::popcount(open[i]));
+      nClosed += static_cast<std::size_t>(std::popcount(closed[i]));
+      any |= open[i] | closed[i];
+    }
+    stuckOpen += nOpen;
+    stuckClosed += nClosed;
+    if (any != 0) rows.push_back(r);
+  }
 }
 
 bool DefectMap::rowPoisoned(std::size_t r) const { return closed_.rowCount(r) > 0; }
@@ -79,9 +102,7 @@ void crossbarMatrixInto(const DefectMap& defects, BitMatrix& cm) {
   cm.reshape(rows, cols);
   if (rows == 0 || cols == 0) return;
 
-  const std::size_t rem = cols % BitMatrix::kWordBits;
-  const BitMatrix::Word tailMask =
-      rem == 0 ? ~BitMatrix::Word{0} : (BitMatrix::Word{1} << rem) - 1;
+  const BitMatrix::Word tailMask = BitMatrix::tailMask(cols);
 
   // Functional = not stuck-open: one NOT per word instead of per-bit resets.
   for (std::size_t r = 0; r < rows; ++r) {

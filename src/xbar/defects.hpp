@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "util/bit_matrix.hpp"
 #include "util/rng.hpp"
@@ -18,6 +19,33 @@
 namespace mcx {
 
 enum class DefectType : unsigned char { None, StuckOpen, StuckClosed };
+
+class DefectMap;
+
+/// Sparse description of how a defect sample perturbs the clean crossbar:
+/// which crossbar-matrix rows can differ from the all-functional (all-ones)
+/// row, plus the sample's defect counts. Produced by DefectModels alongside
+/// the DefectMap so the mapping hot path can rebuild only what the sample
+/// actually touched (see MappingContext in map/matching.hpp).
+struct DirtyRows {
+  /// Conservative mode: treat every row as dirty (rows is then ignored).
+  bool all = true;
+  /// Rows containing at least one defect, ascending, unique. Only
+  /// meaningful when !all.
+  std::vector<std::size_t> rows;
+  std::size_t stuckOpen = 0;    ///< stuck-open defects in the sample
+  std::size_t stuckClosed = 0;  ///< stuck-closed defects in the sample
+
+  void markAll() {
+    all = true;
+    rows.clear();
+    stuckOpen = stuckClosed = 0;
+  }
+  /// Derive the exact dirty set from a finished map (a word-level row scan,
+  /// O(area/64) — the model-agnostic fallback behind
+  /// DefectModel::generateTracked).
+  void scan(const DefectMap& map);
+};
 
 class DefectMap {
 public:
@@ -43,6 +71,13 @@ public:
 
   const BitMatrix& openBits() const { return open_; }
   const BitMatrix& closedBits() const { return closed_; }
+
+  /// Mutable word-level access for the sparse samplers' placement loop
+  /// (hoisting the per-bit bounds checks out of an O(defects) hot path).
+  /// Callers own the invariant that a crosspoint is never both stuck-open
+  /// and stuck-closed.
+  BitMatrix& mutableOpenBits() { return open_; }
+  BitMatrix& mutableClosedBits() { return closed_; }
 
   /// Independent uniform per-crosspoint sampling (the paper's defect
   /// generation: "assigning an independent defect probability/rate to each

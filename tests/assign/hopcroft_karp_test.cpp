@@ -85,6 +85,64 @@ TEST(HopcroftKarp, AgreesWithMunkresFeasibilityOnRandom) {
   }
 }
 
+TEST(HopcroftKarp, WarmStartMatchesColdStartSize) {
+  // The greedy maximal seed can change WHICH maximum matching comes out,
+  // never its size — the success set of every mapper is warm/cold
+  // invariant (the committed bench success counts rely on this).
+  Rng rng(91);
+  for (int rep = 0; rep < 300; ++rep) {
+    const std::size_t rows = 1 + rng.uniformInt(0, 30);
+    const std::size_t cols = 1 + rng.uniformInt(0, 40);
+    BitMatrix adj(rows, cols);
+    const double density = rng.uniform() * 0.6;
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        if (rng.bernoulli(density)) adj.set(r, c);
+    const MatchingResult cold = hopcroftKarp(adj, /*warmStart=*/false);
+    const MatchingResult warm = hopcroftKarp(adj, /*warmStart=*/true);
+    EXPECT_EQ(warm.size, cold.size) << "rep=" << rep;
+    // The warm matching must still be a real matching on real edges.
+    std::vector<bool> used(cols, false);
+    std::size_t matched = 0;
+    for (std::size_t l = 0; l < rows; ++l) {
+      const std::size_t r = warm.matchOfLeft[l];
+      if (r == MatchingResult::kUnmatched) continue;
+      ++matched;
+      ASSERT_TRUE(adj.test(l, r)) << "rep=" << rep;
+      ASSERT_FALSE(used[r]) << "rep=" << rep;
+      used[r] = true;
+    }
+    EXPECT_EQ(matched, warm.size) << "rep=" << rep;
+  }
+}
+
+TEST(HopcroftKarp, ListGraphWarmStartMatchesColdStartSize) {
+  // Same warm/cold size invariance on the adjacency-list overload (which
+  // also warm-starts by default).
+  Rng rng(92);
+  for (int rep = 0; rep < 100; ++rep) {
+    const std::size_t rows = 1 + rng.uniformInt(0, 30);
+    const std::size_t cols = 1 + rng.uniformInt(0, 40);
+    BipartiteGraph g(rows, cols);
+    const double density = rng.uniform() * 0.6;
+    for (std::size_t l = 0; l < rows; ++l)
+      for (std::size_t r = 0; r < cols; ++r)
+        if (rng.bernoulli(density)) g.addEdge(l, r);
+    const MatchingResult cold = hopcroftKarp(g, /*warmStart=*/false);
+    const MatchingResult warm = hopcroftKarp(g);
+    EXPECT_EQ(warm.size, cold.size) << "rep=" << rep;
+  }
+}
+
+TEST(HopcroftKarp, WarmStartPerfectOnCleanAdjacency) {
+  // All-ones adjacency (the clean crossbar): the greedy seed alone is a
+  // perfect matching and no augmentation phases run.
+  const BitMatrix adj(70, 70, true);
+  const MatchingResult r = hopcroftKarp(adj);
+  EXPECT_TRUE(r.perfectForLeft(70));
+  for (std::size_t l = 0; l < 70; ++l) EXPECT_EQ(r.matchOfLeft[l], l);
+}
+
 TEST(HopcroftKarp, MatchingIsConsistent) {
   Rng rng(78);
   BipartiteGraph g(40, 50);

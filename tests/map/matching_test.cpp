@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "logic/sop_parser.hpp"
+#include "scenario/defect_model.hpp"
 #include "util/rng.hpp"
 
 namespace mcx {
@@ -175,6 +176,87 @@ TEST(FeasibleAssignment, EmptyRowFailsBeforeSolving) {
 TEST(FeasibleAssignment, MoreRowsThanColumnsIsInfeasible) {
   const BitMatrix adjacency(4, 3, true);
   EXPECT_FALSE(solveFeasibleAssignment(adjacency).success);
+}
+
+// --- MappingContext: incremental adjacency ---------------------------------
+
+TEST(MappingContext, IncrementalAdjacencyBitIdenticalToFullRebuild) {
+  // The context's defect-driven rebuild must agree with the full
+  // word-parallel fit-test build on every sample — including stuck-closed
+  // poisoning, empty FM rows, and dimensions straddling word boundaries.
+  Rng rng(53);
+  for (int rep = 0; rep < 400; ++rep) {
+    const std::size_t fmRows = 1 + rng.uniformInt(0, 40);
+    const std::size_t cols = 1 + rng.uniformInt(0, 130);
+    const std::size_t cmRows = fmRows + rng.uniformInt(0, 8);
+    BitMatrix fm(fmRows, cols);
+    for (std::size_t r = 0; r < fmRows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        if (rng.bernoulli(0.1)) fm.set(r, c);  // leaves some rows all-zero
+    const double open = rng.uniform() * 0.3;
+    const double closed = rng.bernoulli(0.5) ? rng.uniform() * 0.05 : 0.0;
+    const IidBernoulli model(open, closed);
+    DefectMap defects;
+    DirtyRows dirty;
+    model.generateTracked(cmRows, cols, rng, defects, dirty);
+    BitMatrix cm;
+    crossbarMatrixInto(defects, cm);
+
+    const BitMatrix full = buildCandidateAdjacency(fm, cm);
+    MappingContext ctx;
+    ctx.setSample(&defects, &dirty);
+    const BitMatrix& incremental = ctx.candidateAdjacency(fm, cm);
+    ASSERT_EQ(full, incremental) << "rep=" << rep << " fm=" << fmRows << "x" << cols
+                                 << " closed=" << defects.stuckClosedCount();
+  }
+}
+
+TEST(MappingContext, UnregisteredSampleFallsBackToFullRebuild) {
+  BitMatrix fm(3, 10), cm(4, 10, true);
+  fm.set(0, 7);
+  cm.reset(2, 7);
+  MappingContext ctx;  // no setSample
+  const BitMatrix& adjacency = ctx.candidateAdjacency(fm, cm);
+  EXPECT_EQ(adjacency, buildCandidateAdjacency(fm, cm));
+}
+
+TEST(MappingContext, MarkAllDirtyRowsForceFullRebuild) {
+  Rng rng(57);
+  const IidBernoulli model(0.15, 0.0);
+  DefectMap defects = model.sample(6, 20, rng);
+  BitMatrix cm;
+  crossbarMatrixInto(defects, cm);
+  BitMatrix fm(5, 20);
+  fm.set(1, 3);
+  fm.set(4, 17);
+  DirtyRows dirty;
+  dirty.markAll();
+  MappingContext ctx;
+  ctx.setSample(&defects, &dirty);
+  EXPECT_EQ(ctx.candidateAdjacency(fm, cm), buildCandidateAdjacency(fm, cm));
+}
+
+TEST(MappingContext, RebindsWhenFmContentChangesAtTheSameAddress) {
+  // The per-FM column index is keyed on (address, dims, content hash): the
+  // worst case for an address-only key is the same object mutated in place
+  // (or a new FM reallocated at the old one's address), where a stale index
+  // would be served silently.
+  Rng rng(61);
+  const IidBernoulli model(0.2, 0.02);
+  DefectMap defects;
+  DirtyRows dirty;
+  model.generateTracked(8, 40, rng, defects, dirty);
+  BitMatrix cm;
+  crossbarMatrixInto(defects, cm);
+  BitMatrix fm(6, 40);
+  for (std::size_t c = 0; c < 40; c += 3) fm.set(1, c);
+  MappingContext ctx;
+  ctx.setSample(&defects, &dirty);
+  EXPECT_EQ(ctx.candidateAdjacency(fm, cm), buildCandidateAdjacency(fm, cm));
+  // Same address, same dims, different bits: the context must notice.
+  for (std::size_t c = 0; c < 40; c += 2) fm.set(4, c);
+  fm.reset(1, 0);
+  EXPECT_EQ(ctx.candidateAdjacency(fm, cm), buildCandidateAdjacency(fm, cm));
 }
 
 }  // namespace

@@ -14,6 +14,11 @@ FunctionMatrix testFm() {
   return buildFunctionMatrix(parseSop("x1 x2 + !x2 x3 + x1 !x3 + x2 x3"));
 }
 
+// Success counts observed for the sparse sampler at the exact seeds/rates
+// of SparseSamplerPinnedSuccessCounts; see that test for the re-pin policy.
+constexpr std::size_t kPinnedSparseSuccesses = 20;
+constexpr std::size_t kPinnedSparseMixedSuccesses = 3;
+
 TEST(DefectExperiment, ZeroRateGivesFullSuccess) {
   DefectExperimentConfig cfg;
   cfg.samples = 20;
@@ -62,37 +67,77 @@ TEST(DefectExperiment, SpareRowsImproveSuccess) {
   EXPECT_GE(with.successes, without.successes);
 }
 
-TEST(DefectExperiment, TimingIsPopulated) {
+TEST(DefectExperiment, TimingIsPopulatedWhenOptedIn) {
   DefectExperimentConfig cfg;
   cfg.samples = 5;
+  cfg.timePerSample = true;
   const auto r = runDefectExperiment(testFm(), HybridMapper(), cfg);
   EXPECT_EQ(r.perSampleMillis.count, 5u);
   EXPECT_GE(r.meanSeconds(), 0.0);
   EXPECT_GE(r.totalSeconds, 0.0);
 }
 
-TEST(DefectExperiment, ResultsAreIdenticalAtAnyThreadCount) {
-  DefectExperimentConfig base;
-  base.samples = 64;
-  base.stuckOpenRate = 0.12;
-  base.seed = 0xfeed;
-  base.keepMappings = true;
-  base.threads = 1;
-  const auto reference = runDefectExperiment(testFm(), HybridMapper(), base);
-  ASSERT_EQ(reference.mappings.size(), base.samples);
+TEST(DefectExperiment, PerSampleTimingIsOffByDefault) {
+  // Sweep-style callers should not pay two clock reads per sample; the
+  // aggregate wall time of the run is still reported.
+  DefectExperimentConfig cfg;
+  cfg.samples = 5;
+  const auto r = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  EXPECT_EQ(r.perSampleMillis.count, 0u);
+  EXPECT_GT(r.totalSeconds, 0.0);
+  EXPECT_GT(r.meanSeconds(), 0.0);
+}
 
-  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
-    DefectExperimentConfig cfg = base;
-    cfg.threads = threads;
-    const auto got = runDefectExperiment(testFm(), HybridMapper(), cfg);
-    EXPECT_EQ(got.successes, reference.successes) << "threads=" << threads;
-    EXPECT_EQ(got.totalBacktracks, reference.totalBacktracks) << "threads=" << threads;
-    ASSERT_EQ(got.mappings.size(), reference.mappings.size());
-    for (std::size_t s = 0; s < got.mappings.size(); ++s) {
-      EXPECT_EQ(got.mappings[s].success, reference.mappings[s].success)
-          << "threads=" << threads << " sample=" << s;
-      EXPECT_EQ(got.mappings[s].rowAssignment, reference.mappings[s].rowAssignment)
-          << "threads=" << threads << " sample=" << s;
+TEST(DefectExperiment, TimingKnobDoesNotChangeOutcomes) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 40;
+  cfg.stuckOpenRate = 0.15;
+  cfg.seed = 123;
+  cfg.keepMappings = true;
+  DefectExperimentConfig timed = cfg;
+  timed.timePerSample = true;
+  const auto a = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  const auto b = runDefectExperiment(testFm(), HybridMapper(), timed);
+  EXPECT_EQ(a.successes, b.successes);
+  ASSERT_EQ(a.mappings.size(), b.mappings.size());
+  for (std::size_t s = 0; s < a.mappings.size(); ++s)
+    EXPECT_EQ(a.mappings[s].rowAssignment, b.mappings[s].rowAssignment);
+}
+
+TEST(DefectExperiment, ResultsAreIdenticalAtAnyThreadCount) {
+  // Covers the legacy rate-pair path and both sparse samplers (stuck-open
+  // only, and mixed with stuck-closed poisoning): the determinism contract
+  // binds every sampler the engine can run.
+  const std::vector<std::shared_ptr<const DefectModel>> models = {
+      nullptr,  // legacy rate pair
+      std::make_shared<SparseIidBernoulli>(0.12, 0.0),
+      std::make_shared<SparseIidBernoulli>(0.10, 0.02),
+  };
+  for (const auto& model : models) {
+    SCOPED_TRACE(model ? model->describe() : "legacy rate pair");
+    DefectExperimentConfig base;
+    base.samples = 64;
+    base.stuckOpenRate = 0.12;
+    base.model = model;
+    base.seed = 0xfeed;
+    base.keepMappings = true;
+    base.threads = 1;
+    const auto reference = runDefectExperiment(testFm(), HybridMapper(), base);
+    ASSERT_EQ(reference.mappings.size(), base.samples);
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      DefectExperimentConfig cfg = base;
+      cfg.threads = threads;
+      const auto got = runDefectExperiment(testFm(), HybridMapper(), cfg);
+      EXPECT_EQ(got.successes, reference.successes) << "threads=" << threads;
+      EXPECT_EQ(got.totalBacktracks, reference.totalBacktracks) << "threads=" << threads;
+      ASSERT_EQ(got.mappings.size(), reference.mappings.size());
+      for (std::size_t s = 0; s < got.mappings.size(); ++s) {
+        EXPECT_EQ(got.mappings[s].success, reference.mappings[s].success)
+            << "threads=" << threads << " sample=" << s;
+        EXPECT_EQ(got.mappings[s].rowAssignment, reference.mappings[s].rowAssignment)
+            << "threads=" << threads << " sample=" << s;
+      }
     }
   }
 }
@@ -126,23 +171,49 @@ TEST(DefectExperiment, ResultsAreIdenticalAtAnyThreadCountForNonIidModels) {
 }
 
 TEST(DefectExperiment, MatchesForEachDefectSampleStreams) {
-  // The engine and the callback variant must see the same defect draws.
-  DefectExperimentConfig cfg;
-  cfg.samples = 16;
-  cfg.stuckOpenRate = 0.15;
-  cfg.seed = 99;
-  cfg.keepMappings = true;
-  cfg.threads = 4;
-  const auto result = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  // The engine and the callback variant must see the same defect draws —
+  // and the engine's context path (incremental adjacency) must reproduce
+  // the plain mapper.map() exactly. Checked for the legacy sampler and the
+  // sparse one.
+  for (const bool sparse : {false, true}) {
+    SCOPED_TRACE(sparse ? "sparse" : "legacy");
+    DefectExperimentConfig cfg;
+    cfg.samples = 16;
+    cfg.stuckOpenRate = 0.15;
+    if (sparse) cfg.model = std::make_shared<SparseIidBernoulli>(0.15, 0.01);
+    cfg.seed = 99;
+    cfg.keepMappings = true;
+    cfg.threads = 4;
+    const auto result = runDefectExperiment(testFm(), HybridMapper(), cfg);
 
-  const HybridMapper mapper;
+    const HybridMapper mapper;
+    const FunctionMatrix fm = testFm();
+    forEachDefectSample(fm, cfg, [&](std::size_t s, const DefectMap&, const BitMatrix& cm) {
+      const MappingResult direct = mapper.map(fm, cm);
+      ASSERT_LT(s, result.mappings.size());
+      EXPECT_EQ(direct.success, result.mappings[s].success) << "sample=" << s;
+      EXPECT_EQ(direct.rowAssignment, result.mappings[s].rowAssignment) << "sample=" << s;
+    });
+  }
+}
+
+TEST(DefectExperiment, SparseSamplerPinnedSuccessCounts) {
+  // Pinned regression for the sparse stream on one circuit: a refactor of
+  // the binomial inversion, the 32-bit placement draws, or the redraw rule
+  // would silently shift every sparse experiment. If this fails after an
+  // INTENTIONAL sampler change, re-pin the counts (and expect the bench
+  // JSONs to move too); an unintentional failure is a broken stream.
   const FunctionMatrix fm = testFm();
-  forEachDefectSample(fm, cfg, [&](std::size_t s, const DefectMap&, const BitMatrix& cm) {
-    const MappingResult direct = mapper.map(fm, cm);
-    ASSERT_LT(s, result.mappings.size());
-    EXPECT_EQ(direct.success, result.mappings[s].success) << "sample=" << s;
-    EXPECT_EQ(direct.rowAssignment, result.mappings[s].rowAssignment) << "sample=" << s;
-  });
+  DefectExperimentConfig cfg;
+  cfg.samples = 120;
+  cfg.seed = 0x5eed;
+  cfg.threads = 1;
+  cfg.model = std::make_shared<SparseIidBernoulli>(0.20, 0.0);
+  const auto hba = runDefectExperiment(fm, HybridMapper(), cfg);
+  cfg.model = std::make_shared<SparseIidBernoulli>(0.15, 0.05);
+  const auto mixed = runDefectExperiment(fm, HybridMapper(), cfg);
+  EXPECT_EQ(hba.successes, kPinnedSparseSuccesses);
+  EXPECT_EQ(mixed.successes, kPinnedSparseMixedSuccesses);
 }
 
 TEST(ForEachDefectSample, DeliversRequestedSamples) {

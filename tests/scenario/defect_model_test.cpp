@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "logic/sop_parser.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "mc/defect_experiment.hpp"
@@ -62,6 +64,147 @@ TEST(IidBernoulli, EngineResultsBitIdenticalToLegacyRatePath) {
 TEST(IidBernoulli, Validation) {
   EXPECT_THROW(IidBernoulli(-0.1, 0.0), InvalidArgument);
   EXPECT_THROW(IidBernoulli(0.6, 0.6), InvalidArgument);
+}
+
+// --- SparseIidBernoulli ----------------------------------------------------
+
+TEST(SparseIidBernoulli, StatisticallyEquivalentToLegacySampler) {
+  // The O(defects) sampler draws from the same i.i.d. distribution as the
+  // legacy per-crosspoint sweep: defect-count mean/variance and the
+  // per-cell marginal rate must agree within sampling tolerance.
+  const std::size_t rows = 64, cols = 64;
+  const double p = 0.10;
+  const int reps = 2000;
+  const SparseIidBernoulli sparse(p, 0.0);
+  const IidBernoulli legacy(p, 0.0);
+
+  struct Moments {
+    double mean = 0, var = 0;
+    std::vector<std::size_t> perCell;
+  };
+  const auto collect = [&](const DefectModel& model, std::uint64_t seed) {
+    Rng rng(seed);
+    DefectMap map;
+    Moments m;
+    m.perCell.assign(rows * cols, 0);
+    double sum = 0, sumSq = 0;
+    for (int i = 0; i < reps; ++i) {
+      model.generate(rows, cols, rng, map);
+      const auto k = static_cast<double>(map.stuckOpenCount());
+      sum += k;
+      sumSq += k * k;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const auto words = map.openBits().rowWords(r);
+        for (std::size_t w = 0; w < words.size(); ++w) {
+          BitMatrix::Word bits = words[w];
+          while (bits != 0) {
+            const std::size_t c =
+                w * BitMatrix::kWordBits + static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            ++m.perCell[r * cols + c];
+          }
+        }
+      }
+    }
+    m.mean = sum / reps;
+    m.var = sumSq / reps - m.mean * m.mean;
+    return m;
+  };
+
+  const Moments a = collect(sparse, 101);
+  const Moments b = collect(legacy, 202);
+  const double expectedMean = static_cast<double>(rows * cols) * p;  // 409.6
+  const double expectedVar = expectedMean * (1.0 - p);               // 368.6
+  EXPECT_NEAR(a.mean, expectedMean, 2.0);
+  EXPECT_NEAR(a.mean, b.mean, 3.0);
+  EXPECT_NEAR(a.var, expectedVar, expectedVar * 0.12);
+  // Per-cell marginal: each cell is Binomial(reps, p) -> sd of the rate is
+  // ~0.0067; bound the worst cell at ~6 sigma.
+  for (std::size_t cell = 0; cell < rows * cols; ++cell) {
+    const double rate = static_cast<double>(a.perCell[cell]) / reps;
+    ASSERT_NEAR(rate, p, 0.04) << "cell=" << cell;
+  }
+}
+
+TEST(SparseIidBernoulli, MixedRatesSplitTypesByShare) {
+  const SparseIidBernoulli model(0.09, 0.01);
+  Rng rng(7);
+  DefectMap map;
+  std::size_t open = 0, closed = 0;
+  for (int i = 0; i < 300; ++i) {
+    model.generate(96, 96, rng, map);
+    open += map.stuckOpenCount();
+    closed += map.stuckClosedCount();
+  }
+  const double total = static_cast<double>(open + closed);
+  EXPECT_NEAR(total / (300.0 * 96 * 96), 0.10, 0.005);
+  EXPECT_NEAR(static_cast<double>(closed) / total, 0.10, 0.02);
+}
+
+TEST(SparseIidBernoulli, TracksExactlyTheDefectiveRows) {
+  const SparseIidBernoulli model(0.04, 0.01);
+  Rng rng(11);
+  DefectMap map;
+  DirtyRows dirty;
+  model.generateTracked(40, 70, rng, map, dirty);
+  EXPECT_FALSE(dirty.all);
+  EXPECT_EQ(dirty.stuckOpen, map.stuckOpenCount());
+  EXPECT_EQ(dirty.stuckClosed, map.stuckClosedCount());
+  std::vector<std::size_t> expected;
+  for (std::size_t r = 0; r < map.rows(); ++r) {
+    bool any = false;
+    for (std::size_t c = 0; c < map.cols(); ++c)
+      any = any || map.type(r, c) != DefectType::None;
+    if (any) expected.push_back(r);
+  }
+  EXPECT_EQ(dirty.rows, expected);
+}
+
+TEST(SparseIidBernoulli, TrackedAndUntrackedDrawIdentically) {
+  // generate() and generateTracked() must consume the stream identically
+  // (the engine and forEachDefectSample may call either for a sample).
+  const SparseIidBernoulli model(0.08, 0.02);
+  Rng a(13), b(13);
+  DefectMap viaGenerate;
+  model.generate(33, 55, a, viaGenerate);
+  DefectMap viaTracked;
+  DirtyRows dirty;
+  model.generateTracked(33, 55, b, viaTracked, dirty);
+  EXPECT_TRUE(sameMap(viaGenerate, viaTracked));
+  EXPECT_EQ(a(), b());
+}
+
+TEST(SparseIidBernoulli, DenseRatesFallBackToTheLegacySweep) {
+  // Above the cutoff the rejection loop stops paying; the model must fall
+  // back to the parent's draw-for-draw dense sweep.
+  const double rate = SparseIidBernoulli::kDenseRateCutoff + 0.10;
+  const SparseIidBernoulli sparse(rate, 0.0);
+  const IidBernoulli dense(rate, 0.0);
+  Rng a(17), b(17);
+  EXPECT_TRUE(sameMap(sparse.sample(30, 41, a), dense.sample(30, 41, b)));
+  EXPECT_EQ(a(), b());
+}
+
+TEST(DefectModels, DefaultGenerateTrackedScansTheFinishedMap) {
+  // Dense models get dirty-row tracking for free via the base-class scan.
+  ClusteredDefects::Params p;
+  p.clusterDensity = 2e-3;
+  const ClusteredDefects model(p);
+  Rng a(19), b(19);
+  DefectMap viaGenerate;
+  model.generate(48, 48, a, viaGenerate);
+  DefectMap viaTracked;
+  DirtyRows dirty;
+  model.generateTracked(48, 48, b, viaTracked, dirty);
+  EXPECT_TRUE(sameMap(viaGenerate, viaTracked));
+  EXPECT_FALSE(dirty.all);
+  EXPECT_EQ(dirty.stuckOpen, viaTracked.stuckOpenCount());
+  for (const std::size_t r : dirty.rows) {
+    std::size_t defects = 0;
+    for (std::size_t c = 0; c < 48; ++c)
+      defects += viaTracked.type(r, c) != DefectType::None ? 1 : 0;
+    EXPECT_GT(defects, 0u) << "row " << r;
+  }
 }
 
 // --- ClusteredDefects ------------------------------------------------------

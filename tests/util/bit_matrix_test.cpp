@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace mcx {
 namespace {
@@ -112,6 +113,38 @@ TEST(BitMatrix, SetColTouchesEveryRow) {
   EXPECT_EQ(m.count(), 5u);
   m.setCol(128, false);
   EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BitMatrix, AssignTransposedMatchesPerBitTranspose) {
+  Rng rng(41);
+  // Dimensions straddling the 64-bit word boundaries in both directions.
+  const std::size_t dims[][2] = {{1, 1}, {7, 3}, {64, 64}, {65, 63}, {128, 1},
+                                 {1, 128}, {100, 200}, {289, 299}};
+  for (const auto& d : dims) {
+    BitMatrix a(d[0], d[1]);
+    for (std::size_t r = 0; r < a.rows(); ++r)
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        if (rng.bernoulli(0.3)) a.set(r, c);
+    BitMatrix t;
+    t.assignTransposed(a);
+    ASSERT_EQ(t.rows(), a.cols());
+    ASSERT_EQ(t.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        ASSERT_EQ(t.test(c, r), a.test(r, c)) << d[0] << "x" << d[1] << " @" << r << "," << c;
+    // Double transpose is the identity.
+    BitMatrix back;
+    back.assignTransposed(t);
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST(BitMatrix, AssignTransposedHandlesEmpty) {
+  BitMatrix a(0, 5), t(3, 3, true);
+  t.assignTransposed(a);
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 0u);
+  EXPECT_EQ(t.count(), 0u);
 }
 
 TEST(BitMatrix, FillAndReshapeReuseBuffers) {

@@ -80,5 +80,55 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_TRUE(anyDifferent);
 }
 
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(29);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t k = rng.binomial(7, 0.4);
+    EXPECT_LE(k, 7u);
+  }
+}
+
+TEST(Rng, BinomialConsumesOneDrawAndIsDeterministic) {
+  Rng a(31), b(31);
+  EXPECT_EQ(a.binomial(100000, 0.1), b.binomial(100000, 0.1));
+  // Exactly one uniform consumed per call, whatever the outcome: the
+  // sparse sampler's draw-order contract depends on it.
+  b = Rng(31);
+  (void)b();
+  Rng c(31);
+  (void)c.binomial(12345, 0.37);
+  EXPECT_EQ(b(), c());
+}
+
+TEST(Rng, BinomialMatchesMomentsAndBernoulliSum) {
+  // Mean and variance of Binomial(n, p), plus agreement with an explicit
+  // Bernoulli-trial sum: both samplers must draw from the same
+  // distribution (the O(defects) fast path relies on it).
+  const std::uint64_t n = 4096;
+  const double p = 0.1;
+  const int reps = 4000;
+  Rng rng(37), trials(38);
+  double sum = 0, sumSq = 0, trialSum = 0;
+  for (int i = 0; i < reps; ++i) {
+    const double k = static_cast<double>(rng.binomial(n, p));
+    sum += k;
+    sumSq += k * k;
+    int hits = 0;
+    for (std::uint64_t t = 0; t < n; ++t) hits += trials.bernoulli(p) ? 1 : 0;
+    trialSum += hits;
+  }
+  const double mean = sum / reps;
+  const double var = sumSq / reps - mean * mean;
+  const double expectedMean = static_cast<double>(n) * p;          // 409.6
+  const double expectedVar = expectedMean * (1.0 - p);             // 368.6
+  // Standard error of the mean is ~0.3; allow ~6 sigma.
+  EXPECT_NEAR(mean, expectedMean, 2.0);
+  EXPECT_NEAR(mean, trialSum / reps, 2.5);
+  EXPECT_NEAR(var, expectedVar, expectedVar * 0.12);
+}
+
 }  // namespace
 }  // namespace mcx
