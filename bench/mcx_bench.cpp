@@ -1,0 +1,12 @@
+// mcx_bench: the one multiplexed bench driver.
+//
+// Every suite in bench/suites/ registers itself with bench::Driver at load
+// time (MCX_BENCH_SUITE); this main only dispatches. See --help for the
+// suite list and the registry listing flags.
+#include <iostream>
+
+#include "api/driver.hpp"
+
+int main(int argc, char** argv) {
+  return mcx::bench::Driver::global().run(argc, argv, std::cout, std::cerr);
+}

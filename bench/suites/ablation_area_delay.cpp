@@ -2,7 +2,9 @@
 // designs (the paper discusses area only; the multi-level design's
 // gate-at-a-time evaluation costs cycles — Fig. 4's CR loop).
 #include <iostream>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "logic/espresso.hpp"
 #include "logic/generators.hpp"
@@ -12,8 +14,14 @@
 #include "util/text_table.hpp"
 #include "xbar/timing_model.hpp"
 
-int main() {
+namespace {
+
+int runAreaDelay(const std::vector<std::string>& args) {
   using namespace mcx;
+
+  cli::ArgParser parser("mcx_bench ablation-area-delay",
+                        "Ablation A7: two-level vs multi-level area-delay tradeoff");
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
   struct Workload {
     std::string label;
@@ -45,3 +53,9 @@ int main() {
                "paper's Section VI alludes to.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("ablation-area-delay",
+                "A7: area-delay tradeoff of two-level vs multi-level designs",
+                runAreaDelay);

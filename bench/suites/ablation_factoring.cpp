@@ -5,7 +5,9 @@
 // and random workloads. This is the knob that decides whether multi-level
 // synthesis beats two-level (Fig. 6 / Table I behaviour).
 #include <iostream>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "logic/espresso.hpp"
 #include "logic/generators.hpp"
@@ -14,8 +16,14 @@
 #include "util/text_table.hpp"
 #include "xbar/area_model.hpp"
 
-int main() {
+namespace {
+
+int runFactoring(const std::vector<std::string>& args) {
   using namespace mcx;
+
+  cli::ArgParser parser("mcx_bench ablation-factoring",
+                        "Ablation A6: factoring strategy vs multi-level crossbar area");
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
   struct Workload {
     std::string label;
@@ -65,3 +73,8 @@ int main() {
                "picks per function, like a real technology mapper.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("ablation-factoring",
+                "A6: SOP-to-NAND factoring strategies vs multi-level area", runFactoring);

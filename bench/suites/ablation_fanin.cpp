@@ -4,7 +4,9 @@
 // the fan-in ceiling moves the gate count, depth, connection-column count
 // and final crossbar area, on a structured and an arithmetic function.
 #include <iostream>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "logic/espresso.hpp"
 #include "logic/generators.hpp"
@@ -13,8 +15,14 @@
 #include "util/text_table.hpp"
 #include "xbar/area_model.hpp"
 
-int main() {
+namespace {
+
+int runFanin(const std::vector<std::string>& args) {
   using namespace mcx;
+
+  cli::ArgParser parser("mcx_bench ablation-fanin",
+                        "Ablation A4: multi-level area vs NAND fan-in bound");
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
   struct Workload {
     std::string label;
@@ -52,3 +60,7 @@ int main() {
                "paper's fan-in-n choice is the area-optimal end of the sweep.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("ablation-fanin", "A4: multi-level area vs NAND fan-in bound", runFanin);

@@ -1,0 +1,60 @@
+// Ablation A3: what each ingredient of the hybrid algorithm buys.
+//
+// Compares, at several defect rates: greedy first-fit over all rows, HBA
+// without backtracking, full HBA (Algorithm 1), HBA + input-column
+// permutation (our extension), and the exact algorithm. Every variant is a
+// mapper-registry name resolved by the ExperimentBuilder facade — adding a
+// variant to this table is one string.
+#include <iostream>
+#include <vector>
+
+#include "api/driver.hpp"
+#include "api/experiment.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+int runMappers(const std::vector<std::string>& args) {
+  using namespace mcx;
+
+  bench::CommonOptions common;
+  cli::ArgParser parser("mcx_bench ablation-mappers",
+                        "Ablation A3: mapper variants (greedy / HBA / colperm / EA)");
+  common.addSamplesTo(parser);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t samples = common.samplesOr(100);
+  ExperimentBuilder base;
+  base.circuit("sao2").samples(samples).seed(0xc0ffee).timePerSample(true);
+
+  // The paper's Munkres-based EA is the "EA" column; fast-ea shows the
+  // Hopcroft-Karp fast path at identical success rates.
+  const char* mappers[] = {"greedy", "hba-nobt", "hba", "colperm", "ea-munkres", "fast-ea"};
+
+  TextTable table({"defect rate", "Greedy", "HBA-nobt", "HBA", "ColPerm+HBA", "EA", "EA-fast"});
+  std::size_t area = 0;
+  for (const double rate : {0.05, 0.10, 0.15, 0.20}) {
+    std::vector<std::string> row{TextTable::percent(rate)};
+    for (const char* mapper : mappers) {
+      const ExperimentResult r =
+          ExperimentBuilder(base).mapper(mapper).legacyRates(rate).run();
+      area = r.area();
+      row.push_back(TextTable::percent(r.successRate()) + " @" +
+                    TextTable::num(r.meanSeconds() * 1e3, 2) + "ms");
+    }
+    table.addRow(std::move(row));
+  }
+  std::cout << "Ablation: mapper variants on sao2 (area " << area << ", " << samples
+            << " samples per cell)\n\n";
+  std::cout << table << "\n";
+  std::cout << "expected shape: Greedy <= HBA-nobt <= HBA <= ColPerm+HBA and HBA <= EA in\n"
+               "success rate; EA-fast matches EA's success exactly (both are exact) at a\n"
+               "fraction of the Munkres runtime; the column-permutation extension can\n"
+               "exceed both (they only permute rows).\n";
+  return 0;
+}
+
+}  // namespace
+
+MCX_BENCH_SUITE("ablation-mappers", "A3: mapper-variant ablation through the registry",
+                runMappers);

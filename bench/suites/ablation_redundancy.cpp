@@ -6,17 +6,26 @@
 // lines plus column-pair reassignment recover the yield, quantifying the
 // area-redundancy tradeoff the paper calls for.
 #include <iostream>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "map/redundant_mapper.hpp"
-#include "util/env.hpp"
 #include "util/text_table.hpp"
 #include "xbar/function_matrix.hpp"
 
-int main() {
+namespace {
+
+int runRedundancy(const std::vector<std::string>& args) {
   using namespace mcx;
 
-  const std::size_t samples = envSizeT("MCX_SAMPLES", 100);
+  bench::CommonOptions common;
+  cli::ArgParser parser("mcx_bench ablation-redundancy",
+                        "Ablation A1: yield vs spare rows / column pairs");
+  common.addSamplesTo(parser);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t samples = common.samplesOr(100);
   const BenchmarkCircuit bench = loadBenchmarkFast("squar5");
   const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
   std::cout << "Ablation: yield vs redundant lines on " << bench.info.name << " ("
@@ -63,3 +72,8 @@ int main() {
                "recover it at bounded area overhead.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("ablation-redundancy", "A1: yield vs spare rows and column pairs",
+                runRedundancy);

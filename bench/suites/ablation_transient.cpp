@@ -5,18 +5,27 @@
 // function of per-evaluation transient open/short rates, on crossbars
 // already carrying 5% permanent stuck-open defects and a valid HBA mapping.
 #include <iostream>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "sim/transient_faults.hpp"
-#include "util/env.hpp"
 #include "util/text_table.hpp"
 #include "xbar/layout.hpp"
 
-int main() {
+namespace {
+
+int runTransient(const std::vector<std::string>& args) {
   using namespace mcx;
 
-  const std::size_t trials = envSizeT("MCX_SAMPLES", 200) * 2;
+  bench::CommonOptions common;
+  cli::ArgParser parser("mcx_bench ablation-transient",
+                        "Ablation A9: transient-fault bit-error rates on mapped crossbars");
+  common.addSamplesTo(parser);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t trials = common.samplesOr(200) * 2;
   std::cout << "Transient-fault sensitivity (HBA-mapped crossbars with 5% permanent\n"
                "stuck-open defects; " << trials << " random evaluations per cell)\n\n";
 
@@ -60,3 +69,8 @@ int main() {
                "reliability guarantees under runtime faults.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("ablation-transient", "A9: transient-fault bit-error sensitivity",
+                runTransient);

@@ -4,20 +4,29 @@
 // instead of a 200-sample Monte Carlo run, and uses it to answer the
 // paper's future-work question "how much redundancy for a target yield?"
 // instantly per circuit.
+#include <cmath>
 #include <iostream>
+#include <vector>
 
+#include "api/driver.hpp"
+#include "api/experiment.hpp"
 #include "benchdata/registry.hpp"
-#include "map/hybrid_mapper.hpp"
-#include "mc/defect_experiment.hpp"
 #include "mc/yield_model.hpp"
-#include "util/env.hpp"
 #include "util/text_table.hpp"
 #include "xbar/function_matrix.hpp"
 
-int main() {
+namespace {
+
+int runYieldModel(const std::vector<std::string>& args) {
   using namespace mcx;
 
-  const std::size_t samples = envSizeT("MCX_SAMPLES", 200);
+  bench::CommonOptions common;
+  cli::ArgParser parser("mcx_bench ablation-yield-model",
+                        "Ablation A8: analytic yield model vs Monte Carlo");
+  common.addSamplesTo(parser);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t samples = common.samplesOr(200);
   std::cout << "Analytic yield model vs Monte Carlo (" << samples
             << " samples), optimum-size crossbars\n\n";
 
@@ -27,10 +36,13 @@ int main() {
     const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
     for (const double q : {0.05, 0.10, 0.20}) {
       const double model = estimateYield(fm, q).successProbability;
-      DefectExperimentConfig cfg;
-      cfg.samples = samples;
-      cfg.stuckOpenRate = q;
-      const double mc = runDefectExperiment(fm, HybridMapper(), cfg).successRate();
+      const double mc = ExperimentBuilder()
+                            .circuit(name, fm)
+                            .mapper("hba")
+                            .legacyRates(q)
+                            .samples(samples)
+                            .run()
+                            .successRate();
       table.addRow({name, TextTable::percent(q), TextTable::percent(model, 1),
                     TextTable::percent(mc, 1), TextTable::num(std::abs(model - mc), 3)});
     }
@@ -55,3 +67,8 @@ int main() {
                "for the spare-row sizing table below.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("ablation-yield-model", "A8: analytic yield estimate vs Monte Carlo",
+                runYieldModel);

@@ -7,12 +7,20 @@
 // the SET/RESET transitions.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "sim/device_model.hpp"
 #include "util/text_table.hpp"
 
-int main() {
+namespace {
+
+int runFig1(const std::vector<std::string>& args) {
   using namespace mcx;
+
+  cli::ArgParser parser("mcx_bench fig1",
+                        "Figure 1: memristor I-V pinched-hysteresis sweep");
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
   DeviceParams params;  // R_ON=100, R_OFF=16k, V_th=1V
   const double amplitude = 2.0;
@@ -55,3 +63,8 @@ int main() {
   std::cout << "I(V=0) = 0 at every crossing: pinched loop confirmed by construction\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("fig1", "Fig. 1: memristor I-V characteristics (threshold ion drift)",
+                runFig1);

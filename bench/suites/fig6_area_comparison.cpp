@@ -8,27 +8,48 @@
 //
 // The scenario extension the paper's figure lacks: each sample's two-level
 // and multi-level implementations are also mapped against defect maps from
-// a scenario (MCX_AREA_SCENARIO preset name, default paper-iid at 10%), so
-// the table shows the area/yield tradeoff next to the area win rate.
-//
-// Override the sample count with MCX_SAMPLES.
+// a scenario (--scenario preset name or JSON spec, env MCX_AREA_SCENARIO,
+// default paper-iid at 10%), so the table shows the area/yield tradeoff
+// next to the area win rate.
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "mc/area_experiment.hpp"
 #include "scenario/registry.hpp"
-#include "util/env.hpp"
 #include "util/text_table.hpp"
 
-int main() {
+namespace {
+
+int runFig6(const std::vector<std::string>& args) {
   using namespace mcx;
 
-  const std::size_t samples = envSizeT("MCX_SAMPLES", 200);
-  const char* scenarioEnv = std::getenv("MCX_AREA_SCENARIO");
-  const std::string scenarioName =
-      (scenarioEnv != nullptr && *scenarioEnv != '\0') ? scenarioEnv : "paper-iid";
-  const std::shared_ptr<const DefectModel> scenario = makeScenario(scenarioName, 0.10);
+  bench::CommonOptions common;
+  std::string scenarioArg;
+  double rate = 0.10;
+  cli::ArgParser parser("mcx_bench fig6",
+                        "Figure 6: two-level vs multi-level area on random functions");
+  common.addSamplesTo(parser);
+  parser.add("--scenario", &scenarioArg, "NAME|SPEC",
+             "defect scenario for the yield columns (env MCX_AREA_SCENARIO)");
+  parser.add("--rate", &rate, "R", "scenario defect budget (default 0.10)");
+  parser.addAction("--list", "list the scenario presets", bench::listScenarios);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t samples = common.samplesOr(200);
+  if (scenarioArg.empty()) {
+    const char* env = std::getenv("MCX_AREA_SCENARIO");
+    scenarioArg = (env != nullptr && *env != '\0') ? env : "paper-iid";
+  }
+  std::shared_ptr<const DefectModel> scenario;
+  try {
+    scenario = makeScenario(scenarioArg, rate);
+  } catch (const std::exception& e) {
+    std::cerr << "mcx_bench fig6: " << e.what() << "\n";
+    return 2;
+  }
   std::cout << "Figure 6: two-level vs multi-level area cost, random functions, "
             << samples << " samples per input size\n";
   std::cout << "paper reference success rates: I=8: 65%, I=9: 60%, I=10: 54%, I=15: 33%\n";
@@ -97,3 +118,8 @@ int main() {
             << "\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("fig6", "Fig. 6: two-level vs multi-level area + yield on random functions",
+                runFig6);

@@ -6,6 +6,10 @@
 // multi-level workload at the paper's 10% stuck-open rate.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "api/driver.hpp"
 #include "assign/hopcroft_karp.hpp"
 #include "assign/munkres.hpp"
 #include "benchdata/registry.hpp"
@@ -215,4 +219,25 @@ void BM_MapEa(benchmark::State& state) {
 }
 BENCHMARK(BM_MapEa);
 
+// Google Benchmark owns this suite's flag grammar (--benchmark_filter,
+// --benchmark_min_time, ...): args are forwarded verbatim instead of going
+// through cli::ArgParser, and --help prints benchmark's own usage.
+int runMicroKernels(const std::vector<std::string>& args) {
+  std::vector<std::string> argvStore;
+  argvStore.emplace_back("mcx_bench-micro");
+  argvStore.insert(argvStore.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(argvStore.size());
+  for (std::string& arg : argvStore) argv.push_back(arg.data());
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+  if (benchmark::ReportUnrecognizedArguments(argc, argv.data())) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace
+
+MCX_BENCH_SUITE("micro", "google-benchmark microkernels of the library's hot paths",
+                runMicroKernels);

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "defect_sweep.hpp"
 #include "logic/espresso.hpp"
@@ -25,15 +26,23 @@
 #include "map/hybrid_mapper.hpp"
 #include "netlist/nand_mapper.hpp"
 #include "sim/crossbar_sim.hpp"
-#include "util/env.hpp"
 #include "util/text_table.hpp"
 #include "xbar/multilevel_layout.hpp"
 
-int main() {
+namespace {
+
+int runMultilevelDefect(const std::vector<std::string>& args) {
   using namespace mcx;
 
-  const std::size_t samples = envSizeT("MCX_SAMPLES", 100);
-  const std::string jsonPath = benchutil::jsonOutputPath("BENCH_defect_mc.json");
+  bench::CommonOptions common;
+  cli::ArgParser parser("mcx_bench multilevel",
+                        "defect-tolerant mapping of multi-level designs (threads sweep)");
+  common.addSamplesTo(parser);
+  common.addJsonTo(parser);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t samples = common.samplesOr(100);
+  const std::string jsonPath = common.jsonOr("BENCH_defect_mc.json");
   std::cout << "Defect-tolerant mapping of multi-level designs (paper future work), "
             << samples << " samples per cell, 10% stuck-at-open\n\n";
 
@@ -162,3 +171,9 @@ int main() {
                "JSON written to " << jsonPath << "\n";
   return allDeterministic ? 0 : 1;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("multilevel",
+                "A5: multi-level defect mapping + engine determinism sweep (BENCH_defect_mc)",
+                runMultilevelDefect);

@@ -13,10 +13,10 @@
 // assumption the closed form rests on).
 //
 // Usage:
-//   scenario_runner [--samples N] [--seed S] [--scenarios a,b,...]
-//                   [--rates r1,r2,...] [--circuits c1,c2,...]
-//                   [--spec '<json model spec>'] [--sweep '<json sweep spec>']
-//                   [--json PATH] [--list]
+//   mcx_bench scenarios [--samples N] [--seed S] [--scenarios a,b,...]
+//                       [--rates r1,r2,...] [--circuits c1,c2,...]
+//                       [--spec '<json model spec>'] [--sweep '<json sweep spec>']
+//                       [--json PATH] [--list]
 //
 // --sweep takes the whole sweep as one JSON document:
 //   {"scenarios": ["clustered", {"model": "lines", "rowClosed": 0.05}],
@@ -32,12 +32,12 @@
 #include <string>
 #include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "defect_sweep.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "mc/yield_model.hpp"
 #include "scenario/registry.hpp"
-#include "util/cli.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/text_table.hpp"
@@ -232,59 +232,54 @@ int runSweep(const Sweep& sweep, const std::string& jsonPath) {
   return allDeterministic ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace mcx;
-
+int runScenarios(const std::vector<std::string>& args) {
   Sweep sweep;
-  std::string jsonPath = benchutil::jsonOutputPath("BENCH_scenarios.json");
+  bench::CommonOptions common;
 
-  try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--samples") {
-        sweep.samples = cli::sizeValue(argc, argv, i);
-      } else if (arg == "--seed") {
-        sweep.seed = cli::u64Value(argc, argv, i);
-      } else if (arg == "--scenarios") {
-        sweep.scenarios.clear();
-        for (const std::string& name : splitList(cli::stringValue(argc, argv, i)))
-          sweep.scenarios.push_back(entryFromName(name));
-      } else if (arg == "--rates") {
-        sweep.rates.clear();
-        for (const std::string& r : splitList(cli::stringValue(argc, argv, i))) {
-          double rate{};
-          const auto [end, ec] = std::from_chars(r.data(), r.data() + r.size(), rate);
-          MCX_REQUIRE(ec == std::errc() && end == r.data() + r.size(),
-                      "--rates: bad value \"" + r + "\"");
-          sweep.rates.push_back(rate);
-        }
-      } else if (arg == "--circuits") {
-        sweep.circuits = splitList(cli::stringValue(argc, argv, i));
-      } else if (arg == "--spec") {
-        sweep.scenarios.push_back(entryFromName(cli::stringValue(argc, argv, i)));
-      } else if (arg == "--sweep") {
-        applySweepSpec(sweep, cli::stringValue(argc, argv, i));
-      } else if (arg == "--json") {
-        jsonPath = cli::stringValue(argc, argv, i);
-      } else if (arg == "--list") {
-        for (const ScenarioPreset& preset : scenarioPresets())
-          std::cout << preset.name << "  —  " << preset.summary << "\n";
-        return 0;
-      } else {
-        std::cerr << "unknown flag " << arg << " (see the header of scenario_runner.cpp)\n";
-        return 2;
-      }
-    }
-    if (sweep.scenarios.empty())
-      for (const ScenarioPreset& preset : scenarioPresets())
-        sweep.scenarios.push_back(entryFromName(preset.name));
-    if (sweep.rates.empty()) sweep.rates = standardRateGrid();
-  } catch (const std::exception& e) {  // mcx::Error, std::stoul/stod, ...
-    std::cerr << "scenario_runner: " << e.what() << "\n";
-    return 2;
-  }
+  cli::ArgParser parser("mcx_bench scenarios",
+                        "declarative defect-scenario sweep: model x rate x circuit");
+  common.addSamplesTo(parser);
+  common.addSeedTo(parser);
+  common.addJsonTo(parser);
+  parser.addCallback("--scenarios", "a,b,...", "preset names / JSON specs to sweep",
+                     [&sweep](const std::string& value) {
+                       sweep.scenarios.clear();
+                       for (const std::string& name : splitList(value))
+                         sweep.scenarios.push_back(entryFromName(name));
+                     });
+  parser.addCallback("--rates", "r1,r2,...", "defect-rate grid",
+                     [&sweep](const std::string& value) {
+                       sweep.rates.clear();
+                       for (const std::string& r : splitList(value)) {
+                         double rate{};
+                         const auto [end, ec] =
+                             std::from_chars(r.data(), r.data() + r.size(), rate);
+                         MCX_REQUIRE(ec == std::errc() && end == r.data() + r.size(),
+                                     "--rates: bad value \"" + r + "\"");
+                         sweep.rates.push_back(rate);
+                       }
+                     });
+  parser.addCallback("--circuits", "c1,c2,...", "benchmark circuits to sweep",
+                     [&sweep](const std::string& value) { sweep.circuits = splitList(value); });
+  parser.addCallback("--spec", "JSON", "add one inline scenario spec to the sweep",
+                     [&sweep](const std::string& value) {
+                       sweep.scenarios.push_back(entryFromName(value));
+                     });
+  parser.addCallback("--sweep", "JSON", "whole sweep as one JSON document",
+                     [&sweep](const std::string& value) { applySweepSpec(sweep, value); });
+  parser.addAction("--list", "list the scenario presets", bench::listScenarios);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  // Explicit flags beat --sweep members beat the env/default (the Sweep
+  // initializer already folded MCX_SAMPLES in, so only a real flag wins).
+  if (common.samples.has_value()) sweep.samples = *common.samples;
+  if (common.seed.has_value()) sweep.seed = *common.seed;
+  const std::string jsonPath = common.jsonOr("BENCH_scenarios.json");
+
+  if (sweep.scenarios.empty())
+    for (const ScenarioPreset& preset : scenarioPresets())
+      sweep.scenarios.push_back(entryFromName(preset.name));
+  if (sweep.rates.empty()) sweep.rates = standardRateGrid();
 
   std::cout << "scenario sweep: " << sweep.scenarios.size() << " models x "
             << sweep.rates.size() << " rates x " << sweep.circuits.size() << " circuits, "
@@ -293,7 +288,13 @@ int main(int argc, char** argv) {
   try {
     return runSweep(sweep, jsonPath);
   } catch (const std::exception& e) {  // unknown circuit, out-of-range preset rate, ...
-    std::cerr << "scenario_runner: " << e.what() << "\n";
+    std::cerr << "mcx_bench scenarios: " << e.what() << "\n";
     return 2;
   }
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("scenarios",
+                "defect-scenario sweep with per-cell determinism checks (BENCH_scenarios)",
+                runScenarios);

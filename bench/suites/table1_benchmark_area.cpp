@@ -8,7 +8,9 @@
 // on the structured single-output ones (t481, cordic).
 #include <iostream>
 #include <optional>
+#include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "logic/espresso.hpp"
 #include "netlist/nand_mapper.hpp"
@@ -36,10 +38,12 @@ std::optional<PaperRow> paperRow(const std::string& name) {
   return std::nullopt;
 }
 
-}  // namespace
-
-int main() {
+int runTable1(const std::vector<std::string>& args) {
   using namespace mcx;
+
+  cli::ArgParser parser("mcx_bench table1",
+                        "Table I: two-level vs multi-level area on benchmark circuits");
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
   std::cout << "Table I: two-level and multi-level area cost, original circuit and its "
                "negation\n(ours vs paper; stand-in circuits — shapes, not absolute values, "
@@ -90,3 +94,8 @@ int main() {
                "(t481, cordic) — compare the final column's ours/paper agreement.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("table1", "Table I: two-level and multi-level area, original and negation",
+                runTable1);

@@ -12,18 +12,27 @@
 #include <iostream>
 #include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "defect_sweep.hpp"
 #include "map/exact_mapper.hpp"
 #include "map/hybrid_mapper.hpp"
-#include "util/env.hpp"
 #include "util/text_table.hpp"
 
-int main() {
+namespace {
+
+int runTable2(const std::vector<std::string>& args) {
   using namespace mcx;
 
-  const std::size_t samples = envSizeT("MCX_SAMPLES", 200);
-  const std::string jsonPath = benchutil::jsonOutputPath("BENCH_table2_defect_mc.json");
+  bench::CommonOptions common;
+  cli::ArgParser parser("mcx_bench table2",
+                        "Table II: HBA vs EA success/runtime at 10% stuck-open");
+  common.addSamplesTo(parser);
+  common.addJsonTo(parser);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t samples = common.samplesOr(200);
+  const std::string jsonPath = common.jsonOr("BENCH_table2_defect_mc.json");
   std::cout << "Table II: HBA vs EA on optimum-size crossbars, 10% stuck-at-open, "
             << samples << " samples per circuit\n\n";
 
@@ -97,3 +106,9 @@ int main() {
             << (allDeterministic ? "yes" : "NO") << "; JSON written to " << jsonPath << "\n";
   return allDeterministic ? 0 : 1;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("table2",
+                "Table II: HBA vs EA on optimum-size crossbars (BENCH_table2_defect_mc)",
+                runTable2);

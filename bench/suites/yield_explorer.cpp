@@ -1,72 +1,63 @@
 // Yield explorer: how much redundancy buys how much mapping success.
 //
 // The paper leaves redundant-line yield analysis as future work (Section
-// VI); this example walks a benchmark across spare-line budgets under a
+// VI); this suite walks a benchmark across spare-line budgets under a
 // configurable defect scenario — by default a mixed i.i.d. world including
 // stuck-at-closed defects, which are untolerable on an optimum-size
 // crossbar but absorbable with spare rows and column pairs.
 //
-// Usage:
-//   yield_explorer [--circuit NAME] [--samples N] [--seed S] [--threads N]
-//                  [--scenario PRESET-OR-JSON-SPEC] [--rate R]
-//
-// --scenario takes a registry preset name (see scenario_runner --list) or
-// an inline JSON spec; --rate sets the preset's overall defect budget.
-// Samples are distributed over --threads workers with pre-split per-sample
-// RNG streams, so results do not depend on the thread count.
+// --scenario takes a registry preset name (see --list) or an inline JSON
+// spec; --rate sets the preset's overall defect budget. Samples are
+// distributed over --threads workers with pre-split per-sample RNG
+// streams, so results do not depend on the thread count.
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "map/redundant_mapper.hpp"
 #include "mc/parallel.hpp"
 #include "mc/stats.hpp"
 #include "scenario/registry.hpp"
-#include "util/cli.hpp"
-#include "util/env.hpp"
-#include "util/error.hpp"
 #include "util/text_table.hpp"
 #include "xbar/function_matrix.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int runYieldExplorer(const std::vector<std::string>& args) {
   using namespace mcx;
 
+  bench::CommonOptions common;
   std::string circuit = "misex1";
-  std::size_t samples = envSizeT("MCX_SAMPLES", 100);
-  std::uint64_t seed = 97;
-  std::size_t threads = 0;  // hardware concurrency
   std::string scenarioArg;
   double rate = 0.055;  // the historical default budget (5% open + 0.5% closed)
+
+  cli::ArgParser parser("mcx_bench yield",
+                        "yield vs spare-line budget under a configurable defect scenario");
+  parser.add("--circuit", &circuit, "NAME", "benchmark circuit (default misex1)");
+  common.addSamplesTo(parser);
+  common.addSeedTo(parser);
+  common.addThreadsTo(parser);
+  parser.add("--scenario", &scenarioArg, "NAME|SPEC",
+             "scenario preset name or inline JSON model spec");
+  parser.add("--rate", &rate, "R", "preset's overall defect budget (default 0.055)");
+  parser.addAction("--list", "list the scenario presets", bench::listScenarios);
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+
+  const std::size_t samples = common.samplesOr(100);
+  const std::uint64_t seed = common.seedOr(97);
+  const std::size_t threads = common.threadsOr(0);
 
   std::shared_ptr<const DefectModel> model;
   BenchmarkCircuit bench;
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--circuit")
-        circuit = cli::stringValue(argc, argv, i);
-      else if (arg == "--samples")
-        samples = cli::sizeValue(argc, argv, i);
-      else if (arg == "--seed")
-        seed = cli::u64Value(argc, argv, i);
-      else if (arg == "--threads")
-        threads = cli::sizeValue(argc, argv, i);
-      else if (arg == "--scenario")
-        scenarioArg = cli::stringValue(argc, argv, i);
-      else if (arg == "--rate")
-        rate = cli::doubleValue(argc, argv, i);
-      else {
-        std::cerr << "unknown flag " << arg << " (see the header of yield_explorer.cpp)\n";
-        return 2;
-      }
-    }
     model = scenarioArg.empty()
                 ? std::make_shared<IidBernoulli>(rate * 10.0 / 11.0, rate / 11.0)
                 : makeScenario(scenarioArg, rate);
     bench = loadBenchmarkFast(circuit);
-  } catch (const std::exception& e) {  // mcx::Error, std::stoul/stod, ...
-    std::cerr << "yield_explorer: " << e.what() << "\n";
+  } catch (const std::exception& e) {  // unknown scenario/circuit, bad rate
+    std::cerr << "mcx_bench yield: " << e.what() << "\n";
     return 2;
   }
   const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
@@ -109,3 +100,8 @@ int main(int argc, char** argv) {
                "paper); spare lines recover most of the yield.\n";
   return 0;
 }
+
+}  // namespace
+
+MCX_BENCH_SUITE("yield", "redundancy explorer: yield vs spare lines under any scenario",
+                runYieldExplorer);

@@ -1,14 +1,9 @@
 // pla_tool: a small command-line front end over the library.
 //
-// Usage:
-//   pla_tool <file.pla> [--minimize] [--dual] [--multilevel]
-//            [--map <defect-rate>] [--seed <n>] [--write-pla]
-//
 // Reads an espresso-format PLA, reports the crossbar statistics the paper
 // uses (P, area cost, inclusion ratio), and optionally minimizes the cover,
 // compares against the dual, maps it onto a randomly defective optimum-size
-// crossbar with HBA and EA, or re-emits the (minimized) PLA.
-#include <cstring>
+// crossbar with HBA and EA, or re-emits the (minimized) PLA. See --help.
 #include <iostream>
 #include <optional>
 #include <string>
@@ -18,6 +13,7 @@
 #include "map/exact_mapper.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "netlist/nand_mapper.hpp"
+#include "util/arg_parser.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 #include "xbar/defects.hpp"
@@ -38,30 +34,28 @@ void report(const char* label, const mcx::Cover& cover) {
 
 int main(int argc, char** argv) {
   using namespace mcx;
-  if (argc < 2) {
-    std::cerr << "usage: pla_tool <file.pla> [--minimize] [--dual] [--multilevel]\n"
-                 "                [--map <defect-rate>] [--seed <n>] [--write-pla]\n";
-    return 2;
-  }
 
+  std::string plaPath;
   bool minimize = false, dual = false, multilevel = false, writeBack = false;
   std::optional<double> mapRate;
   std::uint64_t seed = 1;
-  for (int i = 2; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--minimize")) minimize = true;
-    else if (!std::strcmp(argv[i], "--dual")) dual = true;
-    else if (!std::strcmp(argv[i], "--multilevel")) multilevel = true;
-    else if (!std::strcmp(argv[i], "--write-pla")) writeBack = true;
-    else if (!std::strcmp(argv[i], "--map") && i + 1 < argc) mapRate = std::stod(argv[++i]);
-    else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) seed = std::stoull(argv[++i]);
-    else {
-      std::cerr << "unknown option: " << argv[i] << "\n";
-      return 2;
-    }
+
+  cli::ArgParser parser("pla_tool", "crossbar statistics and mapping for PLA files");
+  parser.addPositional("file.pla", &plaPath, "espresso-format PLA input");
+  parser.addSwitch("--minimize", &minimize, "espresso-minimize the cover first");
+  parser.addSwitch("--dual", &dual, "compare against the minimized complement");
+  parser.addSwitch("--multilevel", &multilevel, "report the multi-level NAND design");
+  parser.addSwitch("--write-pla", &writeBack, "re-emit the (minimized) PLA");
+  parser.add("--map", &mapRate, "RATE", "map onto a crossbar with this stuck-open rate");
+  parser.add("--seed", &seed, "N", "defect-sampling seed (default 1)");
+  switch (parser.parse(argc, argv, std::cout, std::cerr)) {
+    case cli::ArgParser::Outcome::Handled: return 0;
+    case cli::ArgParser::Outcome::Error: return 2;
+    case cli::ArgParser::Outcome::Ok: break;
   }
 
   try {
-    const PlaFile pla = readPlaFile(argv[1]);
+    const PlaFile pla = readPlaFile(plaPath);
     Cover cover = pla.on;
     report("input", cover);
 

@@ -1,11 +1,13 @@
-// Quickstart: the paper's running example, end to end.
+// Quickstart: the paper's running example through the public mcx:: facade.
 //
 // Builds f = x1 + x2 + x3 + x4 + x5 x6 x7 x8 (Fig. 3 / Fig. 5), lays it out
-// on a two-level and a multi-level crossbar, prints both diagrams with their
-// area costs and inclusion ratios, and verifies each crossbar functionally
-// with the behavioral simulator.
+// on a two-level and a multi-level crossbar, then runs defect-mapping
+// experiments the way every tool in this repo does now: declared with
+// ExperimentBuilder, resolved through the mapper and scenario registries,
+// serialized with the uniform ExperimentResult JSON.
 #include <iostream>
 
+#include "api/experiment.hpp"
 #include "logic/sop_parser.hpp"
 #include "logic/truth_table.hpp"
 #include "netlist/nand_mapper.hpp"
@@ -19,28 +21,36 @@ int main() {
   const Cover f = parseSop("x1 + x2 + x3 + x4 + x5 x6 x7 x8");
   std::cout << "f = x1 + x2 + x3 + x4 + x5 x6 x7 x8   (paper Figs. 3 and 5)\n\n";
 
-  // --- Two-level NAND-AND design (Fig. 3) --------------------------------
+  // --- The two layouts (Fig. 3 / Fig. 5) ---------------------------------
   const TwoLevelLayout twoLevel = buildTwoLevelLayout(f);
-  std::cout << "Two-level crossbar layout:\n" << twoLevel.toAsciiDiagram();
-  std::cout << "inclusion ratio = "
-            << static_cast<int>(100.0 * twoLevel.fm.inclusionRatio() + 0.5) << "%\n";
-  std::cout << "(the paper quotes 7x18 = 126 counting the input-latch line; "
-               "its tables use rows = P + O, giving "
-            << twoLevel.dims().rows << "x" << twoLevel.dims().cols << " = "
-            << twoLevel.dims().area() << ")\n\n";
+  const MultiLevelLayout multiLevel = buildMultiLevelLayout(mapToNand(f));
+  std::cout << "Two-level crossbar layout:\n" << twoLevel.toAsciiDiagram() << "\n";
+  std::cout << "Multi-level crossbar layout:\n" << multiLevel.toAsciiDiagram() << "\n";
+  std::cout << "area: " << twoLevel.dims().area() << " (two-level) -> "
+            << multiLevel.dims().area() << " (multi-level)\n\n";
 
-  // --- Multi-level design (Fig. 5) ----------------------------------------
-  const NandNetwork net = mapToNand(f);
-  const MultiLevelLayout multiLevel = buildMultiLevelLayout(net);
-  std::cout << "Multi-level crossbar layout (" << net.gateCount() << " NAND gates, "
-            << multiLevel.fm.numConnectionCols() << " connection column):\n"
-            << multiLevel.toAsciiDiagram() << "\n";
-  std::cout << "area reduction: " << twoLevel.dims().area() << " -> "
-            << multiLevel.dims().area() << " ("
-            << static_cast<int>(100.0 * multiLevel.dims().area() / twoLevel.dims().area())
-            << "% of two-level)\n\n";
+  // --- Defect-mapping experiments through the facade ---------------------
+  // One base declaration; clones vary the axis under study. The registries
+  // resolve mapper names ("hba", "ea", "fast-ea", ...) and scenario presets
+  // ("paper-iid", "clustered", ...) — see `mcx_bench --list-mappers` and
+  // `--list-scenarios`.
+  ExperimentBuilder base;
+  base.circuit("fig5", f).samples(200).seed(42);
+
+  std::cout << "mapping success under 10% stuck-open (200 samples):\n";
+  for (const char* mapper : {"greedy", "hba", "ea"}) {
+    const ExperimentResult r =
+        ExperimentBuilder(base).mapper(mapper).scenario("paper-iid", 0.10).run();
+    std::cout << "  " << r.mapper << ": " << 100.0 * r.successRate() << "%\n";
+  }
+
+  std::cout << "\nHBA on the multi-level layout under clustered defects:\n";
+  const ExperimentResult clustered =
+      ExperimentBuilder(base).multiLevel().mapper("hba").scenario("clustered", 0.08).run();
+  std::cout << clustered.toJson() << "\n";
 
   // --- Functional verification through the Snider-logic simulator ---------
+  // Both clean layouts must compute f on all 256 inputs.
   const TruthTable ref = TruthTable::fromCover(f);
   const DefectMap cleanTwo(twoLevel.fm.rows(), twoLevel.fm.cols());
   const DefectMap cleanMulti(multiLevel.fm.rows(), multiLevel.fm.cols());
@@ -54,7 +64,7 @@ int main() {
     if (simulateMultiLevel(multiLevel, idMulti, cleanMulti, in).test(0) != ref.get(0, m))
       ++mismatches;
   }
-  std::cout << "simulation check over all 256 inputs, both designs: " << mismatches
+  std::cout << "\nsimulation check over all 256 inputs, both designs: " << mismatches
             << " mismatches\n";
   return mismatches == 0 ? 0 : 1;
 }

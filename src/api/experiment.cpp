@@ -1,0 +1,155 @@
+#include "api/experiment.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "benchdata/registry.hpp"
+#include "map/registry.hpp"
+#include "netlist/nand_mapper.hpp"
+#include "scenario/registry.hpp"
+#include "util/error.hpp"
+#include "xbar/multilevel_layout.hpp"
+
+namespace mcx {
+
+void ExperimentResult::writeJson(JsonWriter& json) const {
+  json.beginObject();
+  json.field("circuit", circuit);
+  json.field("mapper", mapper);
+  json.field("scenario", scenario);
+  json.field("rows", rows);
+  json.field("cols", cols);
+  json.field("area", area());
+  json.field("samples", outcome.samples);
+  json.field("successes", outcome.successes);
+  json.field("success_rate", successRate());
+  json.field("seed", config.seed);
+  json.field("threads", config.threads);
+  json.field("total_seconds", outcome.totalSeconds);
+  json.field("mean_seconds", meanSeconds());
+  json.field("total_backtracks", outcome.totalBacktracks);
+  if (config.timePerSample) json.field("mean_map_millis", outcome.perSampleMillis.mean);
+  json.endObject();
+}
+
+std::string ExperimentResult::toJson() const {
+  std::ostringstream out;
+  JsonWriter json(out);
+  writeJson(json);
+  return out.str();
+}
+
+ExperimentBuilder& ExperimentBuilder::circuit(const std::string& registryName) {
+  circuitLabel_ = registryName;
+  cover_ = loadBenchmarkFast(registryName).cover;
+  fm_.reset();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::circuit(const std::string& label, const Cover& cover) {
+  circuitLabel_ = label;
+  cover_ = cover;
+  fm_.reset();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::circuit(const std::string& label, FunctionMatrix fm) {
+  circuitLabel_ = label;
+  cover_.reset();
+  fm_ = std::move(fm);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::multiLevel(bool on) {
+  multiLevel_ = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::mapper(const std::string& nameOrSpec) {
+  mapper_ = makeMapper(nameOrSpec);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::mapper(std::shared_ptr<const IMapper> mapper) {
+  MCX_REQUIRE(mapper != nullptr, "ExperimentBuilder: null mapper");
+  mapper_ = std::move(mapper);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::scenario(const std::string& nameOrSpec, double rate) {
+  return scenario(makeScenario(nameOrSpec, rate));
+}
+
+ExperimentBuilder& ExperimentBuilder::scenario(std::shared_ptr<const DefectModel> model) {
+  MCX_REQUIRE(model != nullptr, "ExperimentBuilder: null scenario model");
+  scenarioLabel_ = model->describe();
+  config_.model = std::move(model);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::legacyRates(double stuckOpen, double stuckClosed) {
+  config_.model.reset();
+  config_.stuckOpenRate = stuckOpen;
+  config_.stuckClosedRate = stuckClosed;
+  scenarioLabel_.clear();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::samples(std::size_t n) {
+  config_.samples = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::seed(std::uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::threads(std::size_t threads) {
+  config_.threads = threads;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::spareRows(std::size_t spares) {
+  config_.spareRows = spares;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::verifyMappings(bool on) {
+  config_.verify = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::timePerSample(bool on) {
+  config_.timePerSample = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::keepMappings(bool on) {
+  config_.keepMappings = on;
+  return *this;
+}
+
+ExperimentResult ExperimentBuilder::run() const {
+  MCX_REQUIRE(cover_.has_value() || fm_.has_value(),
+              "ExperimentBuilder: no circuit declared");
+  MCX_REQUIRE(mapper_ != nullptr, "ExperimentBuilder: no mapper declared");
+
+  FunctionMatrix fm = [&] {
+    if (fm_.has_value()) return *fm_;
+    if (multiLevel_) return buildMultiLevelLayout(mapToNand(*cover_)).fm;
+    return buildFunctionMatrix(*cover_);
+  }();
+
+  ExperimentResult result;
+  result.circuit = circuitLabel_;
+  result.mapper = mapper_->name();
+  result.scenario = config_.model ? scenarioLabel_ : std::string("iid (legacy rates)");
+  result.rows = fm.rows();
+  result.cols = fm.cols();
+  result.config = config_;
+  result.outcome = runDefectExperiment(fm, *mapper_, config_);
+  return result;
+}
+
+}  // namespace mcx

@@ -1,0 +1,112 @@
+// The mcx:: facade: one builder-style entry point for defect-mapping
+// experiments.
+//
+// Call sites used to assemble a DefectExperimentConfig field by field, load
+// circuits by hand and hard-wire mapper objects; the builder chains the
+// whole declaration — circuit, mapper, scenario, knobs — resolves names
+// through the mapper and scenario registries, and returns a typed
+// ExperimentResult with uniform JSON serialization:
+//
+//   const ExperimentResult r = ExperimentBuilder()
+//                                  .circuit("rd53")
+//                                  .mapper("hba")
+//                                  .scenario("clustered", 0.08)
+//                                  .samples(200)
+//                                  .seed(42)
+//                                  .run();
+//
+// The builder is a declaration, not an engine: run() delegates to
+// runDefectExperiment, so results are bit-identical to hand-built configs —
+// including the legacy i.i.d. rate-pair path (legacyRates), the regression
+// anchor of the committed BENCH_defect_mc.json success counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "logic/cover.hpp"
+#include "map/matching.hpp"
+#include "mc/defect_experiment.hpp"
+#include "scenario/defect_model.hpp"
+#include "util/json_writer.hpp"
+#include "xbar/function_matrix.hpp"
+
+namespace mcx {
+
+/// Typed outcome of an ExperimentBuilder run: the declaration that produced
+/// it (labels, dimensions, resolved config) plus the Monte Carlo outcome.
+struct ExperimentResult {
+  std::string circuit;
+  std::string mapper;
+  std::string scenario;       ///< model description, or "iid (legacy rates)"
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  DefectExperimentConfig config;    ///< the resolved engine configuration
+  DefectExperimentResult outcome;
+
+  std::size_t area() const { return rows * cols; }
+  double successRate() const { return outcome.successRate(); }
+  double meanSeconds() const { return outcome.meanSeconds(); }
+
+  /// Uniform serialization: one object with the declaration and the
+  /// outcome, identical keys for every mapper/scenario/circuit combination.
+  void writeJson(JsonWriter& json) const;
+  std::string toJson() const;
+};
+
+class ExperimentBuilder {
+public:
+  // --- circuit ------------------------------------------------------------
+  /// Benchmark-registry circuit (loadBenchmarkFast), two-level function
+  /// matrix.
+  ExperimentBuilder& circuit(const std::string& registryName);
+  /// Explicit cover under a custom label (two-level function matrix, or the
+  /// multi-level layout when multiLevel() is set).
+  ExperimentBuilder& circuit(const std::string& label, const Cover& cover);
+  /// Pre-built function matrix under a custom label.
+  ExperimentBuilder& circuit(const std::string& label, FunctionMatrix fm);
+  /// Lay the cover out as a multi-level (NAND network) crossbar instead of
+  /// the two-level one. Ignored for pre-built function matrices.
+  ExperimentBuilder& multiLevel(bool on = true);
+
+  // --- mapper -------------------------------------------------------------
+  /// Registry name ("hba", "ea", "fast-ea", ...) or JSON option spec.
+  ExperimentBuilder& mapper(const std::string& nameOrSpec);
+  ExperimentBuilder& mapper(std::shared_ptr<const IMapper> mapper);
+
+  // --- defect scenario ----------------------------------------------------
+  /// Registry preset (built at @p rate) or JSON model spec.
+  ExperimentBuilder& scenario(const std::string& nameOrSpec, double rate = 0.10);
+  ExperimentBuilder& scenario(std::shared_ptr<const DefectModel> model);
+  /// The legacy i.i.d. rate-pair path (null model): draw-for-draw identical
+  /// to the pre-scenario engine — the bit-identity regression surface.
+  ExperimentBuilder& legacyRates(double stuckOpen, double stuckClosed = 0.0);
+
+  // --- knobs --------------------------------------------------------------
+  ExperimentBuilder& samples(std::size_t n);
+  ExperimentBuilder& seed(std::uint64_t seed);
+  ExperimentBuilder& threads(std::size_t threads);
+  ExperimentBuilder& spareRows(std::size_t spares);
+  ExperimentBuilder& verifyMappings(bool on);
+  ExperimentBuilder& timePerSample(bool on);
+  ExperimentBuilder& keepMappings(bool on);
+
+  /// Run the declared experiment through the parallel Monte Carlo engine.
+  /// Throws mcx::InvalidArgument when no circuit or no mapper was declared,
+  /// mcx::ParseError for unresolvable names/specs (thrown eagerly by the
+  /// declaration calls above).
+  ExperimentResult run() const;
+
+private:
+  std::string circuitLabel_;
+  std::optional<Cover> cover_;
+  std::optional<FunctionMatrix> fm_;
+  bool multiLevel_ = false;
+  std::shared_ptr<const IMapper> mapper_;
+  std::string scenarioLabel_;
+  DefectExperimentConfig config_;
+};
+
+}  // namespace mcx

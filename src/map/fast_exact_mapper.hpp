@@ -4,7 +4,7 @@
 // Feasibility is a perfect-matching question: build the compatibility graph
 // between FM rows and CM rows and run Hopcroft-Karp (O(E sqrt(V))). Same
 // success rate as EA by construction, typically an order of magnitude
-// faster — see bench_ablation_mappers.
+// faster — see the ablation-mappers bench suite.
 #pragma once
 
 #include "map/matching.hpp"

@@ -1,0 +1,153 @@
+#include "map/registry.hpp"
+
+#include "map/column_permutation_mapper.hpp"
+#include "map/exact_mapper.hpp"
+#include "map/fast_exact_mapper.hpp"
+#include "map/greedy_mapper.hpp"
+#include "map/hybrid_mapper.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+/// Reject unrecognized spec members (same rationale as the scenario
+/// registry: a typo'd option would silently run the default mapper under
+/// the wrong label).
+void requireOnlyKeys(const SpecValue& spec, std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : spec.members) {
+    bool known = false;
+    for (const char* name : allowed)
+      if (key == name) {
+        known = true;
+        break;
+      }
+    if (!known) throw ParseError("mapper spec: unknown member \"" + key + "\"");
+  }
+}
+
+std::string knownPresetNames() {
+  std::string known;
+  for (const MapperPreset& p : mapperPresets()) {
+    if (!known.empty()) known += ", ";
+    known += p.name;
+  }
+  return known;
+}
+
+}  // namespace
+
+const std::vector<MapperPreset>& mapperPresets() {
+  static const std::vector<MapperPreset> presets = {
+      {"hba", "the paper's hybrid algorithm (Algorithm 1) with backtracking",
+       [] { return std::make_shared<HybridMapper>(); }},
+      {"hba-nobt", "HBA without phase-1 backtracking (ablation A3)",
+       [] {
+         HybridMapperOptions opts;
+         opts.backtracking = false;
+         return std::make_shared<HybridMapper>(opts);
+       }},
+      {"hba-paper", "HBA with the paper's exact top-to-bottom greedy order",
+       [] {
+         HybridMapperOptions opts;
+         opts.sortByCandidates = false;
+         return std::make_shared<HybridMapper>(opts);
+       }},
+      {"ea", "exact algorithm via the Hopcroft-Karp feasibility fast path",
+       [] { return std::make_shared<ExactMapper>(); }},
+      {"ea-munkres", "the paper's exact algorithm with the O(n^3) Munkres solver",
+       [] {
+         ExactMapperOptions opts;
+         opts.useMunkres = true;
+         return std::make_shared<ExactMapper>(opts);
+       }},
+      {"fast-ea", "exact feasibility as one maximum bipartite matching",
+       [] { return std::make_shared<FastExactMapper>(); }},
+      {"greedy", "first-fit baseline: no backtracking, no assignment step",
+       [] { return std::make_shared<GreedyMapper>(); }},
+      {"colperm", "input-column permutation search around an inner HBA",
+       [] { return std::make_shared<ColumnPermutationMapper>(); }},
+  };
+  return presets;
+}
+
+const MapperPreset* findMapperPreset(const std::string& name) {
+  for (const MapperPreset& preset : mapperPresets())
+    if (preset.name == name) return &preset;
+  return nullptr;
+}
+
+std::shared_ptr<const IMapper> mapperFromSpec(const SpecValue& spec) {
+  if (!spec.isObject()) throw ParseError("mapper spec: expected a JSON object");
+
+  if (const SpecValue* preset = spec.find("preset")) {
+    requireOnlyKeys(spec, {"preset"});
+    if (preset->kind != SpecValue::Kind::String)
+      throw ParseError("mapper spec: \"preset\" must be a string");
+    const MapperPreset* found = findMapperPreset(preset->string);
+    if (found == nullptr)
+      throw ParseError("mapper spec: unknown preset \"" + preset->string + "\"");
+    return found->make();
+  }
+
+  const std::string mapper = spec.stringOr("mapper", "");
+  if (mapper == "hba") {
+    requireOnlyKeys(spec, {"mapper", "backtracking", "sortByCandidates"});
+    HybridMapperOptions opts;
+    opts.backtracking = spec.boolOr("backtracking", opts.backtracking);
+    opts.sortByCandidates = spec.boolOr("sortByCandidates", opts.sortByCandidates);
+    return std::make_shared<HybridMapper>(opts);
+  }
+  if (mapper == "ea") {
+    requireOnlyKeys(spec, {"mapper", "munkres"});
+    ExactMapperOptions opts;
+    opts.useMunkres = spec.boolOr("munkres", opts.useMunkres);
+    return std::make_shared<ExactMapper>(opts);
+  }
+  if (mapper == "fast-ea") {
+    requireOnlyKeys(spec, {"mapper"});
+    return std::make_shared<FastExactMapper>();
+  }
+  if (mapper == "greedy") {
+    requireOnlyKeys(spec, {"mapper"});
+    return std::make_shared<GreedyMapper>();
+  }
+  if (mapper == "colperm") {
+    requireOnlyKeys(spec, {"mapper", "restarts", "seed", "inner"});
+    ColumnPermutationOptions opts;
+    const double restarts = spec.numberOr("restarts", static_cast<double>(opts.restarts));
+    if (restarts < 0.0 || restarts > 1e6)
+      throw ParseError("mapper spec: \"restarts\" out of range");
+    opts.restarts = static_cast<std::size_t>(restarts);
+    const double seed = spec.numberOr("seed", static_cast<double>(opts.seed));
+    if (seed < 0.0 || seed > 9007199254740992.0)  // 2^53
+      throw ParseError("mapper spec: \"seed\" must be an integer below 2^53");
+    opts.seed = static_cast<std::uint64_t>(seed);
+    std::shared_ptr<const IMapper> inner;
+    if (const SpecValue* innerSpec = spec.find("inner")) {
+      if (innerSpec->kind == SpecValue::Kind::String)
+        inner = makeMapper(innerSpec->string);
+      else
+        inner = mapperFromSpec(*innerSpec);
+    }
+    return std::make_shared<ColumnPermutationMapper>(opts, std::move(inner));
+  }
+  throw ParseError("mapper spec: unknown mapper \"" + mapper + "\"");
+}
+
+std::shared_ptr<const IMapper> makeMapper(const std::string& nameOrSpec) {
+  std::size_t first = 0;
+  while (first < nameOrSpec.size() &&
+         (nameOrSpec[first] == ' ' || nameOrSpec[first] == '\t' || nameOrSpec[first] == '\n'))
+    ++first;
+  if (first < nameOrSpec.size() && nameOrSpec[first] == '{')
+    return mapperFromSpec(parseSpec(nameOrSpec));
+
+  const MapperPreset* preset = findMapperPreset(nameOrSpec);
+  if (preset == nullptr)
+    throw ParseError("unknown mapper \"" + nameOrSpec + "\" (known presets: " +
+                     knownPresetNames() + "; or pass a JSON spec)");
+  return preset->make();
+}
+
+}  // namespace mcx

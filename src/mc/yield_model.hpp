@@ -12,7 +12,7 @@
 // dense-row tails compete for the same healthy crossbar rows, and
 // pessimistic on uniform-row instances where a real maximum matching
 // rearranges placements globally (augmenting paths beat sequential greedy).
-// bench_ablation_yield_model quantifies both regimes against the Monte
+// the ablation-yield-model bench suite quantifies both regimes against the Monte
 // Carlo ground truth; errors stay small enough for spare-row sizing.
 #pragma once
 

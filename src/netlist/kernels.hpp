@@ -4,7 +4,7 @@
 // (the co-kernel). Kernels expose the multi-cube common divisors that
 // literal-based quick factoring misses; goodFactor() divides by the best
 // kernel (largest literal savings) recursively and typically produces
-// smaller NAND networks — see bench_ablation_factoring.
+// smaller NAND networks — see the ablation-factoring bench suite.
 #pragma once
 
 #include <cstddef>

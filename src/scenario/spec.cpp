@@ -200,6 +200,14 @@ std::string SpecValue::stringOr(const std::string& key, const std::string& fallb
   return v->string;
 }
 
+bool SpecValue::boolOr(const std::string& key, bool fallback) const {
+  const SpecValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind != Kind::Bool)
+    throw ParseError("scenario spec: member \"" + key + "\" must be a boolean");
+  return v->boolean;
+}
+
 SpecValue parseSpec(const std::string& text) { return Parser(text).parseDocument(); }
 
 }  // namespace mcx

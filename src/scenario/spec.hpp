@@ -1,6 +1,6 @@
 // Minimal JSON parsing for declarative scenario specs.
 //
-// The scenario registry and the scenario_runner sweep CLI accept small JSON
+// The scenario registry and the `mcx_bench scenarios` sweep accept small JSON
 // documents ({"model": "clustered", "density": 8e-4, ...}); this is the
 // read-side companion of util/json_writer.hpp. Deliberately tiny: objects,
 // arrays, strings (with the writer's escape set), numbers, booleans, and
@@ -36,6 +36,7 @@ struct SpecValue {
   /// run the wrong scenario).
   double numberOr(const std::string& key, double fallback) const;
   std::string stringOr(const std::string& key, const std::string& fallback) const;
+  bool boolOr(const std::string& key, bool fallback) const;
 };
 
 /// Parse a complete JSON document; throws mcx::ParseError on malformed

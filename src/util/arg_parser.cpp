@@ -1,0 +1,129 @@
+#include "util/arg_parser.hpp"
+
+#include <algorithm>
+
+namespace mcx::cli {
+
+void ArgParser::addFlag(Flag flag) {
+  MCX_REQUIRE(findFlag(flag.name) == nullptr, "duplicate flag " + flag.name);
+  flags_.push_back(std::move(flag));
+}
+
+const ArgParser::Flag* ArgParser::findFlag(const std::string& name) const {
+  for (const Flag& flag : flags_)
+    if (flag.name == name) return &flag;
+  return nullptr;
+}
+
+void ArgParser::add(const std::string& name, std::string* target, const std::string& valueName,
+                    const std::string& doc) {
+  addFlag({name, valueName, doc, false,
+           [target](const std::string& value, std::ostream&) { *target = value; }});
+}
+
+void ArgParser::add(const std::string& name, std::optional<std::string>* target,
+                    const std::string& valueName, const std::string& doc) {
+  addFlag({name, valueName, doc, false,
+           [target](const std::string& value, std::ostream&) { *target = value; }});
+}
+
+void ArgParser::addSwitch(const std::string& name, bool* target, const std::string& doc) {
+  addFlag({name, "", doc, false,
+           [target](const std::string&, std::ostream&) { *target = true; }});
+}
+
+void ArgParser::addCallback(const std::string& name, const std::string& valueName,
+                            const std::string& doc,
+                            std::function<void(const std::string&)> apply) {
+  addFlag({name, valueName, doc, false,
+           [apply = std::move(apply)](const std::string& value, std::ostream&) {
+             apply(value);
+           }});
+}
+
+void ArgParser::addAction(const std::string& name, const std::string& doc,
+                          std::function<void(std::ostream&)> apply) {
+  addFlag({name, "", doc, true,
+           [apply = std::move(apply)](const std::string&, std::ostream& out) { apply(out); }});
+}
+
+void ArgParser::addPositional(const std::string& name, std::string* target,
+                              const std::string& doc, bool required) {
+  MCX_REQUIRE(positionals_.empty() || positionals_.back().required || !required,
+              "required positional " + name + " after an optional one");
+  positionals_.push_back({name, doc, required, target});
+}
+
+ArgParser::Outcome ArgParser::fail(std::ostream& err, const std::string& message) const {
+  err << program_ << ": " << message << " (try --help)\n";
+  return Outcome::Error;
+}
+
+ArgParser::Outcome ArgParser::parse(int argc, char** argv, std::ostream& out,
+                                    std::ostream& err) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<std::size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args, out, err);
+}
+
+ArgParser::Outcome ArgParser::parse(const std::vector<std::string>& args, std::ostream& out,
+                                    std::ostream& err) {
+  std::size_t positional = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      printHelp(out);
+      return Outcome::Handled;
+    }
+    const Flag* flag = findFlag(arg);
+    if (flag == nullptr) {
+      if (!arg.starts_with("--") && positional < positionals_.size()) {
+        *positionals_[positional++].target = arg;
+        continue;
+      }
+      return fail(err, arg.starts_with("--") ? "unknown flag " + arg
+                                             : "unexpected argument \"" + arg + "\"");
+    }
+    std::string value;
+    if (!flag->valueName.empty()) {
+      if (i + 1 >= args.size()) return fail(err, arg + " needs a value");
+      value = args[++i];
+    }
+    try {
+      flag->apply(value, out);
+    } catch (const std::exception& e) {
+      return fail(err, e.what());
+    }
+    if (flag->exits) return Outcome::Handled;
+  }
+  for (std::size_t p = positional; p < positionals_.size(); ++p)
+    if (positionals_[p].required)
+      return fail(err, "missing required argument <" + positionals_[p].name + ">");
+  return Outcome::Ok;
+}
+
+void ArgParser::printHelp(std::ostream& out) const {
+  out << "usage: " << program_;
+  if (!flags_.empty()) out << " [flags]";
+  for (const Positional& pos : positionals_)
+    out << (pos.required ? " <" + pos.name + ">" : " [" + pos.name + "]");
+  out << "\n  " << summary_ << "\n";
+  if (!positionals_.empty()) {
+    out << "\narguments:\n";
+    for (const Positional& pos : positionals_) out << "  " << pos.name << "  " << pos.doc << "\n";
+  }
+  out << "\nflags:\n";
+  std::size_t width = std::string("--help").size();
+  auto label = [](const Flag& flag) {
+    return flag.valueName.empty() ? flag.name : flag.name + " " + flag.valueName;
+  };
+  for (const Flag& flag : flags_) width = std::max(width, label(flag).size());
+  for (const Flag& flag : flags_) {
+    const std::string head = label(flag);
+    out << "  " << head << std::string(width - head.size() + 2, ' ') << flag.doc << "\n";
+  }
+  out << "  --help" << std::string(width - 6 + 2, ' ') << "show this help\n";
+}
+
+}  // namespace mcx::cli

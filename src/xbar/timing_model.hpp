@@ -7,7 +7,7 @@
 // (copy result) step except the last:
 //   INA -> RI -> CFM -> (EVM -> CR)^(G-1) -> EVM -> INR -> SO
 // i.e. 2G + 4 steps. This module quantifies the paper's implicit area-delay
-// tradeoff (bench_ablation_area_delay).
+// tradeoff (the ablation-area-delay bench suite).
 #pragma once
 
 #include <cstddef>

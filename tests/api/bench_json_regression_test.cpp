@@ -1,0 +1,96 @@
+// Bit-identity regression against the committed BENCH_defect_mc.json: the
+// legacy i.i.d. rate-pair path, invoked through the ExperimentBuilder
+// facade, must reproduce the committed success counts exactly. This pins
+// the whole chain — builder -> config -> engine -> pre-split RNG streams ->
+// mapper — to the numbers every prior PR has preserved.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "api/experiment.hpp"
+#include "benchdata/registry.hpp"
+#include "logic/espresso.hpp"
+#include "logic/generators.hpp"
+#include "logic/isop.hpp"
+#include "scenario/spec.hpp"
+
+#ifndef MCX_REPO_ROOT
+#error "MCX_REPO_ROOT must point at the repository root (set by CMake)"
+#endif
+
+namespace mcx {
+namespace {
+
+Cover workloadCover(const std::string& name) {
+  if (name == "rd53") return espressoMinimize(isopCover(weightFunction(5)));
+  if (name == "sqrt8") return espressoMinimize(isopCover(sqrtFunction(8)));
+  if (name == "t481 stand-in") return loadBenchmarkFast("t481").cover;
+  if (name == "bw") return loadBenchmarkFast("bw").cover;
+  ADD_FAILURE() << "unknown committed workload " << name;
+  return Cover(1, 1);
+}
+
+TEST(BenchJsonRegression, BuilderReproducesCommittedLegacySuccessCounts) {
+  std::ifstream file(std::string(MCX_REPO_ROOT) + "/BENCH_defect_mc.json");
+  ASSERT_TRUE(file.good()) << "committed BENCH_defect_mc.json not found";
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const SpecValue doc = parseSpec(buffer.str());
+  ASSERT_TRUE(doc.isObject());
+
+  const auto samples = static_cast<std::size_t>(doc.numberOr("samples", 0));
+  const double rate = doc.numberOr("stuck_open_rate", 0.0);
+  ASSERT_GT(samples, 0u);
+  ASSERT_GT(rate, 0.0);
+
+  const SpecValue* circuits = doc.find("circuits");
+  ASSERT_NE(circuits, nullptr);
+  ASSERT_TRUE(circuits->isArray());
+
+  std::size_t checked = 0;
+  for (const SpecValue& circuit : circuits->array) {
+    const std::string name = circuit.stringOr("name", "");
+    const Cover cover = workloadCover(name);
+
+    const SpecValue* mappers = circuit.find("mappers");
+    ASSERT_NE(mappers, nullptr) << name;
+    for (const SpecValue& entry : mappers->array) {
+      // Only the legacy rate-pair rows are the bit-identity surface; the
+      // sparse-sampler rows use a different (statistically equivalent)
+      // stream and are covered by their own statistical tests.
+      if (entry.stringOr("scenario", "") != "iid (legacy rates)") continue;
+      const std::string mapperName = entry.stringOr("mapper", "");
+      const std::string preset = mapperName == "HBA"   ? "hba"
+                                 : mapperName == "EA"  ? "ea"
+                                                       : "";
+      ASSERT_FALSE(preset.empty()) << "unexpected committed mapper " << mapperName;
+
+      const SpecValue* runs = entry.find("runs");
+      ASSERT_NE(runs, nullptr);
+      ASSERT_FALSE(runs->array.empty());
+      const auto committed =
+          static_cast<std::size_t>(runs->array.front().numberOr("successes", -1));
+
+      const ExperimentResult result = ExperimentBuilder()
+                                          .circuit(name, cover)
+                                          .multiLevel()
+                                          .mapper(preset)
+                                          .legacyRates(rate)
+                                          .samples(samples)
+                                          .seed(0x51a)
+                                          .threads(1)
+                                          .run();
+      EXPECT_EQ(result.outcome.successes, committed)
+          << name << " / " << mapperName
+          << ": facade no longer reproduces the committed success count";
+      ++checked;
+    }
+  }
+  // 4 circuits x {HBA, EA} legacy rows — fail loudly if the committed file
+  // ever loses its regression surface.
+  EXPECT_EQ(checked, 8u);
+}
+
+}  // namespace
+}  // namespace mcx

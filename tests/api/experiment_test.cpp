@@ -1,0 +1,137 @@
+#include "api/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/sop_parser.hpp"
+#include "map/hybrid_mapper.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+Cover testCover() { return parseSop("x1 x2 + !x2 x3 + x1 !x3 + x2 x3"); }
+
+TEST(ExperimentBuilder, RequiresCircuitAndMapper) {
+  EXPECT_THROW(ExperimentBuilder().run(), InvalidArgument);
+  EXPECT_THROW(ExperimentBuilder().circuit("f", testCover()).run(), InvalidArgument);
+  EXPECT_THROW(ExperimentBuilder().mapper("hba").run(), InvalidArgument);
+  EXPECT_THROW(ExperimentBuilder().mapper(std::shared_ptr<const IMapper>()), InvalidArgument);
+  EXPECT_THROW(ExperimentBuilder().scenario(std::shared_ptr<const DefectModel>()),
+               InvalidArgument);
+}
+
+TEST(ExperimentBuilder, UnknownNamesThrowEagerly) {
+  EXPECT_THROW(ExperimentBuilder().mapper("bogus"), ParseError);
+  EXPECT_THROW(ExperimentBuilder().scenario("bogus"), ParseError);
+  EXPECT_THROW(ExperimentBuilder().circuit("no-such-circuit"), InvalidArgument);
+}
+
+TEST(ExperimentBuilder, LegacyPathBitIdenticalToHandBuiltConfig) {
+  // The builder is a declaration layer over runDefectExperiment: the legacy
+  // rate-pair path must reproduce a hand-built config draw for draw.
+  const FunctionMatrix fm = buildFunctionMatrix(testCover());
+  DefectExperimentConfig cfg;
+  cfg.samples = 60;
+  cfg.stuckOpenRate = 0.12;
+  cfg.stuckClosedRate = 0.01;
+  cfg.seed = 0x7ab1e2;
+  cfg.keepMappings = true;
+  const DefectExperimentResult direct = runDefectExperiment(fm, HybridMapper(), cfg);
+
+  const ExperimentResult viaBuilder = ExperimentBuilder()
+                                          .circuit("test", testCover())
+                                          .mapper("hba")
+                                          .legacyRates(0.12, 0.01)
+                                          .samples(60)
+                                          .seed(0x7ab1e2)
+                                          .keepMappings(true)
+                                          .run();
+  EXPECT_EQ(viaBuilder.scenario, "iid (legacy rates)");
+  EXPECT_EQ(viaBuilder.outcome.successes, direct.successes);
+  EXPECT_EQ(viaBuilder.outcome.totalBacktracks, direct.totalBacktracks);
+  ASSERT_EQ(viaBuilder.outcome.mappings.size(), direct.mappings.size());
+  for (std::size_t s = 0; s < direct.mappings.size(); ++s)
+    EXPECT_EQ(viaBuilder.outcome.mappings[s].rowAssignment, direct.mappings[s].rowAssignment)
+        << "sample=" << s;
+}
+
+TEST(ExperimentBuilder, ScenarioAndRegistryCircuit) {
+  const ExperimentResult r = ExperimentBuilder()
+                                 .circuit("rd53")
+                                 .mapper("hba")
+                                 .scenario("clustered", 0.05)
+                                 .samples(20)
+                                 .seed(9)
+                                 .run();
+  EXPECT_EQ(r.circuit, "rd53");
+  EXPECT_EQ(r.mapper, "HBA");
+  EXPECT_NE(r.scenario.find("clustered"), std::string::npos);
+  EXPECT_EQ(r.outcome.samples, 20u);
+  EXPECT_GT(r.area(), 0u);
+  // Same declaration, same outcome: the engine's determinism carries
+  // through the facade.
+  const ExperimentResult again = ExperimentBuilder()
+                                     .circuit("rd53")
+                                     .mapper("hba")
+                                     .scenario("clustered", 0.05)
+                                     .samples(20)
+                                     .seed(9)
+                                     .run();
+  EXPECT_EQ(r.outcome.successes, again.outcome.successes);
+}
+
+TEST(ExperimentBuilder, BuilderCopiesAreIndependent) {
+  ExperimentBuilder base;
+  base.circuit("test", testCover()).samples(30).seed(5);
+  const ExperimentResult hba =
+      ExperimentBuilder(base).mapper("hba").legacyRates(0.10).run();
+  const ExperimentResult ea = ExperimentBuilder(base).mapper("ea").legacyRates(0.10).run();
+  EXPECT_EQ(hba.mapper, "HBA");
+  EXPECT_EQ(ea.mapper, "EA");
+  // EA is exact: it succeeds at least wherever HBA does.
+  EXPECT_GE(ea.outcome.successes, hba.outcome.successes);
+}
+
+TEST(ExperimentBuilder, MultiLevelLayout) {
+  const ExperimentResult two = ExperimentBuilder()
+                                   .circuit("test", testCover())
+                                   .mapper("hba")
+                                   .samples(5)
+                                   .run();
+  const ExperimentResult multi = ExperimentBuilder()
+                                     .circuit("test", testCover())
+                                     .multiLevel()
+                                     .mapper("hba")
+                                     .samples(5)
+                                     .run();
+  EXPECT_NE(two.rows * 1000 + two.cols, multi.rows * 1000 + multi.cols)
+      << "multi-level layout must differ from the two-level one";
+}
+
+TEST(ExperimentResult, UniformJsonRoundTrips) {
+  const ExperimentResult r = ExperimentBuilder()
+                                 .circuit("test", testCover())
+                                 .mapper("fast-ea")
+                                 .scenario("paper-iid", 0.10)
+                                 .samples(10)
+                                 .seed(3)
+                                 .timePerSample(true)
+                                 .run();
+  const SpecValue parsed = parseSpec(r.toJson());
+  ASSERT_TRUE(parsed.isObject());
+  EXPECT_EQ(parsed.stringOr("circuit", ""), "test");
+  EXPECT_EQ(parsed.stringOr("mapper", ""), "EA-fast");
+  EXPECT_DOUBLE_EQ(parsed.numberOr("samples", -1), 10.0);
+  EXPECT_DOUBLE_EQ(parsed.numberOr("successes", -1),
+                   static_cast<double>(r.outcome.successes));
+  EXPECT_DOUBLE_EQ(parsed.numberOr("seed", -1), 3.0);
+  EXPECT_NE(parsed.find("success_rate"), nullptr);
+  EXPECT_NE(parsed.find("mean_seconds"), nullptr);
+  EXPECT_NE(parsed.find("mean_map_millis"), nullptr)
+      << "timed runs must carry the per-sample timing field";
+}
+
+}  // namespace
+}  // namespace mcx

@@ -94,7 +94,7 @@ TEST(YieldModel, CrossChecksMonteCarloUnderIidBernoulli) {
   // which kills rows/columns outright. The two effects pull in opposite
   // directions (fewer damaged rows vs. harsher per-row damage), and which
   // wins depends on cluster size and the FM shape — that regime shift is
-  // exactly what scenario_runner's "analytic iid" column makes visible.
+  // exactly what the scenarios suite's "analytic iid" column makes visible.
   // Points chosen in the model's intended regime (spare-row sizing; at the
   // optimum-size mid-cliff the sequential-greedy approximation runs
   // pessimistic against a true maximum matching — also documented in

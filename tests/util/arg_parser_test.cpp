@@ -1,0 +1,140 @@
+#include "util/arg_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+namespace mcx::cli {
+namespace {
+
+using Outcome = ArgParser::Outcome;
+
+struct ParserFixture {
+  ArgParser parser{"prog", "a test program"};
+  std::ostringstream out, err;
+
+  Outcome parse(std::vector<std::string> args) { return parser.parse(args, out, err); }
+};
+
+TEST(ArgParser, TypedFlagsBindValues) {
+  ParserFixture f;
+  std::size_t samples = 7;
+  std::uint64_t seed = 1;
+  double rate = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+  f.parser.add("--samples", &samples, "N", "sample count");
+  f.parser.add("--seed", &seed, "S", "rng seed");
+  f.parser.add("--rate", &rate, "R", "defect rate");
+  f.parser.add("--name", &name, "NAME", "a label");
+  f.parser.addSwitch("--verbose", &verbose, "chatty output");
+
+  EXPECT_EQ(f.parse({"--samples", "42", "--seed", "123456789012345", "--rate", "0.25",
+                     "--name", "bw", "--verbose"}),
+            Outcome::Ok);
+  EXPECT_EQ(samples, 42u);
+  EXPECT_EQ(seed, 123456789012345ull);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(name, "bw");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(ArgParser, OptionalFlagsDistinguishAbsent) {
+  ParserFixture f;
+  std::optional<std::size_t> samples;
+  f.parser.add("--samples", &samples, "N", "sample count");
+  EXPECT_EQ(f.parse({}), Outcome::Ok);
+  EXPECT_FALSE(samples.has_value());
+  EXPECT_EQ(f.parse({"--samples", "5"}), Outcome::Ok);
+  EXPECT_EQ(samples, 5u);
+}
+
+TEST(ArgParser, UnknownFlagIsAnError) {
+  ParserFixture f;
+  std::size_t samples = 0;
+  f.parser.add("--samples", &samples, "N", "sample count");
+  EXPECT_EQ(f.parse({"--sampels", "5"}), Outcome::Error);
+  EXPECT_NE(f.err.str().find("unknown flag --sampels"), std::string::npos);
+  EXPECT_NE(f.err.str().find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueIsAnError) {
+  ParserFixture f;
+  std::size_t samples = 0;
+  f.parser.add("--samples", &samples, "N", "sample count");
+  EXPECT_EQ(f.parse({"--samples"}), Outcome::Error);
+  EXPECT_NE(f.err.str().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, MalformedNumberIsAnError) {
+  ParserFixture f;
+  std::size_t samples = 0;
+  double rate = 0;
+  f.parser.add("--samples", &samples, "N", "sample count");
+  f.parser.add("--rate", &rate, "R", "rate");
+  EXPECT_EQ(f.parse({"--samples", "12abc"}), Outcome::Error);
+  EXPECT_NE(f.err.str().find("bad value \"12abc\""), std::string::npos);
+
+  ParserFixture g;
+  g.parser.add("--rate", &rate, "R", "rate");
+  EXPECT_EQ(g.parse({"--rate", "0.1.2"}), Outcome::Error);
+}
+
+TEST(ArgParser, HelpListsFlagsAndDocs) {
+  ParserFixture f;
+  std::size_t samples = 0;
+  f.parser.add("--samples", &samples, "N", "Monte Carlo sample count");
+  EXPECT_EQ(f.parse({"--help"}), Outcome::Handled);
+  const std::string help = f.out.str();
+  EXPECT_NE(help.find("usage: prog"), std::string::npos);
+  EXPECT_NE(help.find("a test program"), std::string::npos);
+  EXPECT_NE(help.find("--samples N"), std::string::npos);
+  EXPECT_NE(help.find("Monte Carlo sample count"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, ActionFlagShortCircuits) {
+  ParserFixture f;
+  std::size_t samples = 0;
+  f.parser.add("--samples", &samples, "N", "sample count");
+  f.parser.addAction("--list", "list things",
+                     [](std::ostream& out) { out << "thing-one\n"; });
+  EXPECT_EQ(f.parse({"--list", "--samples", "9"}), Outcome::Handled);
+  EXPECT_EQ(f.out.str(), "thing-one\n");
+  EXPECT_EQ(samples, 0u) << "flags after an action flag must not run";
+}
+
+TEST(ArgParser, CallbackErrorsAreReported) {
+  ParserFixture f;
+  f.parser.addCallback("--spec", "JSON", "a spec", [](const std::string&) {
+    throw InvalidArgument("bad spec");
+  });
+  EXPECT_EQ(f.parse({"--spec", "{}"}), Outcome::Error);
+  EXPECT_NE(f.err.str().find("bad spec"), std::string::npos);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  ParserFixture f;
+  std::string file;
+  bool flag = false;
+  f.parser.addPositional("file", &file, "input file");
+  f.parser.addSwitch("--flag", &flag, "a switch");
+  EXPECT_EQ(f.parse({"--flag", "input.pla"}), Outcome::Ok);
+  EXPECT_EQ(file, "input.pla");
+  EXPECT_TRUE(flag);
+
+  ParserFixture g;
+  std::string required;
+  g.parser.addPositional("file", &required, "input file");
+  EXPECT_EQ(g.parse({}), Outcome::Error);
+  EXPECT_NE(g.err.str().find("missing required argument <file>"), std::string::npos);
+
+  ParserFixture h;
+  std::string one;
+  h.parser.addPositional("file", &one, "input file");
+  EXPECT_EQ(h.parse({"a", "b"}), Outcome::Error) << "extra positionals must be rejected";
+}
+
+}  // namespace
+}  // namespace mcx::cli
