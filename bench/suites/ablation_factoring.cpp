@@ -8,13 +8,10 @@
 #include <vector>
 
 #include "api/driver.hpp"
-#include "benchdata/registry.hpp"
-#include "logic/espresso.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "logic/generators.hpp"
-#include "logic/isop.hpp"
-#include "netlist/nand_mapper.hpp"
 #include "util/text_table.hpp"
-#include "xbar/area_model.hpp"
 
 namespace {
 
@@ -25,22 +22,19 @@ int runFactoring(const std::vector<std::string>& args) {
                         "Ablation A6: factoring strategy vs multi-level crossbar area");
   if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
+  // Workloads as circuit-pipeline declarations; the factoring axis is the
+  // spec's own knob, so every cell is the same declaration with one field
+  // changed (and the memo cache shares the parse/synthesis work).
   struct Workload {
     std::string label;
-    Cover cover;
+    CircuitSpec spec;
   };
   std::vector<Workload> workloads;
-  workloads.push_back({"(x1+x2)(x3+x4) textbook", [] {
-    Cover c(4, 1);
-    c.add(makeCube("1-1-", "1"));
-    c.add(makeCube("1--1", "1"));
-    c.add(makeCube("-11-", "1"));
-    c.add(makeCube("-1-1", "1"));
-    return c;
-  }()});
-  workloads.push_back({"t481 stand-in", loadBenchmarkFast("t481").cover});
-  workloads.push_back({"rd53", espressoMinimize(isopCover(weightFunction(5)))});
-  workloads.push_back({"sqrt8", espressoMinimize(isopCover(sqrtFunction(8)))});
+  workloads.push_back({"(x1+x2)(x3+x4) textbook",
+                       makeCircuitSpec("sop:x1 x3 + x1 x4 + x2 x3 + x2 x4")});
+  workloads.push_back({"t481 stand-in", makeCircuitSpec("t481")});
+  workloads.push_back({"rd53", makeCircuitSpec("rd53-min")});
+  workloads.push_back({"sqrt8", makeCircuitSpec("sqrt8-min")});
   {
     Rng rng(31415);
     RandomSopOptions opts;
@@ -48,23 +42,26 @@ int runFactoring(const std::vector<std::string>& args) {
     opts.nout = 1;
     opts.products = 20;
     opts.literalsPerProduct = 3.0;
-    workloads.push_back({"random 10-in 20-prod", randomSop(opts, rng)});
+    CircuitSpec random;
+    random.source = CircuitSpec::Source::Cover;
+    random.cover = randomSop(opts, rng);
+    workloads.push_back({"random 10-in 20-prod", std::move(random)});
   }
 
   TextTable table({"workload", "two-level", "flat G/area", "quick G/area", "kernel G/area"});
   for (const Workload& w : workloads) {
-    auto cell = [&w](const NandMapOptions& opts) {
-      const NandNetwork net = mapToNand(w.cover, opts);
-      return std::to_string(net.gateCount()) + "/" +
-             std::to_string(multiLevelDims(net).area());
+    auto cell = [&w](CircuitSpec::Factoring factoring) {
+      CircuitSpec spec = w.spec;
+      spec.realize = CircuitSpec::Realize::MultiLevel;
+      spec.factoring = factoring;
+      const std::shared_ptr<const Circuit> circuit = compileCircuit(spec);
+      return std::to_string(circuit->layout->network.gateCount()) + "/" +
+             std::to_string(circuit->dims().area());
     };
-    NandMapOptions flat;
-    flat.factored = false;
-    NandMapOptions quick;
-    NandMapOptions kernel;
-    kernel.kernelFactoring = true;
-    table.addRow({w.label, std::to_string(twoLevelDims(w.cover).area()), cell(flat),
-                  cell(quick), cell(kernel)});
+    const std::shared_ptr<const Circuit> twoLevel = compileCircuit(w.spec);
+    table.addRow({w.label, std::to_string(twoLevel->dims().area()),
+                  cell(CircuitSpec::Factoring::Flat), cell(CircuitSpec::Factoring::Quick),
+                  cell(CircuitSpec::Factoring::Kernel)});
   }
   std::cout << "Factoring strategy vs multi-level area (G = NAND gates):\n" << table << "\n";
   std::cout << "expected shape: kernel factoring wins on structured functions (shared\n"

@@ -7,11 +7,8 @@
 #include <vector>
 
 #include "api/driver.hpp"
-#include "benchdata/registry.hpp"
-#include "logic/espresso.hpp"
-#include "logic/generators.hpp"
-#include "logic/isop.hpp"
-#include "netlist/nand_mapper.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "util/text_table.hpp"
 #include "xbar/area_model.hpp"
 
@@ -24,34 +21,37 @@ int runFanin(const std::vector<std::string>& args) {
                         "Ablation A4: multi-level area vs NAND fan-in bound");
   if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
+  // Workloads as circuit declarations; the fan-in ceiling is the spec's
+  // maxFanin knob, so the sweep is one declaration with one field varied.
   struct Workload {
     std::string label;
-    Cover cover;
+    const char* spec;
   };
-  std::vector<Workload> workloads;
-  workloads.push_back({"t481 stand-in (structured)", loadBenchmarkFast("t481").cover});
-  workloads.push_back({"rd53 (arithmetic)", espressoMinimize(isopCover(weightFunction(5)))});
-  workloads.push_back({"majority-7", espressoMinimize(isopCover(majorityFunction(7)))});
+  const std::vector<Workload> workloads{{"t481 stand-in (structured)", "t481"},
+                                        {"rd53 (arithmetic)", "rd53-min"},
+                                        {"majority-7", "majority7-min"}};
 
   for (const Workload& w : workloads) {
-    std::cout << w.label << "  (I=" << w.cover.nin() << " O=" << w.cover.nout()
-              << " P=" << w.cover.size() << ", two-level area "
-              << twoLevelDims(w.cover).area() << "):\n";
+    const std::shared_ptr<const Circuit> twoLevel = compileCircuit(w.spec);
+    const std::size_t twoLevelArea = twoLevel->dims().area();
+    std::cout << w.label << "  (I=" << twoLevel->cover.nin() << " O="
+              << twoLevel->cover.nout() << " P=" << twoLevel->cover.size()
+              << ", two-level area " << twoLevelArea << "):\n";
     TextTable table({"max fan-in", "gates", "levels", "conn cols", "ML area", "vs two-level"});
     for (const std::size_t k :
          {std::size_t{2}, std::size_t{3}, std::size_t{4}, std::size_t{6}, std::size_t{8},
           std::size_t{0}}) {
-      NandMapOptions opts;
-      opts.maxFanin = k;
-      const NandNetwork net = mapToNand(w.cover, opts);
-      const MultiLevelStats stats = multiLevelStats(net);
-      const std::size_t area = multiLevelDims(stats).area();
+      CircuitSpec spec = makeCircuitSpec(w.spec);
+      spec.realize = CircuitSpec::Realize::MultiLevel;
+      spec.maxFanin = k;
+      const std::shared_ptr<const Circuit> circuit = compileCircuit(spec);
+      const MultiLevelStats stats = multiLevelStats(circuit->layout->network);
+      const std::size_t area = circuit->dims().area();
       table.addRow({k == 0 ? "unbounded (paper: n)" : std::to_string(k),
-                    std::to_string(stats.gates), std::to_string(net.levelCount()),
+                    std::to_string(stats.gates),
+                    std::to_string(circuit->layout->network.levelCount()),
                     std::to_string(stats.connections), std::to_string(area),
-                    TextTable::num(100.0 * double(area) / double(twoLevelDims(w.cover).area()),
-                                   0) +
-                        "%"});
+                    TextTable::num(100.0 * double(area) / double(twoLevelArea), 0) + "%"});
     }
     std::cout << table << "\n";
   }

@@ -9,10 +9,9 @@
 #include <vector>
 
 #include "api/driver.hpp"
-#include "benchdata/registry.hpp"
+#include "circuit/cache.hpp"
 #include "map/redundant_mapper.hpp"
 #include "util/text_table.hpp"
-#include "xbar/function_matrix.hpp"
 
 namespace {
 
@@ -26,9 +25,9 @@ int runRedundancy(const std::vector<std::string>& args) {
   if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
   const std::size_t samples = common.samplesOr(100);
-  const BenchmarkCircuit bench = loadBenchmarkFast("squar5");
-  const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
-  std::cout << "Ablation: yield vs redundant lines on " << bench.info.name << " ("
+  const std::shared_ptr<const Circuit> circuit = compileCircuit("squar5");
+  const FunctionMatrix& fm = circuit->fm;
+  std::cout << "Ablation: yield vs redundant lines on " << circuit->label << " ("
             << fm.rows() << "x" << fm.cols() << " optimum, " << samples
             << " samples per cell)\n\n";
 

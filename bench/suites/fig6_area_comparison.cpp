@@ -17,8 +17,12 @@
 #include <vector>
 
 #include "api/driver.hpp"
+#include "api/experiment.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "mc/area_experiment.hpp"
 #include "scenario/registry.hpp"
+#include "util/error.hpp"
 #include "util/text_table.hpp"
 
 namespace {
@@ -28,6 +32,7 @@ int runFig6(const std::vector<std::string>& args) {
 
   bench::CommonOptions common;
   std::string scenarioArg;
+  std::vector<std::string> referenceSpecs;
   double rate = 0.10;
   cli::ArgParser parser("mcx_bench fig6",
                         "Figure 6: two-level vs multi-level area on random functions");
@@ -35,6 +40,18 @@ int runFig6(const std::vector<std::string>& args) {
   parser.add("--scenario", &scenarioArg, "NAME|SPEC",
              "defect scenario for the yield columns (env MCX_AREA_SCENARIO)");
   parser.add("--rate", &rate, "R", "scenario defect budget (default 0.10)");
+  parser.addCallback("--circuit-spec", "NAME|SPEC",
+                     "add a declared circuit as a reference row next to the random-"
+                     "function trend (repeatable)",
+                     [&referenceSpecs](const std::string& value) {
+                       // The reference row compares both realizations itself;
+                       // an explicit realize knob would be silently ignored.
+                       if (makeCircuitSpec(value).realizeExplicit)
+                         throw InvalidArgument(
+                             "--circuit-spec: the reference row compares both "
+                             "realizations; drop the \"realize\" member");
+                       referenceSpecs.push_back(value);
+                     });
   parser.addAction("--list", "list the scenario presets", bench::listScenarios);
   if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
@@ -106,6 +123,43 @@ int runFig6(const std::vector<std::string>& args) {
                 << "\n";
     }
     std::cout << "\n";
+  }
+
+  // Declared reference circuits: where a real (non-random) function sits
+  // relative to the random-function trend — both realizations compiled
+  // through the memoized pipeline, both mapped under the same scenario.
+  if (!referenceSpecs.empty()) {
+    TextTable reference({"circuit", "I", "P", "two-level", "multi-level", "2L yield",
+                         "ML yield", "ML wins"});
+    for (const std::string& specText : referenceSpecs) {
+      CircuitSpec spec = makeCircuitSpec(specText);
+      spec.realize = CircuitSpec::Realize::TwoLevel;
+      const std::shared_ptr<const Circuit> two = compileCircuit(spec);
+      spec.realize = CircuitSpec::Realize::MultiLevel;
+      // Default to the best factoring (what Fig. 6 measures) but respect an
+      // explicitly declared strategy.
+      if (!spec.factoringExplicit) spec.factoring = CircuitSpec::Factoring::Best;
+      const std::shared_ptr<const Circuit> multi = compileCircuit(spec);
+      auto yield = [&](const CircuitSpec& s) {
+        return ExperimentBuilder()
+            .circuit(s)
+            .mapper("hba")
+            .scenario(scenario)
+            .samples(samples)
+            .seed(640)
+            .run()
+            .successRate();
+      };
+      reference.addRow({two->label, std::to_string(two->cover.nin()),
+                        std::to_string(two->cover.size()),
+                        std::to_string(two->dims().area()),
+                        std::to_string(multi->dims().area()),
+                        TextTable::percent(yield(two->spec)),
+                        TextTable::percent(yield(multi->spec)),
+                        multi->dims().area() < two->dims().area() ? "yes" : "no"});
+    }
+    std::cout << "declared reference circuits under " << scenario->describe() << ":\n"
+              << reference << "\n";
   }
 
   // Trend checks the paper claims.

@@ -3,7 +3,8 @@
 // complement, ISOP, espresso, factoring, end-to-end HBA/EA mapping, and the
 // three layers of the Monte Carlo hot path (legacy vs sparse sampling, full
 // vs incremental adjacency, cold vs warm-started Hopcroft-Karp) on the bw
-// multi-level workload at the paper's 10% stuck-open rate.
+// multi-level workload at the paper's 10% stuck-open rate, plus the
+// memoized synthesis front-end (full pipeline compile vs cache hit).
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -13,6 +14,8 @@
 #include "assign/hopcroft_karp.hpp"
 #include "assign/munkres.hpp"
 #include "benchdata/registry.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "logic/espresso.hpp"
 #include "logic/generators.hpp"
 #include "logic/isop.hpp"
@@ -218,6 +221,22 @@ void BM_MapEa(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(mapper.map(fm, cm));
 }
 BENCHMARK(BM_MapEa);
+
+// --- Memoized synthesis front-end: full pipeline vs cache lookup -----------
+
+void BM_CircuitCompileCacheMiss(benchmark::State& state) {
+  const CircuitSpec spec = makeCircuitSpec("rd53-min");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compileCircuit(spec, /*useCache=*/false));
+}
+BENCHMARK(BM_CircuitCompileCacheMiss);
+
+void BM_CircuitCompileCacheHit(benchmark::State& state) {
+  const CircuitSpec spec = makeCircuitSpec("rd53-min");
+  compileCircuit(spec);  // warm the global cache
+  for (auto _ : state) benchmark::DoNotOptimize(compileCircuit(spec));
+}
+BENCHMARK(BM_CircuitCompileCacheHit);
 
 // Google Benchmark owns this suite's flag grammar (--benchmark_filter,
 // --benchmark_min_time, ...): args are forwarded verbatim instead of going

@@ -16,47 +16,68 @@
 #include <vector>
 
 #include "api/driver.hpp"
-#include "benchdata/registry.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "defect_sweep.hpp"
-#include "logic/espresso.hpp"
-#include "logic/isop.hpp"
-#include "logic/generators.hpp"
 #include "logic/truth_table.hpp"
 #include "map/exact_mapper.hpp"
 #include "map/hybrid_mapper.hpp"
-#include "netlist/nand_mapper.hpp"
 #include "sim/crossbar_sim.hpp"
+#include "util/error.hpp"
 #include "util/text_table.hpp"
-#include "xbar/multilevel_layout.hpp"
 
 namespace {
 
 int runMultilevelDefect(const std::vector<std::string>& args) {
   using namespace mcx;
 
+  // Default workloads as circuit-pipeline declarations: the generated
+  // circuits espresso-polished (what this suite always synthesized by
+  // hand), the stand-ins through the registry's fast load. The committed
+  // BENCH_defect_mc.json success counts pin this path bit-identically.
+  struct Workload {
+    std::string label;  ///< committed JSON circuit name
+    std::string spec;
+  };
+  std::vector<Workload> workloads{
+      {"rd53", "rd53-min"},
+      {"sqrt8", "sqrt8-min"},
+      {"t481 stand-in", "t481"},
+      // Large multi-level instance (289x299 FM): the one that actually
+      // exercises the engine's solver and threading path.
+      {"bw", "bw"},
+  };
+
   bench::CommonOptions common;
+  bool userWorkloads = false;
   cli::ArgParser parser("mcx_bench multilevel",
                         "defect-tolerant mapping of multi-level designs (threads sweep)");
   common.addSamplesTo(parser);
   common.addJsonTo(parser);
+  parser.addCallback("--circuit-spec", "NAME|SPEC",
+                     "replace the default workloads with this circuit declaration "
+                     "(preset name, file:/pla:/sop:/gen: source or JSON spec; "
+                     "realized multi-level; repeatable)",
+                     [&workloads, &userWorkloads](const std::string& value) {
+                       const CircuitSpec spec = makeCircuitSpec(value);
+                       // This suite always realizes multi-level; silently
+                       // overriding an explicit contrary knob would run a
+                       // different pipeline than the accepted declaration.
+                       if (spec.realizeExplicit && !spec.multiLevel())
+                         throw InvalidArgument(
+                             "--circuit-spec: this suite realizes circuits "
+                             "multi-level; drop the \"realize\" member");
+                       if (!userWorkloads) workloads.clear();
+                       userWorkloads = true;
+                       workloads.push_back({spec.displayLabel(), value});
+                     });
+  parser.addAction("--list-circuits", "list the circuit presets", bench::listCircuits);
   if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
 
   const std::size_t samples = common.samplesOr(100);
   const std::string jsonPath = common.jsonOr("BENCH_defect_mc.json");
   std::cout << "Defect-tolerant mapping of multi-level designs (paper future work), "
             << samples << " samples per cell, 10% stuck-at-open\n\n";
-
-  struct Workload {
-    std::string label;
-    Cover cover;
-  };
-  std::vector<Workload> workloads;
-  workloads.push_back({"rd53", espressoMinimize(isopCover(weightFunction(5)))});
-  workloads.push_back({"sqrt8", espressoMinimize(isopCover(sqrtFunction(8)))});
-  workloads.push_back({"t481 stand-in", loadBenchmarkFast("t481").cover});
-  // Large multi-level instance (289x299 FM): the one that actually exercises
-  // the engine's solver and threading path.
-  workloads.push_back({"bw", loadBenchmarkFast("bw").cover});
 
   const std::vector<std::size_t> sweep = benchutil::threadsSweep();
   std::ofstream jsonFile(jsonPath);
@@ -73,8 +94,11 @@ int runMultilevelDefect(const std::vector<std::string>& args) {
   bool allDeterministic = true;
 
   for (const Workload& w : workloads) {
-    const MultiLevelLayout layout = buildMultiLevelLayout(mapToNand(w.cover));
-    const FunctionMatrix& fm = layout.fm;
+    CircuitSpec spec = makeCircuitSpec(w.spec);
+    spec.realize = CircuitSpec::Realize::MultiLevel;
+    const std::shared_ptr<const Circuit> circuit = compileCircuit(spec);
+    const MultiLevelLayout& layout = *circuit->layout;
+    const FunctionMatrix& fm = circuit->fm;
 
     // Legacy rate-pair configuration: draw-for-draw identical to the
     // pre-scenario engine, so these success counts are the bit-identity
@@ -115,7 +139,7 @@ int runMultilevelDefect(const std::vector<std::string>& args) {
     // simulate the mapped crossbar on random inputs. Runs for the legacy
     // AND the sparse stream.
     std::size_t validated = 0, validationChecks = 0;
-    const TruthTable ref = TruthTable::fromCover(w.cover);
+    const TruthTable ref = TruthTable::fromCover(circuit->cover);
     for (const auto* run : {&hbaOut, &hbaSparse}) {
       const DefectExperimentResult& reference = run->reference;
       const DefectExperimentConfig& runCfg = run == &hbaOut ? cfg : sparseCfg;
@@ -129,15 +153,15 @@ int runMultilevelDefect(const std::vector<std::string>& args) {
             bool good = true;
             Rng inputRng(900 + s);
             for (int check = 0; check < 16 && good; ++check) {
-              DynBits in(w.cover.nin());
+              DynBits in(circuit->cover.nin());
               std::size_t minterm = 0;
-              for (std::size_t v = 0; v < w.cover.nin(); ++v) {
+              for (std::size_t v = 0; v < circuit->cover.nin(); ++v) {
                 const bool bit = inputRng.bernoulli(0.5);
                 in.set(v, bit);
                 minterm |= static_cast<std::size_t>(bit) << v;
               }
               const DynBits out = simulateMultiLevel(layout, mapping.rowAssignment, defects, in);
-              for (std::size_t o = 0; o < w.cover.nout(); ++o)
+              for (std::size_t o = 0; o < circuit->cover.nout(); ++o)
                 if (out.test(o) != ref.get(o, minterm)) good = false;
             }
             if (good) ++validated;

@@ -33,7 +33,8 @@
 #include <vector>
 
 #include "api/driver.hpp"
-#include "benchdata/registry.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "defect_sweep.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "mc/yield_model.hpp"
@@ -77,12 +78,33 @@ ScenarioEntry entryFromName(const std::string& name) {
   return entry;
 }
 
+/// Comma-split that respects JSON nesting and string quoting: commas
+/// inside {...} / [...] or "..." do not separate items, so inline
+/// multi-member specs work in --scenarios and --circuits.
 std::vector<std::string> splitList(const std::string& csv) {
   std::vector<std::string> out;
-  std::istringstream in(csv);
   std::string item;
-  while (std::getline(in, item, ','))
-    if (!item.empty()) out.push_back(item);
+  int depth = 0;
+  bool inString = false, escaped = false;
+  for (const char c : csv) {
+    if (inString) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') inString = false;
+    } else if (c == '"') {
+      inString = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if ((c == '}' || c == ']') && depth > 0) {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      if (!item.empty()) out.push_back(std::move(item));
+      item.clear();
+      continue;
+    }
+    item += c;
+  }
+  if (!item.empty()) out.push_back(std::move(item));
   return out;
 }
 
@@ -155,8 +177,11 @@ int runSweep(const Sweep& sweep, const std::string& jsonPath) {
   bool allDeterministic = true;
 
   for (const std::string& name : sweep.circuits) {
-    const BenchmarkCircuit bench = loadBenchmarkFast(name);
-    const FunctionMatrix fm = buildFunctionMatrix(bench.cover);
+    // Circuit declarations through the memoized pipeline: registry names
+    // keep the fast two-level load (the committed BENCH_scenarios counts
+    // pin it), and any file:/pla:/sop:/gen:/JSON spec sweeps too.
+    const std::shared_ptr<const Circuit> circuit = compileCircuit(name);
+    const FunctionMatrix& fm = circuit->fm;
     for (const ScenarioEntry& scenario : sweep.scenarios) {
       // A fixed (JSON-spec) entry carries its own parameters: running it
       // once per grid rate would duplicate identical experiments under
@@ -259,7 +284,8 @@ int runScenarios(const std::vector<std::string>& args) {
                          sweep.rates.push_back(rate);
                        }
                      });
-  parser.addCallback("--circuits", "c1,c2,...", "benchmark circuits to sweep",
+  parser.addCallback("--circuits", "c1,c2,...",
+                     "circuit declarations to sweep (presets or file:/pla:/sop:/gen: specs)",
                      [&sweep](const std::string& value) { sweep.circuits = splitList(value); });
   parser.addCallback("--spec", "JSON", "add one inline scenario spec to the sweep",
                      [&sweep](const std::string& value) {

@@ -1,33 +1,31 @@
-// pla_tool: a small command-line front end over the library.
+// pla_tool: a thin command-line front end over the circuit pipeline.
 //
-// Reads an espresso-format PLA, reports the crossbar statistics the paper
-// uses (P, area cost, inclusion ratio), and optionally minimizes the cover,
-// compares against the dual, maps it onto a randomly defective optimum-size
-// crossbar with HBA and EA, or re-emits the (minimized) PLA. See --help.
+// Reads an espresso-format PLA and reports the crossbar statistics the
+// paper uses (P, area cost, inclusion ratio). Synthesis and realization are
+// circuit-pipeline declarations (circuit/spec.hpp) — this tool no longer
+// hand-rolls espresso/NAND-mapping/defect plumbing: --minimize flips the
+// spec's synth knob, --multilevel its realize knob, and --map runs a Monte
+// Carlo defect-mapping experiment through ExperimentBuilder. See --help.
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "api/experiment.hpp"
+#include "circuit/cache.hpp"
 #include "logic/espresso.hpp"
 #include "logic/pla.hpp"
-#include "map/exact_mapper.hpp"
-#include "map/hybrid_mapper.hpp"
-#include "netlist/nand_mapper.hpp"
 #include "util/arg_parser.hpp"
 #include "util/error.hpp"
-#include "util/stopwatch.hpp"
-#include "xbar/defects.hpp"
-#include "xbar/function_matrix.hpp"
-#include "xbar/layout.hpp"
+#include "xbar/area_model.hpp"
 
 namespace {
 
-void report(const char* label, const mcx::Cover& cover) {
-  const mcx::FunctionMatrix fm = mcx::buildFunctionMatrix(cover);
-  std::cout << label << ": I=" << cover.nin() << " O=" << cover.nout()
-            << " P=" << cover.size() << "  area=" << fm.dims().area() << " (" << fm.dims().rows
-            << "x" << fm.dims().cols << ")  IR="
-            << static_cast<int>(100.0 * fm.inclusionRatio() + 0.5) << "%\n";
+void report(const char* stage, const mcx::Circuit& circuit) {
+  const mcx::Cover& cover = circuit.cover;
+  std::cout << stage << ": I=" << cover.nin() << " O=" << cover.nout()
+            << " P=" << cover.size() << "  area=" << circuit.dims().area() << " ("
+            << circuit.fm.rows() << "x" << circuit.fm.cols() << ")  IR="
+            << static_cast<int>(100.0 * circuit.fm.inclusionRatio() + 0.5) << "%\n";
 }
 
 }  // namespace
@@ -38,6 +36,7 @@ int main(int argc, char** argv) {
   std::string plaPath;
   bool minimize = false, dual = false, multilevel = false, writeBack = false;
   std::optional<double> mapRate;
+  std::size_t samples = 100;
   std::uint64_t seed = 1;
 
   cli::ArgParser parser("pla_tool", "crossbar statistics and mapping for PLA files");
@@ -46,7 +45,9 @@ int main(int argc, char** argv) {
   parser.addSwitch("--dual", &dual, "compare against the minimized complement");
   parser.addSwitch("--multilevel", &multilevel, "report the multi-level NAND design");
   parser.addSwitch("--write-pla", &writeBack, "re-emit the (minimized) PLA");
-  parser.add("--map", &mapRate, "RATE", "map onto a crossbar with this stuck-open rate");
+  parser.add("--map", &mapRate, "RATE",
+             "Monte Carlo defect-mapping success (HBA and EA) at this stuck-open rate");
+  parser.add("--samples", &samples, "N", "samples for --map (default 100)");
   parser.add("--seed", &seed, "N", "defect-sampling seed (default 1)");
   switch (parser.parse(argc, argv, std::cout, std::cerr)) {
     case cli::ArgParser::Outcome::Handled: return 0;
@@ -55,46 +56,56 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const PlaFile pla = readPlaFile(plaPath);
-    Cover cover = pla.on;
-    report("input", cover);
+    // The whole front end is one declaration; everything below reads the
+    // compiled artifacts (and repeated compiles hit the memo cache).
+    CircuitSpec spec = circuitSourceSpec("file:" + plaPath);
+    const std::shared_ptr<const Circuit> input = compileCircuit(spec);
+    report("input", *input);
 
+    spec.synth = minimize ? CircuitSpec::Synth::Espresso : CircuitSpec::Synth::None;
+    std::shared_ptr<const Circuit> circuit = input;
     if (minimize) {
-      Stopwatch watch;
-      cover = espressoMinimize(pla.on, pla.dc);
-      std::cout << "minimized in " << watch.millis() << " ms\n";
-      report("minimized", cover);
+      circuit = compileCircuit(spec);
+      std::cout << "minimized in " << circuit->stats.synthMillis << " ms\n";
+      report("minimized", *circuit);
     }
 
     if (dual) {
-      const Cover comp = espressoMinimize(complementCover(pla.on, pla.dc));
-      report("dual (complement)", comp);
-      if (twoLevelDims(comp).area() < twoLevelDims(cover).area())
+      const Cover comp = espressoMinimize(complementCover(input->cover, input->dc));
+      const std::size_t compArea = twoLevelDims(comp).area();
+      std::cout << "dual (complement): I=" << comp.nin() << " O=" << comp.nout()
+                << " P=" << comp.size() << "  area=" << compArea << "\n";
+      if (compArea < circuit->dims().area())
         std::cout << "  -> the dual is smaller; the crossbar's free output inversion makes it\n"
                      "     the better implementation (paper Section I, bold rows of Table II)\n";
     }
 
     if (multilevel) {
-      const NandNetwork net = mapToNand(cover);
-      const auto dims = multiLevelDims(net);
-      std::cout << "multi-level: G=" << net.gateCount() << " C=" << net.interconnectCount()
-                << "  area=" << dims.area() << " (" << dims.rows << "x" << dims.cols << ")\n";
+      CircuitSpec mlSpec = spec;
+      mlSpec.realize = CircuitSpec::Realize::MultiLevel;
+      const std::shared_ptr<const Circuit> ml = compileCircuit(mlSpec);
+      std::cout << "multi-level: G=" << ml->layout->network.gateCount()
+                << " C=" << ml->layout->network.interconnectCount() << "  area="
+                << ml->dims().area() << " (" << ml->fm.rows() << "x" << ml->fm.cols()
+                << ")\n";
     }
 
     if (mapRate) {
-      const FunctionMatrix fm = buildFunctionMatrix(cover);
-      Rng rng(seed);
-      const DefectMap defects = DefectMap::sample(fm.rows(), fm.cols(), *mapRate, 0.0, rng);
-      const BitMatrix cm = crossbarMatrix(defects);
-      for (const auto& [name, result] :
-           {std::pair<const char*, MappingResult>{"HBA", HybridMapper().map(fm, cm)},
-            std::pair<const char*, MappingResult>{"EA", ExactMapper().map(fm, cm)}}) {
-        std::cout << name << " at " << *mapRate * 100 << "% stuck-open: "
-                  << (result.success ? "valid mapping found" : "no mapping") << "\n";
+      for (const char* mapper : {"hba", "ea"}) {
+        const ExperimentResult r = ExperimentBuilder()
+                                       .circuit(spec)
+                                       .mapper(mapper)
+                                       .legacyRates(*mapRate)
+                                       .samples(samples)
+                                       .seed(seed)
+                                       .run();
+        std::cout << r.mapper << " at " << *mapRate * 100 << "% stuck-open: "
+                  << r.outcome.successes << "/" << r.outcome.samples
+                  << " samples mapped\n";
       }
     }
 
-    if (writeBack) std::cout << writePla(cover);
+    if (writeBack) std::cout << writePla(circuit->cover);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

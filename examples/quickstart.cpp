@@ -8,6 +8,8 @@
 #include <iostream>
 
 #include "api/experiment.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "logic/sop_parser.hpp"
 #include "logic/truth_table.hpp"
 #include "netlist/nand_mapper.hpp"
@@ -48,6 +50,23 @@ int main() {
   const ExperimentResult clustered =
       ExperimentBuilder(base).multiLevel().mapper("hba").scenario("clustered", 0.08).run();
   std::cout << clustered.toJson() << "\n";
+
+  // --- The declarative circuit pipeline -----------------------------------
+  // Circuits are full pipeline declarations too: source (registry name,
+  // .pla file, inline text, generator), synthesis and realization, compiled
+  // through a memoized front-end — the same spec never re-synthesizes. See
+  // `mcx_bench --list-circuits` for the presets.
+  const CircuitSpec rd53 =
+      makeCircuitSpec(R"({"circuit":"gen:weight5","synth":"espresso","realize":"multilevel"})");
+  const auto compiled = compileCircuit(rd53);
+  std::cout << "\ncompiled " << rd53.canonical() << ":\n  P=" << compiled->stats.products
+            << " (from " << compiled->stats.sourceProducts << " ISOP products), area "
+            << compiled->dims().area() << ", synthesized in "
+            << compiled->stats.synthMillis << " ms\n";
+  compileCircuit(rd53);  // same declaration -> cache hit, no re-synthesis
+  const CircuitCache::Stats cacheStats = CircuitCache::global().stats();
+  std::cout << "  circuit cache: " << cacheStats.hits << " hits, " << cacheStats.misses
+            << " misses\n";
 
   // --- Functional verification through the Snider-logic simulator ---------
   // Both clean layouts must compute f on all 256 inputs.

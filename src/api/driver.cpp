@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "circuit/registry.hpp"
 #include "map/registry.hpp"
 #include "scenario/registry.hpp"
 #include "util/env.hpp"
@@ -85,9 +86,15 @@ void listScenarios(std::ostream& out) {
     out << preset.name << "  —  " << preset.summary << "\n";
 }
 
+void listCircuits(std::ostream& out) {
+  for (const CircuitPreset& preset : circuitPresets())
+    out << preset.name << "  —  " << preset.summary << "\n";
+}
+
 void Driver::printUsage(std::ostream& out) const {
   out << "usage: mcx_bench <suite> [suite flags]\n"
-         "       mcx_bench --list-suites | --list-mappers | --list-scenarios\n"
+         "       mcx_bench --list-suites | --list-mappers | --list-scenarios |\n"
+         "                 --list-circuits\n"
          "\n"
          "One multiplexed driver for every bench of the repo. Pick a suite and\n"
          "pass `--help` after its name for the suite's own flags.\n"
@@ -117,6 +124,10 @@ int Driver::run(const std::vector<std::string>& args, std::ostream& out,
   }
   if (first == "--list-scenarios") {
     listScenarios(out);
+    return 0;
+  }
+  if (first == "--list-circuits") {
+    listCircuits(out);
     return 0;
   }
   if (first.starts_with("-")) {

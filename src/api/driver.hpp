@@ -4,7 +4,8 @@
 // copy-pasted argv loop; now each is a Suite registered with the global
 // driver (MCX_BENCH_SUITE in its source file) and dispatched as
 // `mcx_bench <suite> [flags]`. The driver itself handles discovery
-// (--list-suites, --list-mappers, --list-scenarios, --help); everything
+// (--list-suites, --list-mappers, --list-scenarios, --list-circuits,
+// --help); everything
 // after the suite name goes to the suite, which parses it with the shared
 // cli::ArgParser (CommonOptions covers the knobs every suite shares).
 #pragma once
@@ -82,11 +83,12 @@ struct SuiteRegistrar {
                  std::function<int(const std::vector<std::string>&)> run);
 };
 
-/// Print "name  —  summary" lines for every registered mapper / scenario
-/// preset (the --list-mappers / --list-scenarios payloads; also used by the
-/// suites' own --list flags).
+/// Print "name  —  summary" lines for every registered mapper / scenario /
+/// circuit preset (the --list-mappers / --list-scenarios / --list-circuits
+/// payloads; also used by the suites' own --list flags).
 void listMappers(std::ostream& out);
 void listScenarios(std::ostream& out);
+void listCircuits(std::ostream& out);
 
 /// Shared suite prologue: parse @p args (help/listing flags to std::cout,
 /// usage errors to std::cerr). Returns the exit code to propagate — 0 after

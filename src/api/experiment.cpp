@@ -3,18 +3,18 @@
 #include <sstream>
 #include <utility>
 
-#include "benchdata/registry.hpp"
+#include "circuit/cache.hpp"
+#include "circuit/registry.hpp"
 #include "map/registry.hpp"
-#include "netlist/nand_mapper.hpp"
 #include "scenario/registry.hpp"
 #include "util/error.hpp"
-#include "xbar/multilevel_layout.hpp"
 
 namespace mcx {
 
 void ExperimentResult::writeJson(JsonWriter& json) const {
   json.beginObject();
   json.field("circuit", circuit);
+  json.field("circuit_spec", circuitSpec);
   json.field("mapper", mapper);
   json.field("scenario", scenario);
   json.field("rows", rows);
@@ -39,29 +39,39 @@ std::string ExperimentResult::toJson() const {
   return out.str();
 }
 
-ExperimentBuilder& ExperimentBuilder::circuit(const std::string& registryName) {
-  circuitLabel_ = registryName;
-  cover_ = loadBenchmarkFast(registryName).cover;
+ExperimentBuilder& ExperimentBuilder::circuit(const std::string& nameOrSpec) {
+  return circuit(makeCircuitSpec(nameOrSpec));
+}
+
+ExperimentBuilder& ExperimentBuilder::circuit(const CircuitSpec& spec) {
+  spec_ = spec;
+  circuitLabel_ = spec.displayLabel();
   fm_.reset();
   return *this;
 }
 
 ExperimentBuilder& ExperimentBuilder::circuit(const std::string& label, const Cover& cover) {
-  circuitLabel_ = label;
-  cover_ = cover;
-  fm_.reset();
-  return *this;
+  CircuitSpec spec;
+  spec.source = CircuitSpec::Source::Cover;
+  spec.cover = cover;
+  spec.label = label;
+  return circuit(spec);
 }
 
 ExperimentBuilder& ExperimentBuilder::circuit(const std::string& label, FunctionMatrix fm) {
   circuitLabel_ = label;
-  cover_.reset();
+  spec_.reset();
   fm_ = std::move(fm);
   return *this;
 }
 
 ExperimentBuilder& ExperimentBuilder::multiLevel(bool on) {
   multiLevel_ = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::cache(bool on) {
+  cache_ = on;
   return *this;
 }
 
@@ -131,18 +141,32 @@ ExperimentBuilder& ExperimentBuilder::keepMappings(bool on) {
 }
 
 ExperimentResult ExperimentBuilder::run() const {
-  MCX_REQUIRE(cover_.has_value() || fm_.has_value(),
+  MCX_REQUIRE(spec_.has_value() || fm_.has_value(),
               "ExperimentBuilder: no circuit declared");
   MCX_REQUIRE(mapper_ != nullptr, "ExperimentBuilder: no mapper declared");
 
-  FunctionMatrix fm = [&] {
-    if (fm_.has_value()) return *fm_;
-    if (multiLevel_) return buildMultiLevelLayout(mapToNand(*cover_)).fm;
-    return buildFunctionMatrix(*cover_);
-  }();
-
   ExperimentResult result;
   result.circuit = circuitLabel_;
+
+  FunctionMatrix fm;
+  if (fm_.has_value()) {
+    fm = *fm_;
+  } else {
+    CircuitSpec spec = *spec_;
+    if (multiLevel_.has_value())
+      spec.realize = *multiLevel_ ? CircuitSpec::Realize::MultiLevel
+                                  : CircuitSpec::Realize::TwoLevel;
+    // Inline covers bypass the process-global cache: a long-running sweep
+    // over distinct covers would otherwise accumulate one immortal entry
+    // (cover + FM + layout) per cover, and pay a serialization per run()
+    // just to key it. Named declarations (registry/file/gen/...) are a
+    // bounded set and stay memoized.
+    const bool memoize = cache_ && spec.source != CircuitSpec::Source::Cover;
+    const std::shared_ptr<const Circuit> compiled = compileCircuit(spec, memoize);
+    fm = compiled->fm;
+    result.circuitSpec = spec.canonical();
+  }
+
   result.mapper = mapper_->name();
   result.scenario = config_.model ? scenarioLabel_ : std::string("iid (legacy rates)");
   result.rows = fm.rows();

@@ -4,7 +4,7 @@
 // Call sites used to assemble a DefectExperimentConfig field by field, load
 // circuits by hand and hard-wire mapper objects; the builder chains the
 // whole declaration — circuit, mapper, scenario, knobs — resolves names
-// through the mapper and scenario registries, and returns a typed
+// through the circuit, mapper and scenario registries, and returns a typed
 // ExperimentResult with uniform JSON serialization:
 //
 //   const ExperimentResult r = ExperimentBuilder()
@@ -14,6 +14,13 @@
 //                                  .samples(200)
 //                                  .seed(42)
 //                                  .run();
+//
+// Circuits are full pipeline declarations (circuit/spec.hpp): registry
+// names, .pla files, inline PLA/SOP text, generators — with synthesis and
+// realization knobs — compiled through the memoized synthesis front-end
+// (circuit/cache.hpp), so re-running a declaration skips re-synthesis:
+//
+//   ExperimentBuilder().circuit("file:examples/data/adder.pla").mapper("hba")...
 //
 // The builder is a declaration, not an engine: run() delegates to
 // runDefectExperiment, so results are bit-identical to hand-built configs —
@@ -26,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "circuit/spec.hpp"
 #include "logic/cover.hpp"
 #include "map/matching.hpp"
 #include "mc/defect_experiment.hpp"
@@ -39,6 +47,7 @@ namespace mcx {
 /// it (labels, dimensions, resolved config) plus the Monte Carlo outcome.
 struct ExperimentResult {
   std::string circuit;
+  std::string circuitSpec;    ///< canonical pipeline declaration ("" for raw FMs)
   std::string mapper;
   std::string scenario;       ///< model description, or "iid (legacy rates)"
   std::size_t rows = 0;
@@ -59,17 +68,27 @@ struct ExperimentResult {
 class ExperimentBuilder {
 public:
   // --- circuit ------------------------------------------------------------
-  /// Benchmark-registry circuit (loadBenchmarkFast), two-level function
-  /// matrix.
-  ExperimentBuilder& circuit(const std::string& registryName);
-  /// Explicit cover under a custom label (two-level function matrix, or the
-  /// multi-level layout when multiLevel() is set).
+  /// Circuit registry preset ("rd53"), prefixed source ("file:adder.pla",
+  /// "gen:weight5", ...) or JSON pipeline spec — see circuit/registry.hpp.
+  /// Registry names keep their historical meaning (the fast benchmark load).
+  ExperimentBuilder& circuit(const std::string& nameOrSpec);
+  /// Explicit pipeline declaration.
+  ExperimentBuilder& circuit(const CircuitSpec& spec);
+  /// Explicit cover under a custom label (compiled as a Cover-source spec:
+  /// two-level, or multi-level when multiLevel() is set).
   ExperimentBuilder& circuit(const std::string& label, const Cover& cover);
-  /// Pre-built function matrix under a custom label.
+  /// Pre-built function matrix under a custom label (bypasses the pipeline).
   ExperimentBuilder& circuit(const std::string& label, FunctionMatrix fm);
-  /// Lay the cover out as a multi-level (NAND network) crossbar instead of
-  /// the two-level one. Ignored for pre-built function matrices.
+  /// Realize the declared circuit as a multi-level (factored NAND) crossbar
+  /// instead of the two-level one; overrides the spec's realize knob.
+  /// Ignored for pre-built function matrices.
   ExperimentBuilder& multiLevel(bool on = true);
+  /// Compile through the memoized synthesis front-end (default) or run the
+  /// raw pipeline every time (benchmarking bypass). Inline covers
+  /// (circuit(label, cover)) are never memoized — the global cache has no
+  /// eviction, and an open-ended stream of distinct covers must not
+  /// accumulate immortal entries.
+  ExperimentBuilder& cache(bool on);
 
   // --- mapper -------------------------------------------------------------
   /// Registry name ("hba", "ea", "fast-ea", ...) or JSON option spec.
@@ -101,9 +120,10 @@ public:
 
 private:
   std::string circuitLabel_;
-  std::optional<Cover> cover_;
+  std::optional<CircuitSpec> spec_;
   std::optional<FunctionMatrix> fm_;
-  bool multiLevel_ = false;
+  std::optional<bool> multiLevel_;
+  bool cache_ = true;
   std::shared_ptr<const IMapper> mapper_;
   std::string scenarioLabel_;
   DefectExperimentConfig config_;

@@ -1,0 +1,158 @@
+#include "circuit/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "circuit/registry.hpp"
+#include "logic/pla.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+std::string readFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw ParseError("cannot open PLA file: " + path);
+  std::ostringstream bytes;
+  bytes << file.rdbuf();
+  return bytes.str();
+}
+
+}  // namespace
+
+namespace {
+
+/// Source bytes behind the declaration: file content for File sources, the
+/// exact cube-list serialization for Cover sources; empty otherwise
+/// (registry/generator names and inline text are in the canonical string).
+std::string contentSuffix(const CircuitSpec& spec) {
+  switch (spec.source) {
+    case CircuitSpec::Source::File:
+      return '\n' + readFileBytes(spec.name);
+    case CircuitSpec::Source::Cover:
+      MCX_REQUIRE(spec.cover.has_value(), "circuit spec: Cover source without a cover");
+      // Serialized fresh on every lookup: a cached serialization living
+      // next to a mutable `cover` field could go stale and silently key
+      // the wrong circuit, and the O(products) string build is noise next
+      // to the experiment the compile feeds.
+      return '\n' + writePla(*spec.cover);
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+std::string circuitContentKey(const CircuitSpec& spec) {
+  return spec.canonical() + contentSuffix(spec);
+}
+
+std::string circuitSynthContentKey(const CircuitSpec& spec) {
+  return spec.synthCanonical() + contentSuffix(spec);
+}
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+CircuitCache& CircuitCache::global() {
+  static CircuitCache cache;
+  return cache;
+}
+
+namespace {
+
+template <typename Buckets>
+auto* findEntry(Buckets& buckets, std::uint64_t hash, const std::string& key) {
+  auto& bucket = buckets[hash];
+  for (auto& entry : bucket)
+    if (entry.key == key) return &entry;
+  return static_cast<decltype(bucket.data())>(nullptr);
+}
+
+}  // namespace
+
+std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
+  // The source content is read once and keys both stages.
+  const std::string suffix = contentSuffix(spec);
+  const std::string key = spec.canonical() + suffix;
+
+  // Build while holding the lock: compilation is a front-end cost, and
+  // serializing it means concurrent requests for the same spec do the work
+  // exactly once.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto* entry = findEntry(circuits_, fnv1a64(key), key)) {
+    ++stats_.hits;
+    // The label is presentation, not identity: two specs differing only in
+    // label share one compile, but each caller gets its own label back.
+    // Relabeled variants are memoized under a label-discriminated key, so
+    // the artifact copy happens once per distinct label, not per lookup.
+    if (entry->value->label != spec.displayLabel()) {
+      const std::string labeledKey = key + "\n#label=" + spec.displayLabel();
+      const std::uint64_t labeledHash = fnv1a64(labeledKey);
+      if (auto* labeled = findEntry(circuits_, labeledHash, labeledKey))
+        return labeled->value;
+      auto relabeled = std::make_shared<Circuit>(*entry->value);
+      relabeled->spec.label = spec.label;
+      relabeled->label = spec.displayLabel();
+      circuits_[labeledHash].push_back({labeledKey, relabeled});
+      return relabeled;
+    }
+    return entry->value;
+  }
+  ++stats_.misses;
+
+  // Synthesis stage, shared across realization variants of the declaration.
+  const std::string synthKey = spec.synthCanonical() + suffix;
+  const std::uint64_t synthHash = fnv1a64(synthKey);
+  std::shared_ptr<const SynthesizedCover> synthesized;
+  if (auto* entry = findEntry(covers_, synthHash, synthKey)) {
+    ++stats_.coverHits;
+    synthesized = entry->value;
+  } else {
+    ++stats_.coverMisses;
+    synthesized = std::make_shared<const SynthesizedCover>(buildSynthesizedCover(spec));
+    covers_[synthHash].push_back({synthKey, synthesized});
+  }
+
+  auto circuit = std::make_shared<const Circuit>(realizeCircuit(spec, *synthesized));
+  circuits_[fnv1a64(key)].push_back({key, circuit});
+  return circuit;
+}
+
+CircuitCache::Stats CircuitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t CircuitCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t entries = 0;
+  for (const auto& [hash, bucket] : circuits_) entries += bucket.size();
+  return entries;
+}
+
+void CircuitCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  circuits_.clear();
+  covers_.clear();
+  stats_ = {};
+}
+
+std::shared_ptr<const Circuit> compileCircuit(const CircuitSpec& spec, bool useCache) {
+  if (!useCache) return std::make_shared<const Circuit>(buildCircuit(spec));
+  return CircuitCache::global().compile(spec);
+}
+
+std::shared_ptr<const Circuit> compileCircuit(const std::string& nameOrSpec, bool useCache) {
+  return compileCircuit(makeCircuitSpec(nameOrSpec), useCache);
+}
+
+}  // namespace mcx

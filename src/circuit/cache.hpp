@@ -1,0 +1,93 @@
+// Memoized synthesis front-end: content-hash-keyed circuit compilation.
+//
+// Synthesis dominates experiment start-up (espresso on a paper benchmark is
+// milliseconds to seconds; the Monte Carlo engine then maps thousands of
+// samples against the SAME FunctionMatrix). The cache memoizes
+// buildCircuit by CONTENT: the key is the spec's canonical declaration
+// plus the bytes behind it (the .pla file's content for File sources, the
+// serialized cover for Cover sources), so an edited file re-synthesizes
+// while a repeated declaration is a hash lookup. Memoization is two-stage:
+// the synthesized cover is keyed by source + synth alone, so the two-level
+// and multi-level (or differently factored) realizations of one
+// declaration share a single synthesis run. This is the first concrete
+// step toward the ROADMAP's serve-many-experiments north star.
+//
+// Thread-safe: compile() may be called from any thread; a compile in flight
+// holds the cache lock, so concurrent requests for the same spec produce
+// one build and share the artifact. Benchmarks that must measure the real
+// pipeline bypass the cache with compileCircuit(spec, /*useCache=*/false).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/pipeline.hpp"
+
+namespace mcx {
+
+/// The memo key: canonical declaration + source content (file bytes for
+/// File sources, serialized cover for Cover sources; inline text is already
+/// part of the canonical string). Throws mcx::ParseError when a File
+/// source's bytes cannot be read.
+std::string circuitContentKey(const CircuitSpec& spec);
+
+/// The synthesis-stage memo key (synthCanonical + source content): shared
+/// by every realization variant of the same source + synth declaration.
+std::string circuitSynthContentKey(const CircuitSpec& spec);
+
+/// FNV-1a 64-bit hash of a content key (the bucket index; entries chain on
+/// the full key, so hash collisions cannot alias two circuits).
+std::uint64_t fnv1a64(const std::string& text);
+
+class CircuitCache {
+public:
+  /// The process-wide cache ExperimentBuilder and compileCircuit use.
+  static CircuitCache& global();
+
+  /// Compile @p spec, memoized by content key. Returns a shared immutable
+  /// artifact; repeated calls with the same content return the same object.
+  std::shared_ptr<const Circuit> compile(const CircuitSpec& spec);
+
+  struct Stats {
+    std::uint64_t hits = 0;         ///< full-circuit lookups served
+    std::uint64_t misses = 0;       ///< circuits realized
+    std::uint64_t coverHits = 0;    ///< realizations that reused a synthesized cover
+    std::uint64_t coverMisses = 0;  ///< synthesis runs (source + minimize)
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+private:
+  /// Hash-bucketed entries chained on the full content key, so hash
+  /// collisions cannot alias two circuits. Two levels: realized circuits
+  /// by circuitContentKey, synthesized covers by circuitSynthContentKey —
+  /// compiling the two-level and multi-level variants of one declaration
+  /// synthesizes once.
+  template <typename T>
+  struct EntryOf {
+    std::string key;
+    std::shared_ptr<const T> value;
+  };
+  template <typename T>
+  using Buckets = std::unordered_map<std::uint64_t, std::vector<EntryOf<T>>>;
+
+  mutable std::mutex mutex_;
+  Buckets<Circuit> circuits_;
+  Buckets<SynthesizedCover> covers_;
+  Stats stats_;
+};
+
+/// Compile through the global cache (default), or run the raw pipeline when
+/// @p useCache is false (benchmarking bypass: no lookup, no insertion).
+std::shared_ptr<const Circuit> compileCircuit(const CircuitSpec& spec, bool useCache = true);
+
+/// Resolve a circuit string (circuit/registry.hpp) and compile it.
+std::shared_ptr<const Circuit> compileCircuit(const std::string& nameOrSpec,
+                                              bool useCache = true);
+
+}  // namespace mcx

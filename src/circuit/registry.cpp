@@ -1,0 +1,166 @@
+#include "circuit/registry.hpp"
+
+#include <initializer_list>
+
+#include "benchdata/registry.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+
+namespace {
+
+/// Reject unrecognized spec members (same rationale as the mapper and
+/// scenario registries: a typo'd knob must not silently compile the default
+/// pipeline under the wrong label).
+void requireOnlyKeys(const SpecValue& spec, std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : spec.members) {
+    bool known = false;
+    for (const char* name : allowed)
+      if (key == name) {
+        known = true;
+        break;
+      }
+    if (!known) throw ParseError("circuit spec: unknown member \"" + key + "\"");
+  }
+}
+
+std::string sourceWord(BenchmarkSource source) {
+  switch (source) {
+    case BenchmarkSource::Generated: return "generated exactly";
+    case BenchmarkSource::Synthetic: return "synthetic stand-in";
+    case BenchmarkSource::StructureSeeded: return "structure-seeded stand-in";
+  }
+  return "?";
+}
+
+CircuitSpec generatorPreset(const std::string& generatorId, const std::string& label) {
+  CircuitSpec spec = circuitSourceSpec("gen:" + generatorId);
+  spec.synth = CircuitSpec::Synth::Espresso;
+  spec.label = label;
+  return spec;
+}
+
+std::vector<CircuitPreset> makePresets() {
+  std::vector<CircuitPreset> presets;
+  // Every paper benchmark, under its registry name: the fast load, exactly
+  // what ExperimentBuilder::circuit(name) and the defect suites always used
+  // (the committed BENCH JSON counts anchor this path bit-identically).
+  for (const BenchmarkInfo& info : paperBenchmarks()) {
+    CircuitSpec spec;
+    spec.source = CircuitSpec::Source::Registry;
+    spec.name = info.name;
+    std::string tables;
+    if (info.inTable1) tables += " Table I";
+    if (info.inTable2) tables += tables.empty() ? " Table II" : "+II";
+    presets.push_back({info.name,
+                       sourceWord(info.source) + ", I=" + std::to_string(info.inputs) +
+                           " O=" + std::to_string(info.outputs) +
+                           " P=" + std::to_string(info.products) + tables,
+                       std::move(spec)});
+  }
+  // Espresso-polished generated functions: the exact covers the multilevel
+  // defect suite and the ablations synthesize by hand today.
+  presets.push_back({"rd53-min", "espresso-polished ISOP of the 5-input weight function",
+                     generatorPreset("weight5", "rd53")});
+  presets.push_back({"sqrt8-min", "espresso-polished ISOP of the 8-bit integer sqrt",
+                     generatorPreset("sqrt8", "sqrt8")});
+  presets.push_back({"majority7-min", "espresso-polished ISOP of the 7-input majority",
+                     generatorPreset("majority7", "majority-7")});
+  {
+    CircuitSpec fig5 = circuitSourceSpec("sop:x1 + x2 + x3 + x4 + x5 x6 x7 x8");
+    fig5.label = "fig5";
+    presets.push_back(
+        {"fig5", "the paper's running example f = x1+x2+x3+x4+x5x6x7x8 (Figs. 3/5)",
+         std::move(fig5)});
+  }
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<CircuitPreset>& circuitPresets() {
+  static const std::vector<CircuitPreset> presets = makePresets();
+  return presets;
+}
+
+const CircuitPreset* findCircuitPreset(const std::string& name) {
+  for (const CircuitPreset& preset : circuitPresets())
+    if (preset.name == name) return &preset;
+  return nullptr;
+}
+
+namespace {
+
+std::string knownPresetNames() {
+  std::string known;
+  for (const CircuitPreset& preset : circuitPresets()) {
+    if (!known.empty()) known += ", ";
+    known += preset.name;
+  }
+  return known;
+}
+
+/// Resolve a "circuit" string: preset name first, then the prefixed source
+/// forms. Bare names that match nothing get the full preset list.
+CircuitSpec resolveSource(const std::string& source) {
+  if (const CircuitPreset* preset = findCircuitPreset(source)) return preset->spec;
+  if (source.starts_with("file:") || source.starts_with("pla:") ||
+      source.starts_with("sop:") || source.starts_with("gen:"))
+    return circuitSourceSpec(source);
+  throw ParseError("unknown circuit \"" + source + "\" (known presets: " +
+                   knownPresetNames() + "; or a file:/pla:/sop:/gen: source, "
+                   "or a JSON spec)");
+}
+
+}  // namespace
+
+CircuitSpec circuitSpecFromSpec(const SpecValue& spec) {
+  if (!spec.isObject()) throw ParseError("circuit spec: expected a JSON object");
+  requireOnlyKeys(spec, {"circuit", "synth", "realize", "factoring", "maxFanin", "label"});
+
+  const std::string source = spec.stringOr("circuit", "");
+  if (source.empty()) throw ParseError("circuit spec: missing \"circuit\" member");
+  CircuitSpec result = resolveSource(source);
+
+  if (spec.find("synth") != nullptr)
+    result.synth = synthFromString(spec.stringOr("synth", ""));
+  if (spec.find("realize") != nullptr) {
+    result.realize = realizeFromString(spec.stringOr("realize", ""));
+    result.realizeExplicit = true;
+  }
+  if (spec.find("factoring") != nullptr) {
+    result.factoring = factoringFromString(spec.stringOr("factoring", ""));
+    result.factoringExplicit = true;
+  }
+  if (spec.find("maxFanin") != nullptr) {
+    const double fanin = spec.numberOr("maxFanin", 0.0);
+    // Integrality matters: 0.5 would truncate to 0 = unbounded, silently
+    // compiling a different circuit than declared.
+    if (fanin < 0.0 || fanin > 1e6 ||
+        fanin != static_cast<double>(static_cast<std::size_t>(fanin)))
+      throw ParseError("circuit spec: \"maxFanin\" must be an integer in [0, 1e6]");
+    result.maxFanin = static_cast<std::size_t>(fanin);
+  }
+  if (spec.find("label") != nullptr) result.label = spec.stringOr("label", "");
+  // The registry circuits ship their own synthesis recipe (none = fast
+  // load, espresso = polished load); reject the rest here so the bad
+  // declaration fails eagerly, like every other invalid spec.
+  if (result.source == CircuitSpec::Source::Registry &&
+      result.synth != CircuitSpec::Synth::None &&
+      result.synth != CircuitSpec::Synth::Espresso)
+    throw ParseError("circuit spec: registry circuit \"" + result.name +
+                     "\" supports synth none/espresso only");
+  return result;
+}
+
+CircuitSpec makeCircuitSpec(const std::string& nameOrSpec) {
+  std::size_t first = 0;
+  while (first < nameOrSpec.size() &&
+         (nameOrSpec[first] == ' ' || nameOrSpec[first] == '\t' || nameOrSpec[first] == '\n'))
+    ++first;
+  if (first < nameOrSpec.size() && nameOrSpec[first] == '{')
+    return circuitSpecFromSpec(parseSpec(nameOrSpec));
+  return resolveSource(nameOrSpec);
+}
+
+}  // namespace mcx

@@ -1,5 +1,6 @@
 #include "logic/pla.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -17,16 +18,40 @@ std::vector<std::string> splitWs(const std::string& s) {
   return out;
 }
 
+[[noreturn]] void plaError(std::size_t line, const std::string& message) {
+  throw ParseError("PLA line " + std::to_string(line) + ": " + message);
+}
+
+/// Strict directive argument: all digits, >= 1. A silently truncated ".i 5x"
+/// or an accepted ".i 0" would misparse every cube that follows.
+std::size_t parseDirectiveCount(std::size_t line, const std::string& directive,
+                                const std::string& text) {
+  std::size_t value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || end != text.data() + text.size())
+    plaError(line, directive + ": bad count \"" + text + "\"");
+  if (value == 0) plaError(line, directive + " must be at least 1");
+  return value;
+}
+
+struct BodyLine {
+  std::string in;
+  std::string out;
+  std::size_t line = 0;
+};
+
 }  // namespace
 
 PlaFile parsePla(std::istream& in) {
   std::size_t nin = 0, nout = 0;
-  bool haveI = false, haveO = false;
+  bool haveI = false, haveO = false, haveEnd = false;
   PlaFile pla;
-  std::vector<std::pair<std::string, std::string>> bodyLines;  // (input, output)
+  std::vector<BodyLine> bodyLines;
 
   std::string line;
+  std::size_t lineNo = 0;
   while (std::getline(in, line)) {
+    ++lineNo;
     // Strip comments and whitespace.
     if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
     const auto toks = splitWs(line);
@@ -34,12 +59,14 @@ PlaFile parsePla(std::istream& in) {
     const std::string& head = toks[0];
     if (head[0] == '.') {
       if (head == ".i") {
-        MCX_REQUIRE(toks.size() == 2, ".i needs one argument");
-        nin = std::stoul(toks[1]);
+        if (haveI) plaError(lineNo, "duplicate .i");
+        if (toks.size() != 2) plaError(lineNo, ".i needs exactly one argument");
+        nin = parseDirectiveCount(lineNo, ".i", toks[1]);
         haveI = true;
       } else if (head == ".o") {
-        MCX_REQUIRE(toks.size() == 2, ".o needs one argument");
-        nout = std::stoul(toks[1]);
+        if (haveO) plaError(lineNo, "duplicate .o");
+        if (toks.size() != 2) plaError(lineNo, ".o needs exactly one argument");
+        nout = parseDirectiveCount(lineNo, ".o", toks[1]);
         haveO = true;
       } else if (head == ".p") {
         // informational; ignored
@@ -48,31 +75,49 @@ PlaFile parsePla(std::istream& in) {
       } else if (head == ".ob") {
         pla.outputNames.assign(toks.begin() + 1, toks.end());
       } else if (head == ".type") {
-        MCX_REQUIRE(toks.size() == 2, ".type needs one argument");
+        if (toks.size() != 2) plaError(lineNo, ".type needs exactly one argument");
+        if (toks[1] != "f" && toks[1] != "fd" && toks[1] != "fr" && toks[1] != "fdr")
+          plaError(lineNo, "unsupported .type \"" + toks[1] + "\" (f, fd, fr, fdr)");
         pla.type = toks[1];
       } else if (head == ".e" || head == ".end") {
+        haveEnd = true;
         break;
       } else {
-        throw ParseError("unsupported PLA directive: " + head);
+        plaError(lineNo, "unsupported directive: " + head);
       }
       continue;
     }
     // Body line: input part and output part, possibly space separated.
+    if (!haveI || !haveO) plaError(lineNo, "cube before .i/.o");
     std::string inPart, outPart;
     if (toks.size() >= 2) {
       inPart = toks[0];
       for (std::size_t i = 1; i < toks.size(); ++i) outPart += toks[i];
     } else {
-      if (!haveI || !haveO) throw ParseError("PLA cube before .i/.o");
       const std::string& all = toks[0];
-      if (all.size() != nin + nout) throw ParseError("PLA cube width mismatch: " + all);
+      if (all.size() != nin + nout)
+        plaError(lineNo, "cube width " + std::to_string(all.size()) + ", expected " +
+                             std::to_string(nin + nout) + " (.i + .o): \"" + all + "\"");
       inPart = all.substr(0, nin);
       outPart = all.substr(nin);
     }
-    bodyLines.emplace_back(inPart, outPart);
+    // Validate widths here, with the line number in hand; character
+    // validation lives in the classification switches below (their default
+    // branches, which also carry the recorded line), because ON/DC/OFF
+    // classification must wait for the (possibly later) .type anyway.
+    if (inPart.size() != nin)
+      plaError(lineNo, "input part width " + std::to_string(inPart.size()) + ", expected " +
+                           std::to_string(nin) + ": \"" + inPart + "\"");
+    if (outPart.size() != nout)
+      plaError(lineNo, "output part width " + std::to_string(outPart.size()) +
+                           ", expected " + std::to_string(nout) + ": \"" + outPart + "\"");
+    bodyLines.push_back({std::move(inPart), std::move(outPart), lineNo});
   }
 
-  if (!haveI || !haveO) throw ParseError("PLA missing .i or .o");
+  // End-of-input checks: no invented line numbers — the missing directive
+  // is a property of the whole document, not of a line.
+  if (!haveI || !haveO) throw ParseError("PLA: missing .i or .o directive");
+  if (!haveEnd) throw ParseError("PLA: missing .e/.end at end of input");
   pla.on = Cover(nin, nout);
   pla.dc = Cover(nin, nout);
   pla.off = Cover(nin, nout);
@@ -80,22 +125,20 @@ PlaFile parsePla(std::istream& in) {
   const bool offMeaningful = pla.type == "fr" || pla.type == "fdr";
   const bool dcMeaningful = pla.type == "fd" || pla.type == "fdr" || pla.type == "f";
 
-  for (const auto& [inPart, outPart] : bodyLines) {
-    if (inPart.size() != nin) throw ParseError("PLA input part width mismatch: " + inPart);
-    if (outPart.size() != nout) throw ParseError("PLA output part width mismatch: " + outPart);
+  for (const BodyLine& body : bodyLines) {
     Cube base(nin, nout);
     for (std::size_t i = 0; i < nin; ++i) {
-      switch (inPart[i]) {
+      switch (body.in[i]) {
         case '0': base.setLit(i, Lit::Neg); break;
         case '1': base.setLit(i, Lit::Pos); break;
         case '-': case '2': case '~': base.setLit(i, Lit::DontCare); break;
-        default: throw ParseError(std::string("bad PLA input char '") + inPart[i] + "'");
+        default: plaError(body.line, std::string("bad input character '") + body.in[i] + "'");
       }
     }
     Cube onCube = base, dcCube = base, offCube = base;
     bool anyOn = false, anyDc = false, anyOff = false;
     for (std::size_t o = 0; o < nout; ++o) {
-      switch (outPart[o]) {
+      switch (body.out[o]) {
         case '1': case '4':
           onCube.setOut(o);
           anyOn = true;
@@ -115,7 +158,7 @@ PlaFile parsePla(std::istream& in) {
         case '~':
           break;
         default:
-          throw ParseError(std::string("bad PLA output char '") + outPart[o] + "'");
+          plaError(body.line, std::string("bad output character '") + body.out[o] + "'");
       }
     }
     if (anyOn) pla.on.add(std::move(onCube));

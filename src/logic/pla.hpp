@@ -3,6 +3,11 @@
 // Supported directives: .i .o .p .ilb .ob .type {f, fd, fr, fdr} .e/.end.
 // Input characters: 0 1 - (and 2/~ as aliases of -). Output characters:
 // 1 (ON), 0 (unused for fd; OFF for fr), - / 2 (DC), ~ (unused).
+//
+// Malformed input is a hard ParseError carrying the line number: bad or
+// missing .i/.o counts, cube width mismatches, bad cube characters, unknown
+// directives or .type values, and a missing terminating .e/.end — a file
+// that parses at all parses exactly.
 #pragma once
 
 #include <iosfwd>

@@ -1,18 +1,16 @@
 // Bit-identity regression against the committed BENCH_defect_mc.json: the
-// legacy i.i.d. rate-pair path, invoked through the ExperimentBuilder
-// facade, must reproduce the committed success counts exactly. This pins
-// the whole chain — builder -> config -> engine -> pre-split RNG streams ->
-// mapper — to the numbers every prior PR has preserved.
+// legacy i.i.d. rate-pair path, declared as a CircuitSpec and invoked
+// through the ExperimentBuilder facade, must reproduce the committed
+// success counts exactly. This pins the whole chain — circuit registry ->
+// synthesis pipeline -> memo cache -> builder -> config -> engine ->
+// pre-split RNG streams -> mapper — to the numbers every prior PR has
+// preserved.
 #include <gtest/gtest.h>
 
 #include <fstream>
 #include <sstream>
 
 #include "api/experiment.hpp"
-#include "benchdata/registry.hpp"
-#include "logic/espresso.hpp"
-#include "logic/generators.hpp"
-#include "logic/isop.hpp"
 #include "scenario/spec.hpp"
 
 #ifndef MCX_REPO_ROOT
@@ -22,13 +20,16 @@
 namespace mcx {
 namespace {
 
-Cover workloadCover(const std::string& name) {
-  if (name == "rd53") return espressoMinimize(isopCover(weightFunction(5)));
-  if (name == "sqrt8") return espressoMinimize(isopCover(sqrtFunction(8)));
-  if (name == "t481 stand-in") return loadBenchmarkFast("t481").cover;
-  if (name == "bw") return loadBenchmarkFast("bw").cover;
+/// The committed workloads as circuit-pipeline declarations (what the
+/// multilevel suite runs): espresso-polished generated circuits, fast
+/// registry stand-ins.
+std::string workloadSpec(const std::string& name) {
+  if (name == "rd53") return "rd53-min";
+  if (name == "sqrt8") return "sqrt8-min";
+  if (name == "t481 stand-in") return "t481";
+  if (name == "bw") return "bw";
   ADD_FAILURE() << "unknown committed workload " << name;
-  return Cover(1, 1);
+  return "rd53";
 }
 
 TEST(BenchJsonRegression, BuilderReproducesCommittedLegacySuccessCounts) {
@@ -51,7 +52,7 @@ TEST(BenchJsonRegression, BuilderReproducesCommittedLegacySuccessCounts) {
   std::size_t checked = 0;
   for (const SpecValue& circuit : circuits->array) {
     const std::string name = circuit.stringOr("name", "");
-    const Cover cover = workloadCover(name);
+    const std::string spec = workloadSpec(name);
 
     const SpecValue* mappers = circuit.find("mappers");
     ASSERT_NE(mappers, nullptr) << name;
@@ -73,7 +74,7 @@ TEST(BenchJsonRegression, BuilderReproducesCommittedLegacySuccessCounts) {
           static_cast<std::size_t>(runs->array.front().numberOr("successes", -1));
 
       const ExperimentResult result = ExperimentBuilder()
-                                          .circuit(name, cover)
+                                          .circuit(spec)
                                           .multiLevel()
                                           .mapper(preset)
                                           .legacyRates(rate)

@@ -33,6 +33,15 @@ TEST(BenchDriver, ListMappersAndScenarios) {
   EXPECT_NE(scenarios.str().find("clustered"), std::string::npos);
 }
 
+TEST(BenchDriver, ListCircuits) {
+  const Driver driver = makeDriver();
+  std::ostringstream circuits, err;
+  EXPECT_EQ(driver.run({"--list-circuits"}, circuits, err), 0);
+  EXPECT_NE(circuits.str().find("bw  —  "), std::string::npos);
+  EXPECT_NE(circuits.str().find("rd53-min"), std::string::npos);
+  EXPECT_NE(circuits.str().find("fig5"), std::string::npos);
+}
+
 TEST(BenchDriver, DispatchesToSuiteWithRemainingArgs) {
   Driver driver;
   std::vector<std::string> seen;

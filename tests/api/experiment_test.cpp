@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/cache.hpp"
 #include "logic/sop_parser.hpp"
 #include "map/hybrid_mapper.hpp"
 #include "scenario/registry.hpp"
@@ -25,7 +26,10 @@ TEST(ExperimentBuilder, RequiresCircuitAndMapper) {
 TEST(ExperimentBuilder, UnknownNamesThrowEagerly) {
   EXPECT_THROW(ExperimentBuilder().mapper("bogus"), ParseError);
   EXPECT_THROW(ExperimentBuilder().scenario("bogus"), ParseError);
-  EXPECT_THROW(ExperimentBuilder().circuit("no-such-circuit"), InvalidArgument);
+  // Circuits resolve through the circuit registry now: unknown names and
+  // unreadable files fail at declaration time, like mappers and scenarios.
+  EXPECT_THROW(ExperimentBuilder().circuit("no-such-circuit"), ParseError);
+  EXPECT_THROW(ExperimentBuilder().circuit("file:/nonexistent.pla"), ParseError);
 }
 
 TEST(ExperimentBuilder, LegacyPathBitIdenticalToHandBuiltConfig) {
@@ -108,6 +112,51 @@ TEST(ExperimentBuilder, MultiLevelLayout) {
                                      .run();
   EXPECT_NE(two.rows * 1000 + two.cols, multi.rows * 1000 + multi.cols)
       << "multi-level layout must differ from the two-level one";
+}
+
+TEST(ExperimentBuilder, PlaFileRoundTripsEndToEnd) {
+  // A committed .pla fixture through the whole chain: file -> pipeline ->
+  // cache -> engine. The second run must hit the memo cache (no
+  // re-synthesis) and reproduce the first run exactly.
+  const std::string source =
+      std::string("file:") + MCX_REPO_ROOT + "/examples/data/adder.pla";
+  ExperimentBuilder declared;
+  declared.circuit(source).mapper("hba").legacyRates(0.10).samples(40).seed(11);
+
+  const CircuitCache::Stats before = CircuitCache::global().stats();
+  const ExperimentResult first = ExperimentBuilder(declared).run();
+  const ExperimentResult second = ExperimentBuilder(declared).run();
+  const CircuitCache::Stats after = CircuitCache::global().stats();
+
+  EXPECT_EQ(first.circuit, "adder.pla");
+  EXPECT_NE(first.circuitSpec.find("file:"), std::string::npos);
+  EXPECT_EQ(first.outcome.samples, 40u);
+  EXPECT_GT(first.rows, 0u);
+  EXPECT_EQ(first.outcome.successes, second.outcome.successes);
+  EXPECT_GE(after.hits, before.hits + 1)
+      << "the repeated declaration must be served from the circuit cache";
+
+  // The builder's multiLevel() knob overrides the spec's realization.
+  const ExperimentResult multi = ExperimentBuilder(declared).multiLevel().run();
+  EXPECT_GT(multi.rows, first.rows);
+
+  // cache(false) bypasses memoization but must stay bit-identical.
+  const ExperimentResult bypassed = ExperimentBuilder(declared).cache(false).run();
+  EXPECT_EQ(bypassed.outcome.successes, first.outcome.successes);
+}
+
+TEST(ExperimentBuilder, CircuitSpecJsonDeclaration) {
+  const ExperimentResult r =
+      ExperimentBuilder()
+          .circuit(R"({"circuit":"gen:weight5","synth":"espresso","realize":"multilevel"})")
+          .mapper("hba")
+          .legacyRates(0.10)
+          .samples(10)
+          .seed(3)
+          .run();
+  EXPECT_EQ(r.circuit, "weight5");
+  EXPECT_NE(r.circuitSpec.find("synth=espresso"), std::string::npos);
+  EXPECT_NE(r.circuitSpec.find("realize=multilevel"), std::string::npos);
 }
 
 TEST(ExperimentResult, UniformJsonRoundTrips) {

@@ -1,0 +1,52 @@
+#include "circuit/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/driver.hpp"
+#include "benchdata/registry.hpp"
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(CircuitRegistry, CoversEveryPaperBenchmark) {
+  for (const BenchmarkInfo& info : paperBenchmarks()) {
+    const CircuitPreset* preset = findCircuitPreset(info.name);
+    ASSERT_NE(preset, nullptr) << info.name;
+    EXPECT_EQ(preset->spec.source, CircuitSpec::Source::Registry);
+    EXPECT_EQ(preset->spec.name, info.name);
+    EXPECT_EQ(preset->spec.synth, CircuitSpec::Synth::None)
+        << info.name << ": registry presets must keep the historical fast load";
+  }
+}
+
+TEST(CircuitRegistry, DerivedPresets) {
+  ASSERT_NE(findCircuitPreset("rd53-min"), nullptr);
+  ASSERT_NE(findCircuitPreset("sqrt8-min"), nullptr);
+  ASSERT_NE(findCircuitPreset("majority7-min"), nullptr);
+  ASSERT_NE(findCircuitPreset("fig5"), nullptr);
+  EXPECT_EQ(findCircuitPreset("rd53-min")->spec.synth, CircuitSpec::Synth::Espresso);
+  EXPECT_EQ(findCircuitPreset("fig5")->spec.source, CircuitSpec::Source::InlineSop);
+  EXPECT_EQ(findCircuitPreset("bogus"), nullptr);
+}
+
+TEST(CircuitRegistry, MakeCircuitSpecResolvesPresetsAndSources) {
+  EXPECT_EQ(makeCircuitSpec("rd53-min").canonical(),
+            findCircuitPreset("rd53-min")->spec.canonical());
+  EXPECT_EQ(makeCircuitSpec("  {\"circuit\": \"bw\"}").name, "bw");
+  EXPECT_EQ(makeCircuitSpec("gen:parity4").source, CircuitSpec::Source::Generator);
+  EXPECT_THROW(makeCircuitSpec("no-such-circuit"), ParseError);
+}
+
+TEST(CircuitRegistry, ListCircuitsPrintsEveryPreset) {
+  std::ostringstream out;
+  bench::listCircuits(out);
+  const std::string listing = out.str();
+  for (const CircuitPreset& preset : circuitPresets())
+    EXPECT_NE(listing.find(preset.name + "  —  "), std::string::npos) << preset.name;
+}
+
+}  // namespace
+}  // namespace mcx

@@ -78,6 +78,52 @@ TEST(Pla, RejectsMalformedInput) {
   EXPECT_THROW(parsePlaString(".o 1\n.e\n"), ParseError);          // missing .i
 }
 
+// Every malformed construct is a hard error that names the offending line —
+// a file that parses at all parses exactly.
+TEST(Pla, ErrorsCarryLineNumbers) {
+  auto errorOf = [](const std::string& text) -> std::string {
+    try {
+      parsePlaString(text);
+    } catch (const ParseError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(errorOf(".i 2\n.o 1\n11 1\n1x 1\n.e\n").find("PLA line 4"), std::string::npos);
+  EXPECT_NE(errorOf(".i 2\n.o 1\n111 1\n.e\n").find("line 3"), std::string::npos);
+  EXPECT_NE(errorOf("# c\n.i abc\n").find("line 2"), std::string::npos);
+  EXPECT_NE(errorOf("11 1\n").find("line 1"), std::string::npos);
+}
+
+TEST(Pla, RejectsMalformedDirectives) {
+  EXPECT_THROW(parsePlaString(".i abc\n.o 1\n.e\n"), ParseError);   // non-numeric
+  EXPECT_THROW(parsePlaString(".i 2x\n.o 1\n.e\n"), ParseError);    // trailing garbage
+  EXPECT_THROW(parsePlaString(".i 0\n.o 1\n.e\n"), ParseError);     // zero inputs
+  EXPECT_THROW(parsePlaString(".i 2\n.i 2\n.o 1\n.e\n"), ParseError);  // duplicate .i
+  EXPECT_THROW(parsePlaString(".i 2\n.o 1\n.o 1\n.e\n"), ParseError);  // duplicate .o
+  EXPECT_THROW(parsePlaString(".i 2\n.o 1\n.type fx\n.e\n"), ParseError);  // bad type
+  EXPECT_THROW(parsePlaString(".i 2 3\n.o 1\n.e\n"), ParseError);   // extra argument
+}
+
+TEST(Pla, MissingEndIsAnError) {
+  EXPECT_THROW(parsePlaString(".i 2\n.o 1\n11 1\n"), ParseError);
+  EXPECT_NO_THROW(parsePlaString(".i 2\n.o 1\n11 1\n.e\n"));
+  EXPECT_NO_THROW(parsePlaString(".i 2\n.o 1\n11 1\n.end\n"));
+}
+
+TEST(Pla, CubeWidthMismatchNamesTheExpectation) {
+  try {
+    parsePlaString(".i 3\n.o 2\n1-0 1\n.e\n");  // output part too narrow
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos);
+    EXPECT_NE(what.find("expected 2"), std::string::npos);
+  }
+  EXPECT_THROW(parsePlaString(".i 3\n.o 2\n1-0- 10\n.e\n"), ParseError);  // input too wide
+  EXPECT_THROW(parsePlaString(".i 3\n.o 2\n1-01\n.e\n"), ParseError);     // compact, short
+}
+
 TEST(Pla, RoundTripPreservesFunction) {
   const std::string text =
       ".i 4\n.o 2\n"
