@@ -14,7 +14,7 @@
 
 #include "map/matching.hpp"
 #include "mc/defect_experiment.hpp"
-#include "mc/parallel.hpp"
+#include "mc/executor.hpp"
 #include "util/json_writer.hpp"
 #include "util/stopwatch.hpp"
 #include "xbar/function_matrix.hpp"

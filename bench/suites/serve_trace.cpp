@@ -1,0 +1,256 @@
+// Service trace replay: the mcx_serve engine under a mixed request stream.
+//
+// Drives an in-process ExperimentService with a deterministic trace of
+// mixed requests — several circuits and mappers, legacy and scenario
+// paths, a sprinkling of tight deadlines and malformed lines, plus one
+// deliberate no-backpressure burst — twice: once against a cold circuit
+// cache (every distinct circuit synthesizes) and once warm (everything
+// coalesces onto cached artifacts). Emits BENCH_serve.json with sustained
+// request throughput, p50/p99 response latency, shed and deadline-miss
+// counts for both passes.
+//
+// Usage:
+//   mcx_bench serve-trace [--requests N] [--queue-depth N] [--pool-threads N]
+//                         [--seed S] [--json PATH]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/driver.hpp"
+#include "circuit/cache.hpp"
+#include "scenario/spec.hpp"
+#include "serve/service.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+using namespace mcx;
+using serve::ExperimentService;
+using serve::ServiceCounters;
+using serve::ServiceOptions;
+
+struct TraceConfig {
+  std::size_t requests = 1000;
+  std::size_t queueDepth = 64;
+  std::size_t poolThreads = 1;
+  std::uint64_t seed = 0x7ace;
+};
+
+/// The deterministic mixed trace: same seed, same requests, same order.
+std::vector<std::string> buildTrace(const TraceConfig& config) {
+  const char* const circuits[] = {"rd53-min", "sqrt8-min", "majority7-min", "bw", "t481"};
+  const char* const mappers[] = {"hba", "hba", "hba", "fast-ea"};  // hba-heavy mix
+  const char* const scenarios[] = {"", "", "paper-iid", "clustered"};  // "" = legacy
+
+  Rng rng(config.seed);
+  std::vector<std::string> trace;
+  trace.reserve(config.requests);
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    // ~2% malformed lines: the parse path is part of the served mix.
+    if (rng.bernoulli(0.02)) {
+      // Built via append: GCC 12 -Wrestrict false positive (PR 105329).
+      std::string bad = R"({"id": "bad-)";
+      bad += std::to_string(i);
+      bad += R"(", "circuit": )";
+      trace.push_back(std::move(bad));
+      continue;
+    }
+    std::ostringstream req;
+    req << "{\"id\": \"r" << i << "\"";
+    req << ", \"circuit\": \"" << circuits[rng.uniformInt(0, 4)] << "\"";
+    req << ", \"mapper\": \"" << mappers[rng.uniformInt(0, 3)] << "\"";
+    const char* scenario = scenarios[rng.uniformInt(0, 3)];
+    if (scenario[0] != '\0')
+      req << ", \"scenario\": \"" << scenario << "\", \"rate\": 0.08";
+    req << ", \"samples\": " << rng.uniformInt(10, 40);
+    req << ", \"seed\": " << rng.uniformInt(1, 1u << 20);
+    // ~5% carry deadlines tight enough that queue waits push some over.
+    if (rng.bernoulli(0.05)) req << ", \"deadline_ms\": " << rng.uniformInt(2, 12);
+    req << "}";
+    trace.push_back(req.str());
+  }
+  return trace;
+}
+
+struct PassResult {
+  double wallSeconds = 0;
+  double sustainedRps = 0;
+  double p50Millis = 0;
+  double p99Millis = 0;
+  ServiceCounters counters;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Replay the trace through a fresh service. Submission uses backpressure
+/// (wait for queue room) so the measured shed/deadline numbers come from
+/// the deliberate burst phase and the deadline mix, not from the replay
+/// loop outrunning a 1-thread executor by construction.
+PassResult runPass(const std::vector<std::string>& trace, const TraceConfig& config) {
+  ServiceOptions options;
+  options.queueDepth = config.queueDepth;
+  options.requestThreads = 1;
+  options.poolThreads = config.poolThreads;
+
+  std::mutex latencyMutex;
+  std::vector<double> latencies;
+  latencies.reserve(trace.size());
+  ExperimentService service(options, [&](const std::string& line) {
+    const SpecValue doc = parseSpec(line);
+    if (doc.find("total_ms") != nullptr) {
+      const std::lock_guard<std::mutex> lock(latencyMutex);
+      latencies.push_back(doc.numberOr("total_ms", 0));
+    }
+  });
+
+  const auto inSystem = [&] {
+    const ServiceCounters c = service.counters();
+    return c.accepted - (c.completedOk + c.deadlineExceeded + c.cancelled + c.internalErrors);
+  };
+
+  Stopwatch wall;
+  for (const std::string& line : trace) {
+    // Backpressure: hold submission while the queue is at capacity.
+    while (inSystem() >= options.queueDepth)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    service.submit(line);
+  }
+  // The burst: 2x queue depth fired with no backpressure — the bounded
+  // queue must shed the overflow immediately and keep everything else.
+  for (std::size_t i = 0; i < 2 * config.queueDepth; ++i) {
+    std::string burst = R"({"id": "burst-)";
+    burst += std::to_string(i);
+    burst += R"(", "circuit": "rd53-min", "samples": 10, "seed": 1})";
+    service.submit(burst);
+  }
+  service.drain();
+
+  PassResult result;
+  result.wallSeconds = wall.seconds();
+  result.counters = service.counters();
+  result.sustainedRps =
+      static_cast<double>(result.counters.completedOk) / result.wallSeconds;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50Millis = percentile(latencies, 0.50);
+  result.p99Millis = percentile(latencies, 0.99);
+  return result;
+}
+
+void writePass(JsonWriter& json, const char* label, const PassResult& pass) {
+  json.beginObject();
+  json.field("pass", label);
+  json.field("wall_seconds", pass.wallSeconds);
+  json.field("sustained_rps", pass.sustainedRps);
+  json.field("p50_latency_ms", pass.p50Millis);
+  json.field("p99_latency_ms", pass.p99Millis);
+  json.field("received", pass.counters.received);
+  json.field("completed_ok", pass.counters.completedOk);
+  json.field("parse_errors", pass.counters.parseErrors);
+  json.field("shed_overloaded", pass.counters.shedOverloaded);
+  json.field("deadline_exceeded", pass.counters.deadlineExceeded);
+  json.field("internal_errors", pass.counters.internalErrors);
+  json.field("queue_high_water", pass.counters.queueHighWater);
+  json.field("samples_completed", pass.counters.samplesCompleted);
+  json.field("circuit_cache_hits", pass.counters.circuitCacheHits);
+  json.field("circuit_cache_misses", pass.counters.circuitCacheMisses);
+  json.field("synthesis_runs", pass.counters.synthesisRuns);
+  json.endObject();
+}
+
+int runServeTrace(const std::vector<std::string>& args) {
+  TraceConfig config;
+  bench::CommonOptions common;
+
+  cli::ArgParser parser("mcx_bench serve-trace",
+                        "mixed-request trace replay through the experiment service "
+                        "(cold vs warm circuit cache)");
+  common.addSeedTo(parser);
+  common.addJsonTo(parser);
+  parser.add("--requests", &config.requests, "N", "trace length (default 1000)");
+  parser.add("--queue-depth", &config.queueDepth, "N", "admission queue depth (default 64)");
+  parser.add("--pool-threads", &config.poolThreads, "N",
+             "sample-pool parallelism (default 1)");
+  if (const auto code = bench::parseSuiteArgs(parser, args)) return *code;
+  config.seed = common.seedOr(config.seed);
+  const std::string jsonPath = common.jsonOr("BENCH_serve.json");
+  MCX_REQUIRE(config.requests > 0, "--requests must be positive");
+  MCX_REQUIRE(config.queueDepth > 0, "--queue-depth must be positive");
+
+  const std::vector<std::string> trace = buildTrace(config);
+  std::cout << "serve-trace: " << trace.size() << " requests, queue depth "
+            << config.queueDepth << ", pool threads " << config.poolThreads << " (seed "
+            << config.seed << ")\n\n";
+
+  // Cold pass: every distinct circuit declaration synthesizes from scratch.
+  CircuitCache::global().clear();
+  const PassResult cold = runPass(trace, config);
+  // Warm pass: the same trace again, everything already compiled.
+  const PassResult warm = runPass(trace, config);
+
+  std::ostringstream jsonBuffer;
+  JsonWriter json(jsonBuffer);
+  json.beginObject();
+  json.field("bench", "serve_trace");
+  json.field("requests", trace.size());
+  json.field("queue_depth", config.queueDepth);
+  json.field("pool_threads", config.poolThreads);
+  json.field("seed", config.seed);
+  json.key("passes").beginArray();
+  writePass(json, "cold", cold);
+  writePass(json, "warm", warm);
+  json.endArray();
+  json.endObject();
+  std::ofstream jsonFile(jsonPath);
+  jsonFile << jsonBuffer.str() << "\n";
+  jsonFile.flush();
+  if (!jsonFile) {
+    std::cerr << "serve_trace: cannot write " << jsonPath << "\n";
+    return 2;
+  }
+
+  TextTable table({"pass", "req/s", "p50 ms", "p99 ms", "ok", "shed", "ddl miss", "synth"});
+  const auto addRow = [&table](const char* label, const PassResult& pass) {
+    table.addRow({label, TextTable::num(pass.sustainedRps, 1),
+                  TextTable::num(pass.p50Millis, 3), TextTable::num(pass.p99Millis, 3),
+                  std::to_string(pass.counters.completedOk),
+                  std::to_string(pass.counters.shedOverloaded),
+                  std::to_string(pass.counters.deadlineExceeded),
+                  std::to_string(pass.counters.synthesisRuns)});
+  };
+  addRow("cold", cold);
+  addRow("warm", warm);
+  std::cout << table << "\nJSON written to " << jsonPath << "\n";
+
+  // Self-checks: the burst must shed, the warm pass must not re-synthesize.
+  int failures = 0;
+  if (cold.counters.shedOverloaded == 0 || warm.counters.shedOverloaded == 0) {
+    std::cerr << "serve_trace: the no-backpressure burst was not shed\n";
+    ++failures;
+  }
+  if (warm.counters.synthesisRuns != 0) {
+    std::cerr << "serve_trace: warm pass re-synthesized " << warm.counters.synthesisRuns
+              << " circuits (cache coalescing broken)\n";
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+MCX_BENCH_SUITE("serve-trace",
+                "mixed-request trace through the experiment service, cold vs warm cache "
+                "(BENCH_serve)",
+                runServeTrace);

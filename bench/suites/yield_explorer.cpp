@@ -17,7 +17,7 @@
 #include "api/driver.hpp"
 #include "benchdata/registry.hpp"
 #include "map/redundant_mapper.hpp"
-#include "mc/parallel.hpp"
+#include "mc/executor.hpp"
 #include "mc/stats.hpp"
 #include "scenario/registry.hpp"
 #include "util/text_table.hpp"

@@ -21,8 +21,11 @@ void ExperimentResult::writeJson(JsonWriter& json) const {
   json.field("cols", cols);
   json.field("area", area());
   json.field("samples", outcome.samples);
+  json.field("completed", outcome.completed);
   json.field("successes", outcome.successes);
   json.field("success_rate", successRate());
+  json.field("aborted", outcome.aborted);
+  json.field("abort_reason", outcome.abortReason);
   json.field("seed", config.seed);
   json.field("threads", config.threads);
   json.field("total_seconds", outcome.totalSeconds);
@@ -140,6 +143,23 @@ ExperimentBuilder& ExperimentBuilder::keepMappings(bool on) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::deadline(double millis) {
+  MCX_REQUIRE(millis > 0, "ExperimentBuilder: deadline must be positive");
+  deadlineMillis_ = millis;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::cancelToken(std::shared_ptr<CancelToken> token) {
+  MCX_REQUIRE(token != nullptr, "ExperimentBuilder: null cancel token");
+  config_.cancel = std::move(token);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::pool(ExecutorPool* pool) {
+  config_.pool = pool;
+  return *this;
+}
+
 ExperimentResult ExperimentBuilder::run() const {
   MCX_REQUIRE(spec_.has_value() || fm_.has_value(),
               "ExperimentBuilder: no circuit declared");
@@ -171,8 +191,18 @@ ExperimentResult ExperimentBuilder::run() const {
   result.scenario = config_.model ? scenarioLabel_ : std::string("iid (legacy rates)");
   result.rows = fm.rows();
   result.cols = fm.cols();
-  result.config = config_;
-  result.outcome = runDefectExperiment(fm, *mapper_, config_);
+
+  // The deadline clock starts here, after synthesis: the budget covers the
+  // Monte Carlo run the caller declared. (The service arms its own token at
+  // admission instead, so queueing and synthesis count against service-level
+  // deadlines.)
+  DefectExperimentConfig config = config_;
+  if (deadlineMillis_.has_value()) {
+    if (config.cancel == nullptr) config.cancel = std::make_shared<CancelToken>();
+    config.cancel->setDeadlineAfterMillis(*deadlineMillis_);
+  }
+  result.config = config;
+  result.outcome = runDefectExperiment(fm, *mapper_, config);
   return result;
 }
 

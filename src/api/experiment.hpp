@@ -112,6 +112,18 @@ public:
   ExperimentBuilder& timePerSample(bool on);
   ExperimentBuilder& keepMappings(bool on);
 
+  // --- robustness ---------------------------------------------------------
+  /// Abort the run (with partial, well-labeled results) once this budget is
+  /// spent — the deadline clock starts when run() is called. Arms the
+  /// declared cancelToken, or a private one when none was declared.
+  ExperimentBuilder& deadline(double millis);
+  /// Cooperative cancellation: workers poll @p token between samples, so an
+  /// external cancel() aborts the experiment with partial results.
+  ExperimentBuilder& cancelToken(std::shared_ptr<CancelToken> token);
+  /// Run on a caller-owned persistent ExecutorPool (the experiment service
+  /// shares one across requests) instead of a transient per-run pool.
+  ExperimentBuilder& pool(ExecutorPool* pool);
+
   /// Run the declared experiment through the parallel Monte Carlo engine.
   /// Throws mcx::InvalidArgument when no circuit or no mapper was declared,
   /// mcx::ParseError for unresolvable names/specs (thrown eagerly by the
@@ -126,6 +138,7 @@ private:
   bool cache_ = true;
   std::shared_ptr<const IMapper> mapper_;
   std::string scenarioLabel_;
+  std::optional<double> deadlineMillis_;
   DefectExperimentConfig config_;
 };
 

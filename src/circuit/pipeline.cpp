@@ -12,6 +12,7 @@
 #include "logic/truth_table.hpp"
 #include "netlist/nand_mapper.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mcx {
@@ -51,6 +52,11 @@ Cover qmCover(const Cover& on, const Cover& dc) {
 }  // namespace
 
 SynthesizedCover buildSynthesizedCover(const CircuitSpec& spec) {
+  // Armed only under test/diagnosis: lets the serve suite prove that a
+  // synthesis failure surfaces as a structured `internal` error instead of
+  // taking the daemon down.
+  faultinject::onSite("circuit.synthesize");
+
   SynthesizedCover result;
 
   // --- source: produce the base ON (and don't-care) cover ------------------

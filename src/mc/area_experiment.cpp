@@ -4,7 +4,7 @@
 
 #include "logic/generators.hpp"
 #include "map/hybrid_mapper.hpp"
-#include "mc/parallel.hpp"
+#include "mc/executor.hpp"
 #include "util/error.hpp"
 #include "xbar/area_model.hpp"
 #include "xbar/function_matrix.hpp"

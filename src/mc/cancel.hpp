@@ -1,0 +1,91 @@
+// Cooperative cancellation for long-running experiments.
+//
+// A CancelToken is an atomic stop flag plus an optional monotonic deadline,
+// shared between the party that wants work stopped (a service handling
+// SIGTERM, an admission controller shedding load, a client disconnect) and
+// the workers doing it. Workers poll stopRequested() between samples and
+// abort with partial, well-labeled results — cancellation is cooperative,
+// never preemptive, so shared state (caches, scratch arenas, counters) is
+// always left consistent.
+//
+// Thread-safe: any thread may cancel() / setDeadline*, any number of
+// threads may poll. Polling is two relaxed atomic loads plus (when a
+// deadline is armed) one steady_clock read — cheap against the cost of a
+// Monte Carlo sample.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace mcx {
+
+class CancelToken {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Why a token is requesting stop. Cancelled wins over DeadlineExceeded
+  /// when both hold (an explicit cancel is the stronger, intentional
+  /// signal).
+  enum class StopReason { None, Cancelled, DeadlineExceeded };
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request stop. Idempotent; visible to every poller.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm (or move) the deadline. Workers observing Clock::now() past the
+  /// deadline treat the token as stopped with reason DeadlineExceeded.
+  void setDeadline(Clock::time_point deadline) {
+    deadlineTicks_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+  void setDeadlineAfter(std::chrono::nanoseconds budget) {
+    setDeadline(Clock::now() + std::chrono::duration_cast<Clock::duration>(budget));
+  }
+  /// Convenience for the service's millisecond-denominated request budgets.
+  void setDeadlineAfterMillis(double ms) {
+    setDeadlineAfter(std::chrono::nanoseconds(static_cast<std::int64_t>(ms * 1e6)));
+  }
+
+  bool hasDeadline() const {
+    return deadlineTicks_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool expired() const {
+    const auto ticks = deadlineTicks_.load(std::memory_order_relaxed);
+    return ticks != kNoDeadline && Clock::now().time_since_epoch().count() >= ticks;
+  }
+
+  /// The per-sample poll: explicit cancel or deadline passed.
+  bool stopRequested() const { return cancelled() || expired(); }
+
+  StopReason reason() const {
+    if (cancelled()) return StopReason::Cancelled;
+    if (expired()) return StopReason::DeadlineExceeded;
+    return StopReason::None;
+  }
+
+  /// Taxonomy label for the reason ("", "cancelled", "deadline_exceeded") —
+  /// matches the service's structured error codes.
+  static const char* reasonLabel(StopReason reason) {
+    switch (reason) {
+      case StopReason::Cancelled: return "cancelled";
+      case StopReason::DeadlineExceeded: return "deadline_exceeded";
+      case StopReason::None: break;
+    }
+    return "";
+  }
+
+private:
+  static constexpr Clock::time_point::rep kNoDeadline = Clock::time_point::max().time_since_epoch().count();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<Clock::time_point::rep> deadlineTicks_{kNoDeadline};
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+}  // namespace mcx

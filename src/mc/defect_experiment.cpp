@@ -1,7 +1,10 @@
 #include "mc/defect_experiment.hpp"
 
-#include "mc/parallel.hpp"
+#include <optional>
+
+#include "mc/executor.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mcx {
@@ -38,11 +41,27 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
   result.samples = config.samples;
 
   const std::shared_ptr<const DefectModel> model = resolveModel(config);
+  // The RNG pre-split happens up front, unconditionally: an aborted run
+  // consumes no stream a rerun would need, so cancel-then-rerun reproduces
+  // the full run bit-identically (the regression surface of the committed
+  // bench counts).
   const std::vector<Rng> streams = splitSampleStreams(config.seed, config.samples);
   const std::size_t rows = fm.rows() + config.spareRows;
-  const std::size_t threads = resolveThreadCount(config.threads);
+
+  // Run on the caller's persistent pool when provided (the service shares
+  // one across requests); otherwise on a transient pool sized by the
+  // historical threads knob, capped at one lane per sample.
+  std::optional<ExecutorPool> localPool;
+  ExecutorPool* pool = config.pool;
+  if (pool == nullptr) {
+    localPool.emplace(std::min(resolveThreadCount(config.threads),
+                               std::max<std::size_t>(config.samples, 1)));
+    pool = &*localPool;
+  }
+  const CancelToken* token = config.cancel.get();
 
   struct PerSample {
+    bool done = false;  ///< sample actually ran (false after an abort)
     bool success = false;
     std::size_t backtracks = 0;
     double millis = 0;
@@ -62,10 +81,16 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
     BitMatrix cm;
     MappingContext ctx;
   };
-  std::vector<Scratch> scratch(threads);
+  std::vector<Scratch> scratch(pool->slots());
 
   Stopwatch wall;
-  parallelForEach(config.samples, threads, [&](std::size_t worker, std::size_t s) {
+  pool->run(config.samples, [&](std::size_t worker, std::size_t s) {
+    // Cooperative abort: a fired token skips the sample entirely (its
+    // outcome stays !done); samples already past this check finish
+    // normally, so scratch arenas and results are never left mid-sample.
+    if (token != nullptr && token->stopRequested()) return;
+    faultinject::onSite("mc.sample");
+
     Scratch& sc = scratch[worker];
     Rng sampleRng = streams[s];
     model->generateTracked(rows, fm.cols(), sampleRng, sc.defects, sc.dirty);
@@ -87,24 +112,38 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
                   "runDefectExperiment: mapper returned an invalid mapping");
 
     PerSample& out = outcomes[s];
+    out.done = true;
     out.success = mapping.success;
     out.backtracks = mapping.backtracks;
     out.millis = sec * 1e3;
     if (config.keepMappings) result.mappings[s] = std::move(mapping);
-  });
+  }, token);
   const double wallSeconds = wall.seconds();
 
-  // Merge per-sample outcomes deterministically, in sample order.
+  if (token != nullptr) {
+    const CancelToken::StopReason reason = token->reason();
+    if (reason != CancelToken::StopReason::None) {
+      result.aborted = true;
+      result.abortReason = CancelToken::reasonLabel(reason);
+    }
+  }
+
+  // Merge per-sample outcomes deterministically, in sample order; skipped
+  // samples of an aborted run contribute nothing.
   for (std::size_t s = 0; s < config.samples; ++s) {
     const PerSample& out = outcomes[s];
+    if (!out.done) continue;
+    ++result.completed;
     if (out.success) ++result.successes;
     result.totalBacktracks += out.backtracks;
   }
   if (config.timePerSample) {
     // totalSeconds = summed mapper time (the paper's "Time" column).
-    std::vector<double> millis(config.samples);
+    std::vector<double> millis;
+    millis.reserve(result.completed);
     for (std::size_t s = 0; s < config.samples; ++s) {
-      millis[s] = outcomes[s].millis;
+      if (!outcomes[s].done) continue;
+      millis.push_back(outcomes[s].millis);
       result.totalSeconds += outcomes[s].millis / 1e3;
     }
     result.perSampleMillis = summarize(millis);

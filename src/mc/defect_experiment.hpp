@@ -16,15 +16,19 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "map/matching.hpp"
+#include "mc/cancel.hpp"
 #include "mc/stats.hpp"
 #include "scenario/defect_model.hpp"
 #include "xbar/defects.hpp"
 #include "xbar/function_matrix.hpp"
 
 namespace mcx {
+
+class ExecutorPool;
 
 struct DefectExperimentConfig {
   std::size_t samples = 200;       ///< the paper's sample size
@@ -51,10 +55,23 @@ struct DefectExperimentConfig {
   /// Keep each sample's MappingResult in DefectExperimentResult::mappings
   /// (sample order). Off by default to keep large sweeps lean.
   bool keepMappings = false;
+  /// Cooperative cancellation: checked between samples. When the token
+  /// fires (explicit cancel() or deadline), remaining samples are skipped
+  /// and the result is labeled aborted with the partial counts — shared
+  /// state is never left mid-sample. Null = run to completion.
+  std::shared_ptr<CancelToken> cancel;
+  /// Caller-owned persistent worker pool (the experiment service shares one
+  /// across requests). Null = a transient pool of `threads` workers, the
+  /// historical per-call behaviour. The pool's parallelism overrides the
+  /// `threads` knob; results depend on neither (pre-split RNG streams).
+  ExecutorPool* pool = nullptr;
 };
 
 struct DefectExperimentResult {
-  std::size_t samples = 0;
+  std::size_t samples = 0;    ///< requested sample count
+  /// Samples actually mapped: == samples unless the run was aborted by a
+  /// CancelToken, in which case the statistics below cover exactly these.
+  std::size_t completed = 0;
   std::size_t successes = 0;
   /// With config.timePerSample: summed mapper time over all samples.
   /// Without: wall-clock of the whole run (sampling + mapping + verify).
@@ -63,15 +80,24 @@ struct DefectExperimentResult {
   /// Populated only with config.timePerSample.
   SummaryStats perSampleMillis;
   /// Per-sample mapper outputs, in sample order (only when keepMappings).
+  /// In an aborted run, skipped samples hold default (failed) entries.
   std::vector<MappingResult> mappings;
+  /// The run stopped early via config.cancel; the partial statistics are
+  /// well-labeled ("cancelled" or "deadline_exceeded" in abortReason).
+  bool aborted = false;
+  std::string abortReason;
 
+  /// Success rate over the samples that actually ran (identical to the
+  /// historical samples-denominator for completed runs).
   double successRate() const {
-    return samples == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(samples);
+    const std::size_t denom = completed != 0 ? completed : samples;
+    return denom == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(denom);
   }
   /// Mean per-sample time in seconds: the paper's "Time" column when
   /// config.timePerSample is set, mean wall time per sample otherwise.
   double meanSeconds() const {
-    return samples == 0 ? 0.0 : totalSeconds / static_cast<double>(samples);
+    const std::size_t denom = completed != 0 ? completed : samples;
+    return denom == 0 ? 0.0 : totalSeconds / static_cast<double>(denom);
   }
 };
 

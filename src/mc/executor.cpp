@@ -1,0 +1,183 @@
+#include "mc/executor.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace mcx {
+
+std::size_t resolveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::vector<Rng> splitSampleStreams(std::uint64_t seed, std::size_t samples) {
+  Rng root(seed);
+  std::vector<Rng> streams;
+  streams.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) streams.push_back(root.split());
+  return streams;
+}
+
+// One parallel-for job. Scheduling state is guarded by the job's own mutex
+// (not the pool's), and completion is signalled on the job's own condition
+// variable, so a caller blocked in run() depends only on the Job it shares
+// ownership of — never on pool memory that a racing destructor could free.
+struct ExecutorPool::Job {
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  const Fn* fn = nullptr;
+  const CancelToken* token = nullptr;
+
+  std::mutex m;
+  std::condition_variable done;
+  std::size_t cursor = 0;    ///< next unclaimed index
+  std::size_t inFlight = 0;  ///< threads currently executing a chunk
+  bool abandoned = false;    ///< cancelled / pool stopped / callback threw
+  std::exception_ptr error;
+
+  bool finished() const { return cursor >= n && inFlight == 0; }
+};
+
+ExecutorPool::ExecutorPool(std::size_t threads) {
+  const std::size_t total = resolveThreadCount(threads);
+  workers_.reserve(total - 1);
+  for (std::size_t w = 0; w + 1 < total; ++w)
+    workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ExecutorPool::~ExecutorPool() {
+  std::deque<std::shared_ptr<Job>> inflight;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    inflight = jobs_;
+    jobs_.clear();
+  }
+  // Abandon queued work: unclaimed chunks are dropped; callbacks already
+  // running finish normally; blocked run() callers wake and return false.
+  for (const std::shared_ptr<Job>& job : inflight) {
+    const std::lock_guard<std::mutex> lock(job->m);
+    job->cursor = job->n;
+    job->abandoned = true;
+    if (job->finished()) job->done.notify_all();
+  }
+  workReady_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    callersIdle_.wait(lock, [this] { return activeCallers_ == 0; });
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void ExecutorPool::workerLoop(std::size_t slot) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workReady_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_) return;
+      job = jobs_.front();  // FIFO: drain the oldest job first
+    }
+    runChunks(slot, job);
+  }
+}
+
+void ExecutorPool::runChunks(std::size_t slot, const std::shared_ptr<Job>& job) {
+  for (;;) {
+    std::size_t begin, end;
+    {
+      const std::lock_guard<std::mutex> lock(job->m);
+      if (job->cursor >= job->n) break;
+      if (job->token != nullptr && job->token->stopRequested()) {
+        job->cursor = job->n;
+        job->abandoned = true;
+        if (job->finished()) job->done.notify_all();
+        break;
+      }
+      begin = job->cursor;
+      end = std::min(job->n, begin + job->chunk);
+      job->cursor = end;
+      ++job->inFlight;
+    }
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job->fn)(slot, i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job->m);
+      if (!job->error) job->error = std::current_exception();
+      job->cursor = job->n;  // cancel remaining chunks
+      job->abandoned = true;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(job->m);
+      --job->inFlight;
+      if (job->finished()) job->done.notify_all();
+    }
+  }
+  // Retire the job from the queue once it has no unclaimed chunks, so idle
+  // workers stop rediscovering it. Any thread that observes exhaustion may
+  // do the removal; double removal is a no-op.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) jobs_.erase(it);
+}
+
+bool ExecutorPool::run(std::size_t n, const Fn& fn, const CancelToken* token) {
+  if (n == 0) return true;
+
+  // Inline fast path: no background workers (threads=1), or nothing worth
+  // scheduling. Preserves the historical "one thread runs everything on the
+  // caller, in order" behaviour the determinism tests pin.
+  if (workers_.empty() || n == 1) {
+    const std::size_t slot = workerCount();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (token != nullptr && token->stopRequested()) return false;
+      fn(slot, i);
+    }
+    return true;
+  }
+
+  const auto job = std::make_shared<Job>();
+  job->n = n;
+  // Small chunks balance load across samples of very different cost (a
+  // near-infeasible defect draw can take orders of magnitude longer).
+  job->chunk = std::max<std::size_t>(1, n / (slots() * 8));
+  job->fn = &fn;
+  job->token = token;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Pool is being torn down under us: refuse new work.
+      return false;
+    }
+    jobs_.push_back(job);
+    ++activeCallers_;
+  }
+  workReady_.notify_all();
+
+  runChunks(workerCount(), job);  // the caller contributes the last lane
+  {
+    std::unique_lock<std::mutex> lock(job->m);
+    job->done.wait(lock, [&job] { return job->finished(); });
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (--activeCallers_ == 0) callersIdle_.notify_all();
+  }
+
+  if (job->error) std::rethrow_exception(job->error);
+  return !job->abandoned;
+}
+
+void parallelForEach(std::size_t n, std::size_t threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Cap the transient pool at one lane per index, as the historical
+  // implementation did — spawning workers that could never claim a chunk
+  // would be pure start-up cost.
+  threads = std::min(resolveThreadCount(threads), std::max<std::size_t>(n, 1));
+  ExecutorPool pool(threads);
+  pool.run(n, fn);
+}
+
+}  // namespace mcx

@@ -1,0 +1,112 @@
+// Persistent worker pool for the Monte Carlo engines and the experiment
+// service.
+//
+// parallelForEach used to spawn and join a transient thread pool on every
+// call — fine for a one-shot bench, wrong for a long-running service where
+// every request would pay thread start-up and the OS would see an unbounded
+// churn of short-lived threads. ExecutorPool keeps the workers alive across
+// experiments: construct it once (the service owns one; benches may own one
+// per run), then run() any number of parallel-for jobs on it, concurrently
+// from several threads.
+//
+// Contracts carried over from the transient pool:
+//   - every index in [0, n) runs at most once, exactly once unless the job
+//     is cancelled or a callback throws;
+//   - callbacks receive a dense worker slot in [0, slots()) usable for
+//     per-worker scratch arenas (the calling thread participates and owns
+//     slot workerCount());
+//   - the first exception thrown by a callback cancels the job's remaining
+//     chunks and is rethrown on the run() caller;
+//   - determinism of results is the caller's contract: per-index state (RNG
+//     streams) must be pre-split so any schedule produces the same outputs.
+//
+// New contracts:
+//   - run() takes an optional CancelToken; when it fires, workers stop
+//     claiming chunks and run() returns false (cooperative abort — indices
+//     already started complete normally);
+//   - concurrent run() calls interleave on the same workers (each job has
+//     its own scratch-slot space: slots are per job, not globally unique);
+//   - destroying the pool with jobs in flight is safe: remaining chunks are
+//     dropped, in-flight callbacks finish, blocked run() callers wake and
+//     return false. Jobs keep their own completion state alive via
+//     shared_ptr, so a run() racing the destructor never touches freed pool
+//     state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mc/cancel.hpp"
+#include "util/rng.hpp"
+
+namespace mcx {
+
+class ExecutorPool {
+public:
+  using Fn = std::function<void(std::size_t slot, std::size_t index)>;
+
+  /// Total parallelism @p threads (0 = hardware concurrency): the pool
+  /// spawns threads-1 persistent workers and the run() caller contributes
+  /// the final lane.
+  explicit ExecutorPool(std::size_t threads = 0);
+
+  /// Drops unstarted chunks of in-flight jobs, lets running callbacks
+  /// finish, wakes blocked run() callers (they return false), joins.
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  /// Persistent background workers (total parallelism minus the caller).
+  std::size_t workerCount() const { return workers_.size(); }
+  /// Dense worker-slot space for per-worker scratch: workers occupy
+  /// [0, workerCount()), the run() caller workerCount().
+  std::size_t slots() const { return workers_.size() + 1; }
+
+  /// Invoke fn(slot, index) for indices in [0, n), up to once each, on the
+  /// pool workers plus the calling thread. Blocks until the job completes
+  /// or is abandoned. Returns true when every index ran; false when @p
+  /// token fired or the pool was destroyed mid-job. Rethrows the first
+  /// callback exception. Safe to call from multiple threads concurrently.
+  bool run(std::size_t n, const Fn& fn, const CancelToken* token = nullptr);
+
+private:
+  struct Job;
+
+  void workerLoop(std::size_t slot);
+  /// Claim and execute chunks of @p job until it is exhausted, cancelled,
+  /// or the pool is stopping. Returns with the job's bookkeeping updated.
+  void runChunks(std::size_t slot, const std::shared_ptr<Job>& job);
+
+  // Pool state, guarded by mutex_. Job completion state lives in the Job
+  // (shared_ptr), never here: a run() caller blocked on its job must stay
+  // safe even if the pool is destroyed under it.
+  std::mutex mutex_;
+  std::condition_variable workReady_;    ///< workers: a job was queued / stop
+  std::condition_variable callersIdle_;  ///< destructor: external callers left
+  std::deque<std::shared_ptr<Job>> jobs_;
+  std::size_t activeCallers_ = 0;  ///< run() callers currently inside pool code
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolve a thread-count knob: 0 = hardware concurrency (at least 1).
+std::size_t resolveThreadCount(std::size_t requested);
+
+/// One RNG stream per sample, split from the root in sample order — the
+/// thread-count-invariance anchor of every Monte Carlo engine: workers only
+/// ever consume their samples' streams, so any schedule draws identically.
+std::vector<Rng> splitSampleStreams(std::uint64_t seed, std::size_t samples);
+
+/// One-shot convenience over a transient ExecutorPool (the historical
+/// parallelForEach contract: no cancellation, throws on callback error).
+void parallelForEach(std::size_t n, std::size_t threads,
+                     const std::function<void(std::size_t worker, std::size_t index)>& fn);
+
+}  // namespace mcx

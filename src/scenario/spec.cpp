@@ -79,7 +79,22 @@ private:
     }
   }
 
+  // Containers recurse through parseValue; specs are shallow declarations,
+  // so a hard depth cap turns adversarial nesting ("[[[[[..." from a
+  // malformed service request) into a ParseError long before the parser
+  // could exhaust the stack.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) parser.fail("nesting deeper than 64 levels");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   SpecValue parseObject() {
+    const DepthGuard guard(*this);
     SpecValue v;
     v.kind = SpecValue::Kind::Object;
     expect('{');
@@ -100,6 +115,7 @@ private:
   }
 
   SpecValue parseArray() {
+    const DepthGuard guard(*this);
     SpecValue v;
     v.kind = SpecValue::Kind::Array;
     expect('[');
@@ -173,6 +189,7 @@ private:
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

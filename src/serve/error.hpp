@@ -1,0 +1,54 @@
+// Typed error taxonomy for the experiment service's request path.
+//
+// Every way a request can fail maps to exactly one machine-readable code,
+// so clients can branch on `error.code` instead of scraping message text,
+// and the daemon's counters can bucket failures without guessing:
+//
+//   parse              malformed JSON, unknown member, unresolvable
+//                      circuit/mapper/scenario name, out-of-range knob
+//   deadline_exceeded  the request's time budget ran out (admission
+//                      included); partial sample counts are reported
+//   cancelled          explicit cooperative cancellation (client drop,
+//                      shutdownNow); partial sample counts are reported
+//   overloaded         admission queue at capacity, or the service is
+//                      draining — the request was rejected *immediately*,
+//                      nothing was queued
+//   internal           everything else (synthesis failure, allocation
+//                      failure, engine invariant violation) — the request
+//                      died but the daemon did not
+#pragma once
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcx::serve {
+
+enum class ErrorCode { Parse, DeadlineExceeded, Cancelled, Overloaded, Internal };
+
+/// The wire label of a code (`"parse"`, `"deadline_exceeded"`, ...).
+const char* errorCodeLabel(ErrorCode code);
+
+/// The typed throw on the request path; the responder turns it into a
+/// structured `{"status":"error","error":{"code":...,"message":...}}`.
+class ServeError : public Error {
+public:
+  ServeError(ErrorCode code, const std::string& what) : Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+private:
+  ErrorCode code_;
+};
+
+inline const char* errorCodeLabel(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Parse: return "parse";
+    case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+}  // namespace mcx::serve

@@ -1,0 +1,358 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <new>
+#include <sstream>
+#include <utility>
+
+#include "api/experiment.hpp"
+#include "util/faultinject.hpp"
+
+namespace mcx::serve {
+
+namespace {
+
+/// Shared response prologue: {"id":..., "status":...}.
+void beginResponse(JsonWriter& json, const std::string& id, const char* status) {
+  json.beginObject();
+  json.field("id", id);
+  json.field("status", status);
+}
+
+std::string errorResponse(const std::string& id, ErrorCode code, const std::string& message,
+                          const ExperimentResult* partial = nullptr, double queueMs = -1,
+                          double totalMs = -1) {
+  std::ostringstream out;
+  JsonWriter json(out, /*pretty=*/false);
+  beginResponse(json, id, "error");
+  json.key("error");
+  json.beginObject();
+  json.field("code", errorCodeLabel(code));
+  json.field("message", message);
+  json.endObject();
+  if (partial != nullptr) {
+    // Deadline/cancel aborts report exactly how far the experiment got —
+    // the partial counts are real, well-labeled Monte Carlo results.
+    json.field("samples", partial->outcome.samples);
+    json.field("completed", partial->outcome.completed);
+    json.field("successes", partial->outcome.successes);
+    json.field("success_rate", partial->successRate());
+  }
+  if (queueMs >= 0) json.field("queue_ms", queueMs);
+  if (totalMs >= 0) json.field("total_ms", totalMs);
+  json.endObject();
+  return out.str();
+}
+
+std::string okResponse(const std::string& id, const ExperimentResult& result, double queueMs,
+                       double runMs, double totalMs) {
+  std::ostringstream out;
+  JsonWriter json(out, /*pretty=*/false);
+  beginResponse(json, id, "ok");
+  json.field("circuit", result.circuit);
+  json.field("mapper", result.mapper);
+  json.field("scenario", result.scenario);
+  json.field("rows", result.rows);
+  json.field("cols", result.cols);
+  json.field("samples", result.outcome.samples);
+  json.field("completed", result.outcome.completed);
+  json.field("successes", result.outcome.successes);
+  json.field("success_rate", result.successRate());
+  json.field("total_backtracks", result.outcome.totalBacktracks);
+  json.field("queue_ms", queueMs);
+  json.field("run_ms", runMs);
+  json.field("total_ms", totalMs);
+  json.endObject();
+  return out.str();
+}
+
+}  // namespace
+
+ExperimentService::ExperimentService(ServiceOptions options, Sink sink)
+    : options_(options),
+      defaultSink_(std::move(sink)),
+      cacheBaseline_(CircuitCache::global().stats()),
+      pool_(options.poolThreads) {
+  const std::size_t workers = std::max<std::size_t>(1, options_.requestThreads);
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentService::~ExperimentService() {
+  shutdownNow();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  workReady_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ExperimentService::bumpForCode(ErrorCode code) {
+  // Caller holds mutex_.
+  switch (code) {
+    case ErrorCode::Parse: ++counters_.parseErrors; break;
+    case ErrorCode::DeadlineExceeded: ++counters_.deadlineExceeded; break;
+    case ErrorCode::Cancelled: ++counters_.cancelled; break;
+    case ErrorCode::Overloaded: ++counters_.shedOverloaded; break;
+    case ErrorCode::Internal: ++counters_.internalErrors; break;
+  }
+}
+
+void ExperimentService::emit(const Sink& sink, const std::string& line) {
+  const std::lock_guard<std::mutex> lock(emitMutex_);
+  if (sink) {
+    sink(line);
+  } else if (defaultSink_) {
+    defaultSink_(line);
+  }
+}
+
+void ExperimentService::submit(const std::string& line, Sink sink) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.received;
+  }
+
+  // Parse + eager validation happen on the submitter's thread, before any
+  // queue interaction: a malformed request never occupies a queue slot.
+  Request request;
+  try {
+    faultinject::onSite("serve.enqueue");
+    request = parseRequest(line, options_.limits);
+  } catch (const ServeError& e) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      bumpForCode(e.code());
+    }
+    emit(sink, errorResponse(extractRequestId(line), e.code(), e.what()));
+    return;
+  } catch (const std::bad_alloc&) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.internalErrors;
+    }
+    emit(sink, errorResponse(extractRequestId(line), ErrorCode::Internal,
+                             "allocation failure at admission"));
+    return;
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->sink = std::move(sink);
+  pending->token = std::make_shared<CancelToken>();
+  // The deadline clock starts NOW, at admission: a request that waits out
+  // its whole budget in the queue is shed by its executor immediately.
+  const double deadline = pending->request.deadlineMillis.has_value()
+                              ? *pending->request.deadlineMillis
+                              : options_.defaultDeadlineMillis;
+  if (deadline > 0) pending->token->setDeadlineAfterMillis(deadline);
+
+  bool rejected = false;
+  const char* rejectReason = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stopping_) {
+      bumpForCode(ErrorCode::Overloaded);
+      rejected = true;
+      rejectReason = "service is draining";
+    } else if (queue_.size() >= options_.queueDepth) {
+      bumpForCode(ErrorCode::Overloaded);
+      rejected = true;
+      rejectReason = "admission queue full";
+    } else {
+      queue_.push_back(pending);
+      ++counters_.accepted;
+      counters_.queueHighWater =
+          std::max<std::uint64_t>(counters_.queueHighWater, queue_.size());
+    }
+  }
+  if (rejected) {
+    emit(pending->sink,
+         errorResponse(pending->request.id, ErrorCode::Overloaded, rejectReason));
+    return;
+  }
+  workReady_.notify_one();
+}
+
+void ExperimentService::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      pending = queue_.front();
+      queue_.pop_front();
+      inFlight_.push_back(pending->token);
+    }
+
+    execute(*pending);
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = std::find(inFlight_.begin(), inFlight_.end(), pending->token);
+      if (it != inFlight_.end()) inFlight_.erase(it);
+      if (queue_.empty() && inFlight_.empty()) idle_.notify_all();
+    }
+  }
+}
+
+void ExperimentService::execute(Pending& pending) {
+  const Request& req = pending.request;
+  const double queueMs = pending.admitted.millis();
+
+  // A request that spent its whole budget queued is answered without
+  // doing any work — the structured deadline_exceeded with zero samples.
+  if (pending.token->stopRequested()) {
+    const CancelToken::StopReason reason = pending.token->reason();
+    const ErrorCode code = reason == CancelToken::StopReason::Cancelled
+                               ? ErrorCode::Cancelled
+                               : ErrorCode::DeadlineExceeded;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      bumpForCode(code);
+    }
+    emit(pending.sink,
+         errorResponse(req.id, code,
+                       code == ErrorCode::Cancelled ? "cancelled before start"
+                                                    : "deadline exceeded in queue",
+                       nullptr, queueMs, pending.admitted.millis()));
+    return;
+  }
+
+  Stopwatch runWatch;
+  try {
+    ExperimentBuilder builder;
+    builder.circuit(req.circuit)
+        .mapper(req.mapper)
+        .samples(req.samples)
+        .seed(req.seed)
+        .spareRows(req.spareRows)
+        .cache(req.useCache)
+        .pool(&pool_)
+        .cancelToken(pending.token);
+    if (req.scenario != nullptr)
+      builder.scenario(req.scenario);
+    else
+      builder.legacyRates(req.legacyOpen, req.legacyClosed);
+    if (req.multiLevel.has_value()) builder.multiLevel(*req.multiLevel);
+
+    const ExperimentResult result = builder.run();
+    const double runMs = runWatch.millis();
+    const double totalMs = pending.admitted.millis();
+
+    if (result.outcome.aborted) {
+      const ErrorCode code = result.outcome.abortReason == "cancelled"
+                                 ? ErrorCode::Cancelled
+                                 : ErrorCode::DeadlineExceeded;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        bumpForCode(code);
+        counters_.samplesCompleted += result.outcome.completed;
+        counters_.busyMillis += runMs;
+      }
+      emit(pending.sink, errorResponse(req.id, code,
+                                       code == ErrorCode::Cancelled
+                                           ? "cancelled mid-experiment"
+                                           : "deadline exceeded mid-experiment",
+                                       &result, queueMs, totalMs));
+      return;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.completedOk;
+      counters_.samplesCompleted += result.outcome.completed;
+      counters_.busyMillis += runMs;
+    }
+    emit(pending.sink, okResponse(req.id, result, queueMs, runMs, totalMs));
+  } catch (const std::bad_alloc&) {
+    const std::lock_guard<std::mutex> lock(mutex_);  // counters under lock
+    ++counters_.internalErrors;
+    counters_.busyMillis += runWatch.millis();
+    emit(pending.sink, errorResponse(req.id, ErrorCode::Internal, "allocation failure",
+                                     nullptr, queueMs, pending.admitted.millis()));
+  } catch (const std::exception& e) {
+    // Synthesis failures, engine invariant violations, injected faults:
+    // the request dies with a structured `internal`, the daemon lives on.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.internalErrors;
+      counters_.busyMillis += runWatch.millis();
+    }
+    emit(pending.sink, errorResponse(req.id, ErrorCode::Internal, e.what(), nullptr,
+                                     queueMs, pending.admitted.millis()));
+  }
+}
+
+void ExperimentService::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  workReady_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && inFlight_.empty(); });
+}
+
+void ExperimentService::shutdownNow() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    for (const auto& pending : queue_) pending->token->cancel();
+    for (const auto& token : inFlight_) token->cancel();
+  }
+  drain();
+}
+
+bool ExperimentService::draining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+ServiceCounters ExperimentService::counters() const {
+  ServiceCounters snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = counters_;
+  }
+  const CircuitCache::Stats cache = CircuitCache::global().stats();
+  snapshot.circuitCacheHits = cache.hits - cacheBaseline_.hits;
+  snapshot.circuitCacheMisses = cache.misses - cacheBaseline_.misses;
+  snapshot.synthesisRuns = cache.coverMisses - cacheBaseline_.coverMisses;
+  return snapshot;
+}
+
+void ExperimentService::writeCountersJson(JsonWriter& json) const {
+  const ServiceCounters c = counters();
+  json.beginObject();
+  json.field("received", c.received);
+  json.field("accepted", c.accepted);
+  json.field("completed_ok", c.completedOk);
+  json.field("parse_errors", c.parseErrors);
+  json.field("shed_overloaded", c.shedOverloaded);
+  json.field("deadline_exceeded", c.deadlineExceeded);
+  json.field("cancelled", c.cancelled);
+  json.field("internal_errors", c.internalErrors);
+  json.field("queue_high_water", c.queueHighWater);
+  json.field("samples_completed", c.samplesCompleted);
+  json.field("busy_millis", c.busyMillis);
+  json.field("circuit_cache_hits", c.circuitCacheHits);
+  json.field("circuit_cache_misses", c.circuitCacheMisses);
+  json.field("synthesis_runs", c.synthesisRuns);
+  json.endObject();
+}
+
+std::string ExperimentService::countersJson(bool pretty) const {
+  std::ostringstream out;
+  JsonWriter json(out, pretty);
+  writeCountersJson(json);
+  return out.str();
+}
+
+}  // namespace mcx::serve

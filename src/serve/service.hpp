@@ -1,0 +1,152 @@
+// ExperimentService — the deadline-aware, load-shedding experiment engine
+// behind the mcx_serve daemon (and the serve-trace bench, which drives it
+// in-process).
+//
+// Robustness-first design:
+//   - ADMISSION CONTROL: a bounded FIFO queue. A request arriving when the
+//     queue is full is rejected immediately with a structured `overloaded`
+//     error — submit() never blocks and in-flight work is never displaced.
+//   - DEADLINES: every request's CancelToken is armed at admission, so time
+//     spent queued and in synthesis counts against the budget. Workers poll
+//     the token between Monte Carlo samples; a fired deadline yields a
+//     `deadline_exceeded` response carrying the partial sample counts.
+//   - COOPERATIVE CANCELLATION: shutdownNow() (and per-request cancel())
+//     fire tokens; workers abort between samples, never mid-sample, so the
+//     shared circuit cache and executor pool stay consistent.
+//   - GRACEFUL DRAIN: drain() stops admission (new requests shed as
+//     `overloaded`), finishes everything already admitted, and returns when
+//     the service is idle — the SIGTERM path of the daemon.
+//   - SHARED RESOURCES: one persistent ExecutorPool executes every
+//     experiment's samples; circuit compilation goes through the global
+//     CircuitCache, so concurrent requests that share a
+//     CircuitSpec::canonical() key coalesce into one synthesis (the cache
+//     compiles under its lock; late arrivals get the artifact for free —
+//     hit/miss counters are surfaced per service).
+//
+// Responses are emitted as compact JSON lines through the sink, exactly one
+// call per request, serialized (never concurrently). Ordering follows
+// completion, not submission — ids correlate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/cache.hpp"
+#include "mc/executor.hpp"
+#include "serve/error.hpp"
+#include "serve/request.hpp"
+#include "util/json_writer.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mcx::serve {
+
+struct ServiceOptions {
+  /// Admitted-but-not-started requests the service will hold before
+  /// shedding load. (In-flight requests do not count against the depth.)
+  std::size_t queueDepth = 64;
+  /// Concurrent request executors. Each takes one request at a time and
+  /// runs its samples on the shared pool.
+  std::size_t requestThreads = 1;
+  /// Parallelism of the shared sample pool (0 = hardware concurrency).
+  std::size_t poolThreads = 0;
+  /// Applied to requests that carry no deadline_ms (0 = no deadline).
+  double defaultDeadlineMillis = 0;
+  RequestLimits limits;
+};
+
+/// Monotonic service counters (a snapshot; taken under the service lock).
+struct ServiceCounters {
+  std::uint64_t received = 0;           ///< submit() calls
+  std::uint64_t accepted = 0;           ///< admitted to the queue
+  std::uint64_t completedOk = 0;        ///< "status":"ok" responses
+  std::uint64_t parseErrors = 0;        ///< `parse` responses
+  std::uint64_t shedOverloaded = 0;     ///< `overloaded` rejections
+  std::uint64_t deadlineExceeded = 0;   ///< `deadline_exceeded` responses
+  std::uint64_t cancelled = 0;          ///< `cancelled` responses
+  std::uint64_t internalErrors = 0;     ///< `internal` responses
+  std::uint64_t queueHighWater = 0;     ///< max queued-at-once observed
+  std::uint64_t samplesCompleted = 0;   ///< Monte Carlo samples actually run
+  double busyMillis = 0;                ///< summed per-request execution time
+  /// Global CircuitCache deltas since this service was constructed: how
+  /// often requests coalesced onto an already-compiled circuit.
+  std::uint64_t circuitCacheHits = 0;
+  std::uint64_t circuitCacheMisses = 0;
+  std::uint64_t synthesisRuns = 0;
+};
+
+class ExperimentService {
+public:
+  /// Receives one compact JSON line per response (no trailing newline).
+  /// Calls are serialized under the emission lock.
+  using Sink = std::function<void(const std::string& line)>;
+
+  ExperimentService(ServiceOptions options, Sink sink);
+  /// shutdownNow() semantics: fires every outstanding token, finishes, joins.
+  ~ExperimentService();
+
+  ExperimentService(const ExperimentService&) = delete;
+  ExperimentService& operator=(const ExperimentService&) = delete;
+
+  /// Parse, validate and admit one request line. Never blocks: the response
+  /// (or the parse/overloaded error) is either emitted synchronously here
+  /// or scheduled on a request thread. @p sink overrides the default sink
+  /// for THIS request's response (the daemon's per-connection routing).
+  void submit(const std::string& line, Sink sink = nullptr);
+
+  /// Stop admitting (subsequent submits shed as `overloaded`), finish every
+  /// admitted request, return when idle. Idempotent; safe from any thread.
+  void drain();
+
+  /// drain(), but firing every outstanding request's CancelToken first:
+  /// queued and running requests come back `cancelled` with partial counts.
+  void shutdownNow();
+
+  bool draining() const;
+
+  ServiceCounters counters() const;
+  void writeCountersJson(JsonWriter& json) const;
+  std::string countersJson(bool pretty = false) const;
+
+  const ServiceOptions& options() const { return options_; }
+  ExecutorPool& pool() { return pool_; }
+
+private:
+  struct Pending {
+    Request request;
+    Sink sink;  ///< null = service default
+    std::shared_ptr<CancelToken> token;
+    Stopwatch admitted;  ///< queue + execution latency clock
+  };
+
+  void workerLoop();
+  void execute(Pending& pending);
+  void emit(const Sink& sink, const std::string& line);
+  void bumpForCode(ErrorCode code);
+
+  ServiceOptions options_;
+  Sink defaultSink_;
+  CircuitCache::Stats cacheBaseline_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable workReady_;  ///< queue became non-empty / stopping
+  std::condition_variable idle_;       ///< queue empty and nothing in flight
+  std::deque<std::shared_ptr<Pending>> queue_;
+  std::vector<std::shared_ptr<CancelToken>> inFlight_;  ///< tokens being executed
+  ServiceCounters counters_;
+  bool draining_ = false;
+  bool stopping_ = false;
+
+  std::mutex emitMutex_;  ///< serializes sink calls (one line at a time)
+
+  ExecutorPool pool_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mcx::serve

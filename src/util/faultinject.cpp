@@ -1,0 +1,152 @@
+#include "util/faultinject.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+namespace mcx::faultinject {
+
+namespace detail {
+std::atomic<int> armedSites{0};
+}  // namespace detail
+
+namespace {
+
+struct SiteState {
+  Plan plan;
+  bool armed = false;
+  std::uint64_t hits = 0;   ///< times the site was reached while armed
+  std::uint64_t fired = 0;  ///< times the plan actually fired
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // immortal: sites fire during shutdown too
+  return *r;
+}
+
+void syncArmedCount(Registry& r) {
+  int armed = 0;
+  for (const auto& [name, state] : r.sites)
+    if (state.armed) ++armed;
+  detail::armedSites.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+void onSiteSlow(const char* site) {
+  Kind kind{};
+  double stallMillis = 0;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end() || !it->second.armed) return;
+    SiteState& state = it->second;
+    ++state.hits;
+    if (state.hits <= state.plan.skip) return;
+    if (state.fired >= state.plan.times) return;
+    ++state.fired;
+    kind = state.plan.kind;
+    stallMillis = state.plan.stallMillis;
+  }
+  // Fire outside the lock: a stall must not serialize every other site.
+  switch (kind) {
+    case Kind::Throw:
+      throw FaultInjected(std::string("fault injected at site \"") + site + "\"");
+    case Kind::BadAlloc: throw std::bad_alloc();
+    case Kind::Stall:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(stallMillis));
+      return;
+  }
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, const Plan& plan) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  SiteState& state = r.sites[site];
+  state.plan = plan;
+  state.armed = true;
+  state.fired = 0;
+  syncArmedCount(r);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.armed = false;
+  syncArmedCount(r);
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.sites.clear();
+  syncArmedCount(r);
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+void armFromSpec(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw ParseError("faultinject: entry \"" + entry + "\" is not site=kind");
+    const std::string site = entry.substr(0, eq);
+    const std::string kind = entry.substr(eq + 1);
+
+    Plan plan;
+    if (kind == "throw") {
+      plan.kind = Kind::Throw;
+    } else if (kind == "badalloc") {
+      plan.kind = Kind::BadAlloc;
+    } else if (kind.rfind("stall:", 0) == 0) {
+      plan.kind = Kind::Stall;
+      const std::string ms = kind.substr(6);
+      const auto [end, ec] =
+          std::from_chars(ms.data(), ms.data() + ms.size(), plan.stallMillis);
+      if (ec != std::errc() || end != ms.data() + ms.size() || plan.stallMillis < 0)
+        throw ParseError("faultinject: bad stall millis in \"" + entry + "\"");
+    } else {
+      throw ParseError("faultinject: unknown kind \"" + kind +
+                       "\" (want throw | badalloc | stall:<ms>)");
+    }
+    arm(site, plan);
+  }
+}
+
+void armFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("MCX_FAULTINJECT");
+    if (spec != nullptr && *spec != '\0') armFromSpec(spec);
+  });
+}
+
+}  // namespace mcx::faultinject

@@ -1,0 +1,89 @@
+// mcx::faultinject — compiled-in, env/flag-armed fault injection.
+//
+// A long-running service's failure behaviour (deadline enforcement, load
+// shedding, clean drain) can only be *tested* if failures can be produced
+// on demand: synthesis that throws, samples that stall long enough to blow
+// a deadline, allocations that fail at admission. Product code calls
+// onSite("name") at the few interesting sites; the hook is a single relaxed
+// atomic load when nothing is armed (the permanent production state), and
+// consults a mutex-guarded plan table when something is.
+//
+// Arming:
+//   - programmatic (tests): faultinject::arm("mc.sample", {Kind::Stall, 5.0});
+//   - environment (whole-process, e.g. under the daemon):
+//       MCX_FAULTINJECT="circuit.synthesize=throw;mc.sample=stall:5"
+//     entries are ';'-separated `site=kind` with kind one of
+//       throw | badalloc | stall:<millis>
+//     parsed once on first use; a malformed value aborts start-up loudly
+//     (a fault plan that silently doesn't arm would fake test coverage).
+//
+// Sites compiled into the library:
+//   circuit.synthesize — start of every (uncached) circuit build
+//   mc.sample          — start of every Monte Carlo sample
+//   serve.enqueue      — experiment-service request admission
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mcx {
+
+/// What an armed Throw site raises: a distinct type so tests (and the
+/// service's `internal` taxonomy bucket) can tell injected faults apart.
+class FaultInjected : public Error {
+public:
+  explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+namespace faultinject {
+
+enum class Kind {
+  Throw,     ///< throw mcx::FaultInjected
+  BadAlloc,  ///< throw std::bad_alloc (the allocation-failure stand-in)
+  Stall,     ///< sleep stallMillis (forces deadline misses / slow requests)
+};
+
+struct Plan {
+  Kind kind = Kind::Throw;
+  double stallMillis = 0;
+  /// Let this many hits pass unharmed before firing (e.g. fail only the
+  /// third synthesis).
+  std::uint64_t skip = 0;
+  /// Fire at most this many times, then fall dormant (hit counting
+  /// continues).
+  std::uint64_t times = UINT64_MAX;
+};
+
+namespace detail {
+extern std::atomic<int> armedSites;  ///< fast-path gate
+void onSiteSlow(const char* site);
+}  // namespace detail
+
+/// The product-code hook: no-op unless some site is armed.
+inline void onSite(const char* site) {
+  if (detail::armedSites.load(std::memory_order_relaxed) == 0) return;
+  detail::onSiteSlow(site);
+}
+
+/// Arm @p site with @p plan (replacing any existing plan for the site).
+void arm(const std::string& site, const Plan& plan);
+/// Disarm one site (hit counts are kept until reset()).
+void disarm(const std::string& site);
+/// Disarm everything and zero all hit counts (test teardown).
+void reset();
+/// Times onSite(site) was reached while the registry was active (armed
+/// sites only; counts keep accumulating after `times` fires are spent).
+std::uint64_t hits(const std::string& site);
+
+/// Parse and arm a MCX_FAULTINJECT-style spec ("a=throw;b=stall:5").
+/// Throws mcx::ParseError on malformed entries.
+void armFromSpec(const std::string& spec);
+/// Arm from the MCX_FAULTINJECT environment variable, once per process
+/// (subsequent calls are no-ops). Called by the daemon at start-up.
+void armFromEnv();
+
+}  // namespace faultinject
+}  // namespace mcx

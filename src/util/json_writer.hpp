@@ -15,7 +15,10 @@ namespace mcx {
 
 class JsonWriter {
 public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {}
+  /// @p pretty: indented multi-line output (the bench files). Pass false
+  /// for compact single-line output — the experiment service's JSON-lines
+  /// protocol, where one response must be exactly one '\n'-terminated line.
+  explicit JsonWriter(std::ostream& out, bool pretty = true) : out_(out), pretty_(pretty) {}
 
   JsonWriter& beginObject() { return open('{'); }
   JsonWriter& endObject() { return close('}'); }
@@ -75,9 +78,9 @@ private:
   }
 
   JsonWriter& close(char c) {
-    out_ << '\n';
+    if (pretty_) out_ << '\n';
     hasEntry_.pop_back();
-    indent();
+    if (pretty_) indent();
     out_ << c;
     return *this;
   }
@@ -89,9 +92,9 @@ private:
     }
     if (hasEntry_.empty()) return;
     if (hasEntry_.back()) out_ << ',';
-    out_ << '\n';
+    if (pretty_) out_ << '\n';
     hasEntry_.back() = true;
-    indent();
+    if (pretty_) indent();
   }
 
   void indent() {
@@ -115,6 +118,7 @@ private:
   std::ostream& out_;
   std::vector<bool> hasEntry_;
   bool pendingKey_ = false;
+  bool pretty_ = true;
 };
 
 }  // namespace mcx

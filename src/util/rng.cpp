@@ -14,6 +14,18 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
 }
+
+// std::lgamma stores its sign result in the libm global `signgam`, so
+// concurrent per-worker samplers race on it (TSan-visible). The reentrant
+// variant returns the bit-identical value without touching shared state.
+double logGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -71,8 +83,8 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
   std::uint64_t mode = static_cast<std::uint64_t>((nd + 1.0) * p);
   if (mode > n) mode = n;
   const double md = static_cast<double>(mode);
-  const double logPm = std::lgamma(nd + 1.0) - std::lgamma(md + 1.0) -
-                       std::lgamma(nd - md + 1.0) + md * std::log(p) +
+  const double logPm = logGamma(nd + 1.0) - logGamma(md + 1.0) -
+                       logGamma(nd - md + 1.0) + md * std::log(p) +
                        (nd - md) * std::log1p(-p);
   const double pMode = std::exp(logPm);
   const double odds = p / (1.0 - p);

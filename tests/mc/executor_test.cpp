@@ -1,0 +1,178 @@
+#include "mc/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "mc/cancel.hpp"
+
+namespace mcx {
+namespace {
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<std::atomic<int>> hits(137);
+    parallelForEach(hits.size(), threads,
+                    [&](std::size_t, std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParallelForEach, WorkerIdsAreDense) {
+  const std::size_t threads = 4;
+  std::atomic<std::size_t> bad{0};
+  parallelForEach(1000, threads, [&](std::size_t worker, std::size_t) {
+    if (worker >= threads) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(ParallelForEach, EmptyRangeIsANoOp) {
+  std::atomic<int> calls{0};
+  parallelForEach(0, 4, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForEach, PropagatesTheFirstException) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_THROW(parallelForEach(100, threads,
+                                 [](std::size_t, std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolveThreadCount(0), 1u);
+  EXPECT_EQ(resolveThreadCount(3), 3u);
+}
+
+TEST(ExecutorPool, CoversEveryIndexAtAnyParallelism) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ExecutorPool pool(threads);
+    EXPECT_EQ(pool.slots(), std::max<std::size_t>(threads, 1));
+    std::vector<std::atomic<int>> hits(211);
+    const bool completed = pool.run(
+        hits.size(), [&](std::size_t, std::size_t i) { hits[i].fetch_add(1); });
+    EXPECT_TRUE(completed);
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ExecutorPool, SlotIdsStayWithinSlots) {
+  ExecutorPool pool(4);
+  std::atomic<std::size_t> bad{0};
+  pool.run(1000, [&](std::size_t slot, std::size_t) {
+    if (slot >= pool.slots()) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(ExecutorPool, IsReusableAcrossManyRuns) {
+  // One pool, many experiments: the daemon's usage pattern. Each run must
+  // cover its own range exactly, with no bleed-through between runs.
+  ExecutorPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(97);
+    EXPECT_TRUE(pool.run(hits.size(), [&](std::size_t, std::size_t i) { hits[i].fetch_add(1); }));
+    for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ExecutorPool, RunStopsEarlyWhenTheTokenFires) {
+  ExecutorPool pool(2);
+  CancelToken token;
+  std::atomic<int> started{0};
+  const bool completed = pool.run(
+      10000,
+      [&](std::size_t, std::size_t) {
+        if (started.fetch_add(1) == 10) token.cancel();
+      },
+      &token);
+  EXPECT_FALSE(completed);
+  // Well under the full range: only chunks already claimed when the token
+  // fired may still run.
+  EXPECT_LT(started.load(), 10000);
+}
+
+TEST(ExecutorPool, ExpiredDeadlineTokenStopsTheRun) {
+  ExecutorPool pool(2);
+  CancelToken token;
+  token.setDeadlineAfterMillis(5);
+  std::atomic<int> calls{0};
+  const bool completed = pool.run(
+      100000,
+      [&](std::size_t, std::size_t) {
+        calls.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      },
+      &token);
+  EXPECT_FALSE(completed);
+  EXPECT_LT(calls.load(), 100000);
+}
+
+TEST(ExecutorPool, PropagatesCallbackExceptions) {
+  ExecutorPool pool(4);
+  EXPECT_THROW(pool.run(500,
+                        [](std::size_t, std::size_t i) {
+                          if (i == 137) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // The pool survives the throwing run.
+  std::atomic<int> calls{0};
+  EXPECT_TRUE(pool.run(50, [&](std::size_t, std::size_t) { calls.fetch_add(1); }));
+  EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(ExecutorPool, DestructionWithWorkInFlightReleasesTheCaller) {
+  // A caller blocked in run() while the pool is destroyed on another thread
+  // must come back (with completed == false), never deadlock or crash.
+  auto pool = std::make_unique<ExecutorPool>(4);
+  std::atomic<bool> running{false};
+  std::atomic<bool> release{false};
+  bool completed = true;
+
+  std::thread caller([&] {
+    completed = pool->run(100000, [&](std::size_t, std::size_t) {
+      running.store(true);
+      while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  });
+  while (!running.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::thread destroyer([&] { pool.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true);  // let the in-flight callbacks finish
+  destroyer.join();
+  caller.join();
+  EXPECT_FALSE(completed) << "an abandoned run must not claim completion";
+}
+
+TEST(ExecutorPool, ConcurrentRunsFromSeveralCallersAllComplete) {
+  ExecutorPool pool(4);
+  constexpr int kCallers = 6;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(143);
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kCallers; ++c)
+    callers.emplace_back([&, c] {
+      if (!pool.run(hits[c].size(),
+                    [&, c](std::size_t, std::size_t i) { hits[c][i].fetch_add(1); }))
+        failures.fetch_add(1);
+    });
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int c = 0; c < kCallers; ++c)
+    for (std::size_t i = 0; i < hits[c].size(); ++i) ASSERT_EQ(hits[c][i].load(), 1);
+}
+
+}  // namespace
+}  // namespace mcx

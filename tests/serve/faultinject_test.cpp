@@ -1,0 +1,94 @@
+// The fault-injection layer itself: arming semantics, plan kinds, spec
+// parsing — the machinery every failure-path test in this directory leans on.
+#include "util/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+
+#include "util/error.hpp"
+
+namespace mcx {
+namespace {
+
+using faultinject::Kind;
+using faultinject::Plan;
+
+class FaultInjectTest : public ::testing::Test {
+protected:
+  void TearDown() override { faultinject::reset(); }
+};
+
+TEST_F(FaultInjectTest, UnarmedSiteIsANoOp) {
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_EQ(faultinject::hits("mc.sample"), 0u);
+}
+
+TEST_F(FaultInjectTest, ArmedThrowSiteRaisesFaultInjected) {
+  faultinject::arm("mc.sample", {Kind::Throw, 0, 0, UINT64_MAX});
+  EXPECT_THROW(faultinject::onSite("mc.sample"), FaultInjected);
+  // Other sites stay unaffected while one is armed.
+  EXPECT_NO_THROW(faultinject::onSite("circuit.synthesize"));
+  EXPECT_EQ(faultinject::hits("mc.sample"), 1u);
+}
+
+TEST_F(FaultInjectTest, BadAllocKindRaisesBadAlloc) {
+  faultinject::arm("serve.enqueue", {Kind::BadAlloc, 0, 0, UINT64_MAX});
+  EXPECT_THROW(faultinject::onSite("serve.enqueue"), std::bad_alloc);
+}
+
+TEST_F(FaultInjectTest, StallKindSleeps) {
+  faultinject::arm("mc.sample", {Kind::Stall, 20.0, 0, UINT64_MAX});
+  const auto start = std::chrono::steady_clock::now();
+  faultinject::onSite("mc.sample");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 15);
+}
+
+TEST_F(FaultInjectTest, SkipLetsEarlyHitsPass) {
+  faultinject::arm("mc.sample", {Kind::Throw, 0, /*skip=*/2, UINT64_MAX});
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_THROW(faultinject::onSite("mc.sample"), FaultInjected);
+}
+
+TEST_F(FaultInjectTest, TimesBoundsTheFires) {
+  faultinject::arm("mc.sample", {Kind::Throw, 0, 0, /*times=*/1});
+  EXPECT_THROW(faultinject::onSite("mc.sample"), FaultInjected);
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));  // budget spent
+  EXPECT_EQ(faultinject::hits("mc.sample"), 2u);      // hit counting continues
+}
+
+TEST_F(FaultInjectTest, DisarmStopsFiringButKeepsCounts) {
+  faultinject::arm("mc.sample", {Kind::Throw, 0, 0, UINT64_MAX});
+  EXPECT_THROW(faultinject::onSite("mc.sample"), FaultInjected);
+  faultinject::disarm("mc.sample");
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_EQ(faultinject::hits("mc.sample"), 1u);
+}
+
+TEST_F(FaultInjectTest, ResetClearsEverything) {
+  faultinject::arm("mc.sample", {Kind::Throw, 0, 0, UINT64_MAX});
+  EXPECT_THROW(faultinject::onSite("mc.sample"), FaultInjected);
+  faultinject::reset();
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_EQ(faultinject::hits("mc.sample"), 0u);
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecParsesTheEnvFormat) {
+  faultinject::armFromSpec("circuit.synthesize=throw;mc.sample=stall:1;serve.enqueue=badalloc");
+  EXPECT_THROW(faultinject::onSite("circuit.synthesize"), FaultInjected);
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));  // stall, doesn't throw
+  EXPECT_THROW(faultinject::onSite("serve.enqueue"), std::bad_alloc);
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecRejectsMalformedEntries) {
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample"), ParseError);
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=explode"), ParseError);
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=stall:abc"), ParseError);
+  EXPECT_THROW(faultinject::armFromSpec("=throw"), ParseError);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,40 @@
+# Graceful-drain contract: SIGTERM while a request is in flight.
+# The daemon must finish the admitted request, emit its response, flush the
+# counters JSON to stderr and exit 0 — never abort mid-experiment.
+#
+# Usage: sh sigterm_drain.sh <path-to-mcx_serve>
+SERVE="$1"
+[ -x "$SERVE" ] || { echo "mcx_serve binary not found: $SERVE"; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# A fifo held open by this script keeps the daemon's stdin from hitting EOF,
+# so the exit we observe is the signal path, not the end-of-input path.
+mkfifo "$workdir/in"
+"$SERVE" --queue-depth 8 --request-threads 1 --pool-threads 1 \
+  < "$workdir/in" > "$workdir/out.jsonl" 2> "$workdir/err.log" &
+daemon=$!
+exec 3> "$workdir/in"
+
+# A request big enough to still be running when the signal lands.
+echo '{"id": "slow", "circuit": "sqrt8-min", "mapper": "hba", "samples": 400, "seed": 3}' >&3
+
+# Give the daemon a moment to admit the request, then signal mid-flight.
+sleep 1
+kill -TERM "$daemon"
+wait "$daemon"
+status=$?
+exec 3>&-
+
+fail() { echo "FAIL: $1"; echo "--- stdout:"; cat "$workdir/out.jsonl"; echo "--- stderr:"; cat "$workdir/err.log"; exit 1; }
+
+[ "$status" -eq 0 ] || fail "daemon exited $status after SIGTERM (want 0)"
+grep -q 'SIGTERM' "$workdir/err.log" || fail "missing SIGTERM drain notice"
+# The in-flight request completed in full during the drain.
+grep '"id": "slow"' "$workdir/out.jsonl" | grep -q '"status": "ok"' \
+  || fail "in-flight request did not complete during drain"
+grep '"id": "slow"' "$workdir/out.jsonl" | grep -q '"completed": 400' \
+  || fail "in-flight request was cut short"
+grep -q '"completed_ok": 1' "$workdir/err.log" || fail "counters not flushed"
+echo "PASS"

@@ -1,0 +1,39 @@
+# End-to-end stdin/stdout round trip through a real mcx_serve process:
+# ok, parse-error and overload-free mixed traffic; counters on stderr.
+#
+# Usage: sh stdin_roundtrip.sh <path-to-mcx_serve>
+set -e
+SERVE="$1"
+[ -x "$SERVE" ] || { echo "mcx_serve binary not found: $SERVE"; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+cat > "$workdir/requests.jsonl" <<'EOF'
+{"id": "ok-1", "circuit": "rd53-min", "mapper": "hba", "samples": 5, "seed": 7}
+{"id": "bad-json", "circuit": "rd53-min",
+{"id": "bad-circuit", "circuit": "no-such-circuit", "samples": 5}
+{"id": "ok-2", "circuit": "rd53-min", "scenario": "clustered", "rate": 0.05, "samples": 5}
+EOF
+
+"$SERVE" --queue-depth 8 --request-threads 1 --pool-threads 1 \
+  < "$workdir/requests.jsonl" > "$workdir/out.jsonl" 2> "$workdir/err.log"
+status=$?
+[ "$status" -eq 0 ] || { echo "daemon exited $status"; cat "$workdir/err.log"; exit 1; }
+
+fail() { echo "FAIL: $1"; echo "--- stdout:"; cat "$workdir/out.jsonl"; echo "--- stderr:"; cat "$workdir/err.log"; exit 1; }
+
+[ "$(wc -l < "$workdir/out.jsonl")" -eq 4 ] || fail "expected 4 response lines"
+grep -q '"id": "ok-1"' "$workdir/out.jsonl" || fail "missing ok-1 response"
+grep '"id": "ok-1"' "$workdir/out.jsonl" | grep -q '"status": "ok"' || fail "ok-1 not ok"
+grep '"id": "ok-1"' "$workdir/out.jsonl" | grep -q '"completed": 5' || fail "ok-1 completed != 5"
+# The truncated line has no recoverable id but must still answer `parse`.
+grep -q '"code": "parse"' "$workdir/out.jsonl" || fail "no parse error emitted"
+grep '"id": "bad-circuit"' "$workdir/out.jsonl" | grep -q '"code": "parse"' \
+  || fail "bad-circuit not rejected as parse"
+grep '"id": "ok-2"' "$workdir/out.jsonl" | grep -q '"status": "ok"' || fail "ok-2 not ok"
+# Counters land on stderr as one JSON object after the drain.
+grep -q '"received": 4' "$workdir/err.log" || fail "counters missing received=4"
+grep -q '"completed_ok": 2' "$workdir/err.log" || fail "counters missing completed_ok=2"
+grep -q '"parse_errors": 2' "$workdir/err.log" || fail "counters missing parse_errors=2"
+echo "PASS"

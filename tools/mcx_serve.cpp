@@ -1,0 +1,306 @@
+// mcx_serve — the deadline-aware experiment daemon.
+//
+// Speaks JSON lines: one experiment request per line in, one response line
+// per request out (see src/serve/request.hpp for the schema and
+// src/serve/error.hpp for the error taxonomy). Two transports:
+//
+//   mcx_serve                      stdin -> stdout (responses), counters on
+//                                  stderr at exit
+//   mcx_serve --socket /tmp/mcx   unix stream socket; each connection gets
+//                                  its own responses back
+//
+// Robustness contract:
+//   - requests are validated eagerly; malformed input gets a structured
+//     `parse` error, never a crash
+//   - the admission queue is bounded (--queue-depth); over capacity the
+//     request is shed immediately with `overloaded`
+//   - SIGINT/SIGTERM drain gracefully: stop admitting, finish in-flight
+//     work, flush the counters JSON to stderr, exit 0
+//   - MCX_FAULTINJECT arms the fault-injection sites (testing only)
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/service.hpp"
+#include "util/arg_parser.hpp"
+#include "util/faultinject.hpp"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; the poll loop wakes up and
+// begins the drain. Async-signal-safe (write only).
+int gSignalPipe[2] = {-1, -1};
+std::atomic<int> gSignal{0};
+
+void onSignal(int sig) {
+  gSignal.store(sig, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(gSignalPipe[1], &byte, 1);
+}
+
+bool installSignalHandlers() {
+  if (::pipe(gSignalPipe) != 0) return false;
+  ::fcntl(gSignalPipe[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(gSignalPipe[1], F_SETFL, O_NONBLOCK);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = onSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads return EINTR and re-poll
+  if (::sigaction(SIGINT, &sa, nullptr) != 0) return false;
+  if (::sigaction(SIGTERM, &sa, nullptr) != 0) return false;
+  ::signal(SIGPIPE, SIG_IGN);  // a client hanging up must not kill the daemon
+  return true;
+}
+
+/// Append a newline and write the whole buffer, retrying partial writes.
+/// Returns false when the peer is gone (the response is dropped; the
+/// experiment still ran and the counters still account for it).
+bool writeLine(int fd, const std::string& line) {
+  std::string buffer = line;
+  buffer.push_back('\n');
+  std::size_t off = 0;
+  while (off < buffer.size()) {
+    const ssize_t n = ::write(fd, buffer.data() + off, buffer.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Split complete lines out of a connection's accumulation buffer and submit
+/// each. Blank lines are ignored (keep-alives / trailing newlines).
+void submitLines(mcx::serve::ExperimentService& service, std::string& buffer,
+                 const mcx::serve::ExperimentService::Sink& sink) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buffer.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = buffer.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = nl + 1;
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    service.submit(line, sink);
+  }
+  buffer.erase(0, start);
+}
+
+/// stdin -> stdout mode. Returns when stdin hits EOF or a signal arrives.
+void runStdinLoop(mcx::serve::ExperimentService& service) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    struct pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {gSignalPipe[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGINT/SIGTERM: start the drain
+    if (fds[0].revents == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {  // EOF: submit any unterminated trailing line, then drain
+      if (!buffer.empty()) buffer.push_back('\n');
+      submitLines(service, buffer, nullptr);
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    submitLines(service, buffer, nullptr);
+  }
+}
+
+/// Write end of a connection, shared between the event loop (which closes
+/// it) and the service's request threads (which respond on it). The mutex
+/// orders responses against close(), so a late response to a hung-up client
+/// is dropped instead of racing a reused fd.
+struct ConnWriter {
+  std::mutex mutex;
+  int fd = -1;
+  bool closed = false;
+
+  void write(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!closed) writeLine(fd, line);
+  }
+  void close() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!closed) ::close(fd);
+    closed = true;
+  }
+};
+
+struct Connection {
+  std::string buffer;
+  std::shared_ptr<ConnWriter> writer = std::make_shared<ConnWriter>();
+};
+
+/// Unix-socket mode: a single-threaded accept+read event loop; responses are
+/// written back to the originating connection from the service's request
+/// threads (serialized per connection).
+int runSocketLoop(mcx::serve::ExperimentService& service, const std::string& path) {
+  ::unlink(path.c_str());
+  const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd < 0) {
+    std::cerr << "mcx_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "mcx_serve: socket path too long\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listenFd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listenFd, 16) != 0) {
+    std::cerr << "mcx_serve: bind/listen " << path << ": " << std::strerror(errno) << "\n";
+    ::close(listenFd);
+    return 1;
+  }
+  std::cerr << "mcx_serve: listening on " << path << "\n";
+
+  std::vector<std::unique_ptr<Connection>> connections;
+  char chunk[4096];
+  for (;;) {
+    std::vector<struct pollfd> fds;
+    fds.push_back({gSignalPipe[0], POLLIN, 0});
+    fds.push_back({listenFd, POLLIN, 0});
+    for (const auto& conn : connections) fds.push_back({conn->writer->fd, POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // signal: drain and exit
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      const int fd = ::accept(listenFd, nullptr, nullptr);
+      if (fd >= 0) {
+        auto conn = std::make_unique<Connection>();
+        conn->writer->fd = fd;
+        connections.push_back(std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 0; i < connections.size();) {
+      Connection& conn = *connections[i];
+      const short revents = fds[2 + i].revents;
+      bool closed = false;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        const ssize_t n = ::read(conn.writer->fd, chunk, sizeof(chunk));
+        if (n > 0) {
+          conn.buffer.append(chunk, static_cast<std::size_t>(n));
+          const std::shared_ptr<ConnWriter> writer = conn.writer;
+          submitLines(service, conn.buffer,
+                      [writer](const std::string& line) { writer->write(line); });
+        } else if (n == 0 || (n < 0 && errno != EINTR)) {
+          closed = true;
+        }
+      }
+      if (closed) {
+        // In-flight requests for this connection still finish; their late
+        // responses are dropped by the ConnWriter's closed latch.
+        conn.writer->close();
+        connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(i));
+        break;  // fds indices are stale after erase; re-poll
+      }
+      ++i;
+    }
+  }
+
+  service.drain();
+  for (const auto& conn : connections) conn->writer->close();
+  ::close(listenFd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcx::serve::ServiceOptions options;
+  std::string socketPath;
+  double defaultDeadline = 0;
+  std::size_t maxSamples = options.limits.maxSamples;
+
+  mcx::cli::ArgParser parser(
+      "mcx_serve",
+      "Deadline-aware experiment service: JSON-lines requests on stdin (or a "
+      "unix socket), one JSON response line per request, structured errors, "
+      "bounded admission, graceful SIGTERM drain.");
+  parser.add("--queue-depth", &options.queueDepth, "N",
+             "admitted-but-unstarted requests held before shedding (default 64)");
+  parser.add("--request-threads", &options.requestThreads, "N",
+             "concurrent request executors (default 1)");
+  parser.add("--pool-threads", &options.poolThreads, "N",
+             "sample-pool parallelism shared by all requests (0 = hardware)");
+  parser.add("--default-deadline-ms", &defaultDeadline, "MS",
+             "deadline applied to requests without deadline_ms (0 = none)");
+  parser.add("--max-samples", &maxSamples, "N",
+             "per-request sample cap enforced at parse time");
+  parser.add("--socket", &socketPath, "PATH",
+             "serve a unix stream socket instead of stdin/stdout");
+
+  switch (parser.parse(argc, argv, std::cout, std::cerr)) {
+    case mcx::cli::ArgParser::Outcome::Ok: break;
+    case mcx::cli::ArgParser::Outcome::Handled: return 0;
+    case mcx::cli::ArgParser::Outcome::Error: return 2;
+  }
+  options.defaultDeadlineMillis = defaultDeadline;
+  options.limits.maxSamples = maxSamples;
+
+  try {
+    mcx::faultinject::armFromEnv();
+  } catch (const std::exception& e) {
+    std::cerr << "mcx_serve: MCX_FAULTINJECT: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!installSignalHandlers()) {
+    std::cerr << "mcx_serve: failed to install signal handlers\n";
+    return 1;
+  }
+
+  int exitCode = 0;
+  {
+    mcx::serve::ExperimentService service(options, [](const std::string& line) {
+      std::cout << line << "\n" << std::flush;
+    });
+
+    if (socketPath.empty())
+      runStdinLoop(service);
+    else
+      exitCode = runSocketLoop(service, socketPath);
+
+    // Graceful drain: stop admitting, finish everything admitted. The
+    // counters are the service's last words, flushed to stderr so response
+    // parsing on stdout never sees them.
+    service.drain();
+    const int sig = gSignal.load(std::memory_order_relaxed);
+    if (sig != 0)
+      std::cerr << "mcx_serve: received " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                << ", drained\n";
+    std::cerr << service.countersJson(false) << std::endl;
+  }
+  return exitCode;
+}
