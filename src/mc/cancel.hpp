@@ -46,8 +46,17 @@ public:
     setDeadline(Clock::now() + std::chrono::duration_cast<Clock::duration>(budget));
   }
   /// Convenience for the service's millisecond-denominated request budgets.
+  /// `ms` can be client-controlled (a request's deadline_ms), so the
+  /// nanosecond conversion saturates instead of overflowing: a non-positive
+  /// or NaN budget expires immediately, and anything past ~28 years clamps
+  /// there — indistinguishable from "no deadline" for a real request, and
+  /// far enough below int64 max that now() + budget cannot wrap either.
   void setDeadlineAfterMillis(double ms) {
-    setDeadlineAfter(std::chrono::nanoseconds(static_cast<std::int64_t>(ms * 1e6)));
+    constexpr double kMaxNanos = 9.0e17;  // ~28.5 years
+    double ns = ms * 1e6;
+    if (!(ns >= 0)) ns = 0;  // negative or NaN: already expired
+    if (ns > kMaxNanos) ns = kMaxNanos;
+    setDeadlineAfter(std::chrono::nanoseconds(static_cast<std::int64_t>(ns)));
   }
 
   bool hasDeadline() const {

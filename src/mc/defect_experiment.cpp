@@ -120,14 +120,6 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
   }, token);
   const double wallSeconds = wall.seconds();
 
-  if (token != nullptr) {
-    const CancelToken::StopReason reason = token->reason();
-    if (reason != CancelToken::StopReason::None) {
-      result.aborted = true;
-      result.abortReason = CancelToken::reasonLabel(reason);
-    }
-  }
-
   // Merge per-sample outcomes deterministically, in sample order; skipped
   // samples of an aborted run contribute nothing.
   for (std::size_t s = 0; s < config.samples; ++s) {
@@ -136,6 +128,18 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
     ++result.completed;
     if (out.success) ++result.successes;
     result.totalBacktracks += out.backtracks;
+  }
+
+  // Label the abort only when the token actually cut the run short. The
+  // completed count is the ground truth: a deadline that expires between
+  // the last sample finishing and this check did not abort anything, and
+  // the full result must not be reported as an error.
+  if (token != nullptr && result.completed < config.samples) {
+    const CancelToken::StopReason reason = token->reason();
+    if (reason != CancelToken::StopReason::None) {
+      result.aborted = true;
+      result.abortReason = CancelToken::reasonLabel(reason);
+    }
   }
   if (config.timePerSample) {
     // totalSeconds = summed mapper time (the paper's "Time" column).

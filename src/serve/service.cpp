@@ -101,12 +101,17 @@ void ExperimentService::bumpForCode(ErrorCode code) {
 }
 
 void ExperimentService::emit(const Sink& sink, const std::string& line) {
-  const std::lock_guard<std::mutex> lock(emitMutex_);
+  // Per-request sinks serialize themselves (the daemon's per-connection
+  // writer holds its own lock), so they are invoked WITHOUT the global emit
+  // lock: a sink blocked on one slow consumer must never stall responses
+  // bound for every other connection. Only the shared default sink — one
+  // output stream for all requests — needs the global serialization.
   if (sink) {
     sink(line);
-  } else if (defaultSink_) {
-    defaultSink_(line);
+    return;
   }
+  const std::lock_guard<std::mutex> lock(emitMutex_);
+  if (defaultSink_) defaultSink_(line);
 }
 
 void ExperimentService::submit(const std::string& line, Sink sink) {

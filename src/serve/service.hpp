@@ -24,7 +24,10 @@
 //     hit/miss counters are surfaced per service).
 //
 // Responses are emitted as compact JSON lines through the sink, exactly one
-// call per request, serialized (never concurrently). Ordering follows
+// call per request. Calls to the shared default sink are serialized under
+// the emission lock; a per-request sink is invoked without it (so one slow
+// consumer cannot stall other connections' responses) and must be
+// internally thread-safe when requestThreads > 1. Ordering follows
 // completion, not submission — ids correlate.
 #pragma once
 
@@ -84,7 +87,8 @@ struct ServiceCounters {
 class ExperimentService {
 public:
   /// Receives one compact JSON line per response (no trailing newline).
-  /// Calls are serialized under the emission lock.
+  /// Default-sink calls are serialized under the emission lock; per-request
+  /// sinks are called without it and serialize themselves.
   using Sink = std::function<void(const std::string& line)>;
 
   ExperimentService(ServiceOptions options, Sink sink);
@@ -143,7 +147,7 @@ private:
   bool draining_ = false;
   bool stopping_ = false;
 
-  std::mutex emitMutex_;  ///< serializes sink calls (one line at a time)
+  std::mutex emitMutex_;  ///< serializes DEFAULT-sink calls (one line at a time)
 
   ExecutorPool pool_;
   std::vector<std::thread> workers_;

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <new>
+#include <optional>
 #include <thread>
 
 namespace mcx::faultinject {
@@ -106,6 +107,33 @@ std::uint64_t hits(const std::string& site) {
   return it == r.sites.end() ? 0 : it->second.hits;
 }
 
+namespace {
+
+/// Strip a trailing `<marker><digits>` modifier off @p body. Returns the
+/// digits (and shortens body) only when the suffix is well-formed; anything
+/// else is left in place for the kind matcher to reject with its own error.
+std::optional<std::string> stripCountSuffix(std::string& body, char marker) {
+  const std::size_t pos = body.rfind(marker);
+  if (pos == std::string::npos || pos + 1 >= body.size()) return std::nullopt;
+  std::string digits = body.substr(pos + 1);
+  if (digits.find_first_not_of("0123456789") != std::string::npos) return std::nullopt;
+  body.resize(pos);
+  return digits;
+}
+
+std::uint64_t parseCount(const std::string& digits, const char* what,
+                         const std::string& entry) {
+  std::uint64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || end != digits.data() + digits.size())
+    throw ParseError(std::string("faultinject: bad ") + what + " count in \"" + entry +
+                     "\"");
+  return value;
+}
+
+}  // namespace
+
 void armFromSpec(const std::string& spec) {
   std::size_t pos = 0;
   while (pos < spec.size()) {
@@ -119,9 +147,16 @@ void armFromSpec(const std::string& spec) {
     if (eq == std::string::npos || eq == 0)
       throw ParseError("faultinject: entry \"" + entry + "\" is not site=kind");
     const std::string site = entry.substr(0, eq);
-    const std::string kind = entry.substr(eq + 1);
 
+    // kind[@<skip>][x<times>] — modifiers come off the right: `x<times>`
+    // first (it is the outermost suffix), then `@<skip>`.
+    std::string kind = entry.substr(eq + 1);
     Plan plan;
+    if (const auto digits = stripCountSuffix(kind, 'x'))
+      plan.times = parseCount(*digits, "times", entry);
+    if (const auto digits = stripCountSuffix(kind, '@'))
+      plan.skip = parseCount(*digits, "skip", entry);
+
     if (kind == "throw") {
       plan.kind = Kind::Throw;
     } else if (kind == "badalloc") {
@@ -135,7 +170,8 @@ void armFromSpec(const std::string& spec) {
         throw ParseError("faultinject: bad stall millis in \"" + entry + "\"");
     } else {
       throw ParseError("faultinject: unknown kind \"" + kind +
-                       "\" (want throw | badalloc | stall:<ms>)");
+                       "\" (want throw | badalloc | stall:<ms>, each optionally "
+                       "suffixed @<skip> and/or x<times>)");
     }
     arm(site, plan);
   }

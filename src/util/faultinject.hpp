@@ -12,10 +12,12 @@
 //   - programmatic (tests): faultinject::arm("mc.sample", {Kind::Stall, 5.0});
 //   - environment (whole-process, e.g. under the daemon):
 //       MCX_FAULTINJECT="circuit.synthesize=throw;mc.sample=stall:5"
-//     entries are ';'-separated `site=kind` with kind one of
-//       throw | badalloc | stall:<millis>
-//     parsed once on first use; a malformed value aborts start-up loudly
-//     (a fault plan that silently doesn't arm would fake test coverage).
+//     entries are ';'-separated `site=kind[@<skip>][x<times>]` with kind one
+//     of throw | badalloc | stall:<millis>. `@<skip>` lets that many hits
+//     pass unharmed first and `x<times>` bounds how often the plan fires —
+//     `mc.sample=throw@2x1` fails exactly the third sample. Parsed once on
+//     first use; a malformed value aborts start-up loudly (a fault plan
+//     that silently doesn't arm would fake test coverage).
 //
 // Sites compiled into the library:
 //   circuit.synthesize — start of every (uncached) circuit build
@@ -78,7 +80,8 @@ void reset();
 /// sites only; counts keep accumulating after `times` fires are spent).
 std::uint64_t hits(const std::string& site);
 
-/// Parse and arm a MCX_FAULTINJECT-style spec ("a=throw;b=stall:5").
+/// Parse and arm a MCX_FAULTINJECT-style spec ("a=throw;b=stall:5@1x2" —
+/// `@<skip>` / `x<times>` fill the Plan's skip/times windows).
 /// Throws mcx::ParseError on malformed entries.
 void armFromSpec(const std::string& spec);
 /// Arm from the MCX_FAULTINJECT environment variable, once per process

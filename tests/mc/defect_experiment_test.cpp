@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <utility>
+
 #include "logic/sop_parser.hpp"
 #include "map/exact_mapper.hpp"
 #include "map/hybrid_mapper.hpp"
+#include "scenario/defect_model.hpp"
 #include "scenario/registry.hpp"
 
 namespace mcx {
@@ -214,6 +219,47 @@ TEST(DefectExperiment, SparseSamplerPinnedSuccessCounts) {
   const auto mixed = runDefectExperiment(fm, HybridMapper(), cfg);
   EXPECT_EQ(hba.successes, kPinnedSparseSuccesses);
   EXPECT_EQ(mixed.successes, kPinnedSparseMixedSuccesses);
+}
+
+/// Delegates to an inner model but fires the token during the FINAL
+/// sample's defect draw: the per-sample abort check has already passed, so
+/// every sample completes while the token ends the run "stopped" — the race
+/// a deadline expiring between the last sample and the engine's final
+/// bookkeeping produces in the wild, made deterministic.
+class CancelOnLastDrawModel : public DefectModel {
+public:
+  CancelOnLastDrawModel(std::shared_ptr<const DefectModel> inner, CancelToken* token,
+                        std::size_t lastDraw)
+      : inner_(std::move(inner)), token_(token), lastDraw_(lastDraw) {}
+  std::string name() const override { return inner_->name(); }
+  std::string describe() const override { return inner_->describe(); }
+  void generate(std::size_t rows, std::size_t cols, Rng& rng,
+                DefectMap& out) const override {
+    if (draws_.fetch_add(1) + 1 == lastDraw_) token_->cancel();
+    inner_->generate(rows, cols, rng, out);
+  }
+
+private:
+  std::shared_ptr<const DefectModel> inner_;
+  CancelToken* token_;
+  std::size_t lastDraw_;
+  mutable std::atomic<std::size_t> draws_{0};
+};
+
+TEST(DefectExperiment, TokenFiringAfterTheLastSampleDoesNotLabelTheRunAborted) {
+  DefectExperimentConfig cfg;
+  cfg.samples = 8;
+  cfg.threads = 1;
+  cfg.seed = 5;
+  cfg.cancel = std::make_shared<CancelToken>();
+  cfg.model = std::make_shared<CancelOnLastDrawModel>(
+      std::make_shared<IidBernoulli>(0.1, 0.0), cfg.cancel.get(), cfg.samples);
+  const DefectExperimentResult r = runDefectExperiment(testFm(), HybridMapper(), cfg);
+  // All samples ran; a fully-completed run must never be reported aborted
+  // even though the token is now signalling stop.
+  EXPECT_EQ(r.completed, cfg.samples);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.abortReason, "");
 }
 
 TEST(ForEachDefectSample, DeliversRequestedSamples) {

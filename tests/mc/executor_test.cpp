@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -116,6 +117,32 @@ TEST(ExecutorPool, ExpiredDeadlineTokenStopsTheRun) {
       &token);
   EXPECT_FALSE(completed);
   EXPECT_LT(calls.load(), 100000);
+}
+
+TEST(CancelToken, HugeMillisecondBudgetSaturatesInsteadOfOverflowing) {
+  // deadline_ms is client-controllable; 1e300 ms * 1e6 would overflow the
+  // int64 nanosecond cast (UB, in practice an instantly-expired deadline).
+  // The conversion must saturate to a far-future deadline instead.
+  CancelToken token;
+  token.setDeadlineAfterMillis(1e300);
+  EXPECT_TRUE(token.hasDeadline());
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.stopRequested());
+  EXPECT_EQ(token.reason(), CancelToken::StopReason::None);
+}
+
+TEST(CancelToken, NonPositiveOrNanBudgetExpiresImmediately) {
+  CancelToken zero;
+  zero.setDeadlineAfterMillis(0);
+  EXPECT_TRUE(zero.expired());
+
+  CancelToken negative;
+  negative.setDeadlineAfterMillis(-5);
+  EXPECT_TRUE(negative.expired());
+
+  CancelToken nan;
+  nan.setDeadlineAfterMillis(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(nan.expired());
 }
 
 TEST(ExecutorPool, PropagatesCallbackExceptions) {

@@ -90,5 +90,42 @@ TEST_F(FaultInjectTest, ArmFromSpecRejectsMalformedEntries) {
   EXPECT_THROW(faultinject::armFromSpec("=throw"), ParseError);
 }
 
+TEST_F(FaultInjectTest, ArmFromSpecParsesSkipModifier) {
+  // throw@2: let two hits pass, fail from the third on.
+  faultinject::armFromSpec("mc.sample=throw@2");
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_THROW(faultinject::onSite("mc.sample"), FaultInjected);
+  EXPECT_THROW(faultinject::onSite("mc.sample"), FaultInjected);
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecParsesTimesModifier) {
+  // badallocx1: fire once, then fall dormant.
+  faultinject::armFromSpec("serve.enqueue=badallocx1");
+  EXPECT_THROW(faultinject::onSite("serve.enqueue"), std::bad_alloc);
+  EXPECT_NO_THROW(faultinject::onSite("serve.enqueue"));
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecCombinesSkipAndTimesOnAnyKind) {
+  // Exactly the third synthesis fails; stall keeps its millis argument.
+  faultinject::armFromSpec("circuit.synthesize=throw@2x1;mc.sample=stall:1@1x1");
+  EXPECT_NO_THROW(faultinject::onSite("circuit.synthesize"));
+  EXPECT_NO_THROW(faultinject::onSite("circuit.synthesize"));
+  EXPECT_THROW(faultinject::onSite("circuit.synthesize"), FaultInjected);
+  EXPECT_NO_THROW(faultinject::onSite("circuit.synthesize"));  // x1 spent
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));  // skipped, then stalls
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecRejectsMalformedModifiers) {
+  // Dangling or non-numeric modifiers fall through to the kind matcher and
+  // are rejected as unknown kinds; overflow is a count error.
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=throw@"), ParseError);
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=throw@x3"), ParseError);
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=throwx"), ParseError);
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=throwx99999999999999999999999"),
+               ParseError);
+}
+
 }  // namespace
 }  // namespace mcx

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -139,6 +140,20 @@ TEST_F(ServiceTest, DefaultDeadlineAppliesToRequestsWithoutOne) {
   service.submit(R"({"id": "slow", "circuit": "rd53-min", "samples": 1000, "seed": 7})");
   service.drain();
   EXPECT_EQ(errorCode(log.response("slow")), "deadline_exceeded");
+}
+
+TEST_F(ServiceTest, AbsurdDeadlineBudgetSaturatesInsteadOfExpiringInstantly) {
+  // deadline_ms is client input: 1e300 ms would overflow the nanosecond
+  // conversion unclamped and come back as an instantly-expired deadline.
+  // Saturated, it behaves like "no deadline" and the request completes.
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.submit(
+      R"({"id": "huge", "circuit": "rd53-min", "samples": 5, "seed": 7, "deadline_ms": 1e300})");
+  service.drain();
+  EXPECT_EQ(log.response("huge").stringOr("status", ""), "ok");
+  EXPECT_EQ(service.counters().deadlineExceeded, 0u);
+  EXPECT_EQ(service.counters().completedOk, 1u);
 }
 
 TEST_F(ServiceTest, DeadlineSpentInQueueIsEnforcedBeforeAnyWork) {
@@ -285,6 +300,47 @@ TEST_F(ServiceTest, PerRequestSinkOverridesTheDefault) {
   service.drain();
   EXPECT_EQ(defaultLog.size(), 0u);
   EXPECT_EQ(connectionLog.response("routed").stringOr("status", ""), "ok");
+}
+
+TEST_F(ServiceTest, SlowPerRequestSinkDoesNotStallOtherResponses) {
+  // A per-request sink wedged on one slow consumer must not hold a global
+  // emission lock: responses bound for the default sink (and any other
+  // connection) keep flowing on the second request thread.
+  ServiceOptions options = smallOptions();
+  options.requestThreads = 2;
+  ResponseLog log;
+  ExperimentService service(options, log.sink());
+
+  std::mutex gate;
+  std::condition_variable cv;
+  bool blocked = false;
+  bool release = false;
+  ExperimentService::Sink stuckSink = [&](const std::string&) {
+    std::unique_lock<std::mutex> lock(gate);
+    blocked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  service.submit(R"({"id": "stuck", "circuit": "rd53-min", "samples": 5, "seed": 7})",
+                 stuckSink);
+  {
+    std::unique_lock<std::mutex> lock(gate);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return blocked; }))
+        << "the stuck request never reached its sink";
+  }
+
+  service.submit(R"({"id": "flows", "circuit": "rd53-min", "samples": 5, "seed": 7})");
+  EXPECT_TRUE(waitFor([&] { return log.has("flows"); }))
+      << "a wedged per-request sink stalled an unrelated response";
+
+  {
+    const std::lock_guard<std::mutex> lock(gate);
+    release = true;
+  }
+  cv.notify_all();
+  service.drain();
+  EXPECT_EQ(log.response("flows").stringOr("status", ""), "ok");
+  EXPECT_EQ(service.counters().completedOk, 2u);
 }
 
 TEST_F(ServiceTest, DestructorWithWorkInFlightDoesNotHangOrLeak) {

@@ -1,0 +1,76 @@
+# Unix-socket transport: a second client connecting while the first is
+# still active, traffic on both, responses routed to the originating
+# connection. Regression for the event loop scanning a pollfd row for a
+# connection accepted AFTER the poll was built (out-of-bounds vector read
+# that could wedge the loop on garbage revents).
+#
+# Usage: sh socket_clients.sh <path-to-mcx_serve>
+SERVE="$1"
+[ -x "$SERVE" ] || { echo "mcx_serve binary not found: $SERVE"; exit 1; }
+command -v python3 >/dev/null 2>&1 || { echo "SKIP: python3 not available"; exit 77; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+sock="$workdir/mcx.sock"
+
+"$SERVE" --queue-depth 8 --request-threads 1 --pool-threads 1 --socket "$sock" \
+  > "$workdir/out.log" 2> "$workdir/err.log" &
+daemon=$!
+
+i=0
+while [ ! -S "$sock" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || { echo "FAIL: socket never appeared"; cat "$workdir/err.log"; kill "$daemon" 2>/dev/null; exit 1; }
+
+python3 - "$sock" > "$workdir/client.log" 2>&1 <<'EOF'
+import json
+import socket
+import sys
+
+path = sys.argv[1]
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(30)
+    s.connect(path)
+    return s, s.makefile("rw")
+
+def ask(f, request):
+    f.write(json.dumps(request) + "\n")
+    f.flush()
+    response = json.loads(f.readline())
+    assert response["id"] == request["id"], response
+    assert response["status"] == "ok", response
+    assert response["completed"] == request["samples"], response
+    return response
+
+a_sock, a = connect()
+ask(a, {"id": "a1", "circuit": "rd53-min", "samples": 5, "seed": 7})
+
+# The regression: accept a second connection while the first is live. The
+# buggy loop then read one pollfd past the end and could hang on a blocking
+# read of the fresh, silent socket — ask() on it proves the loop survived.
+b_sock, b = connect()
+ask(b, {"id": "b1", "circuit": "rd53-min", "samples": 5, "seed": 8})
+
+# And the first connection still serves afterwards, with its own routing.
+ask(a, {"id": "a2", "circuit": "rd53-min", "samples": 5, "seed": 9})
+
+for f in (a, b):
+    f.close()
+for s in (a_sock, b_sock):
+    s.close()
+print("CLIENT-OK")
+EOF
+client=$?
+
+kill -TERM "$daemon" 2>/dev/null
+wait "$daemon"
+status=$?
+
+fail() { echo "FAIL: $1"; echo "--- client:"; cat "$workdir/client.log"; echo "--- stderr:"; cat "$workdir/err.log"; exit 1; }
+
+[ "$client" -eq 0 ] || fail "client script failed"
+grep -q 'CLIENT-OK' "$workdir/client.log" || fail "client did not finish"
+[ "$status" -eq 0 ] || fail "daemon exited $status after SIGTERM (want 0)"
+grep -q '"completed_ok": 3' "$workdir/err.log" || fail "counters missing completed_ok=3"
+echo "PASS"

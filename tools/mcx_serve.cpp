@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -66,13 +67,23 @@ bool installSignalHandlers() {
   return true;
 }
 
-/// Append a newline and write the whole buffer, retrying partial writes.
-/// Returns false when the peer is gone (the response is dropped; the
-/// experiment still ran and the counters still account for it).
+/// How long a response write may wait for a client to drain its socket
+/// buffer before the response is dropped. Client fds are non-blocking, so
+/// this bounds the worst case a stuck (connected but not reading) client
+/// can cost a request thread — it can never wedge the service.
+constexpr int kWriteTimeoutMillis = 2000;
+
+/// Append a newline and write the whole buffer to the non-blocking @p fd,
+/// retrying partial writes and polling for writability within the timeout
+/// budget. Returns false when the peer is gone or too slow to drain (the
+/// response is dropped; the experiment still ran and the counters still
+/// account for it).
 bool writeLine(int fd, const std::string& line) {
   std::string buffer = line;
   buffer.push_back('\n');
   std::size_t off = 0;
+  const auto giveUpAt = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kWriteTimeoutMillis);
   while (off < buffer.size()) {
     const ssize_t n = ::write(fd, buffer.data() + off, buffer.size() - off);
     if (n > 0) {
@@ -80,6 +91,16 @@ bool writeLine(int fd, const std::string& line) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          giveUpAt - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;  // stuck client: drop, don't wedge
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready > 0 && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) == 0) continue;
+      if (ready < 0 && errno == EINTR) continue;
+      return false;
+    }
     return false;
   }
   return true;
@@ -135,10 +156,15 @@ struct ConnWriter {
   std::mutex mutex;
   int fd = -1;
   bool closed = false;
+  bool broken = false;  ///< a write failed or timed out; stop paying for it
 
   void write(const std::string& line) {
     const std::lock_guard<std::mutex> lock(mutex);
-    if (!closed) writeLine(fd, line);
+    if (closed || broken) return;
+    // A failed write latches the connection broken so a stuck client costs
+    // at most one write timeout; the fd itself is closed only by the event
+    // loop (via close()), which owns its lifetime.
+    if (!writeLine(fd, line)) broken = true;
   }
   void close() {
     const std::lock_guard<std::mutex> lock(mutex);
@@ -193,16 +219,25 @@ int runSocketLoop(mcx::serve::ExperimentService& service, const std::string& pat
     }
     if (fds[0].revents != 0) break;  // signal: drain and exit
 
+    // fds rows 2..2+polled were built from the pre-accept connection list;
+    // a connection admitted below has no pollfd row yet, so the scan must
+    // be bounded by this snapshot, never by the (possibly grown) vector.
+    const std::size_t polled = connections.size();
+
     if ((fds[1].revents & POLLIN) != 0) {
       const int fd = ::accept(listenFd, nullptr, nullptr);
       if (fd >= 0) {
+        // Non-blocking: response writes poll for writability with a bounded
+        // budget (writeLine), so a client that stops reading can never
+        // wedge a request thread on a full socket buffer.
+        ::fcntl(fd, F_SETFL, O_NONBLOCK);
         auto conn = std::make_unique<Connection>();
         conn->writer->fd = fd;
         connections.push_back(std::move(conn));
       }
     }
 
-    for (std::size_t i = 0; i < connections.size();) {
+    for (std::size_t i = 0; i < polled;) {
       Connection& conn = *connections[i];
       const short revents = fds[2 + i].revents;
       bool closed = false;
@@ -213,7 +248,8 @@ int runSocketLoop(mcx::serve::ExperimentService& service, const std::string& pat
           const std::shared_ptr<ConnWriter> writer = conn.writer;
           submitLines(service, conn.buffer,
                       [writer](const std::string& line) { writer->write(line); });
-        } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        } else if (n == 0 ||
+                   (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)) {
           closed = true;
         }
       }
