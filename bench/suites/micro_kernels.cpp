@@ -4,7 +4,9 @@
 // three layers of the Monte Carlo hot path (legacy vs sparse sampling, full
 // vs incremental adjacency, cold vs warm-started Hopcroft-Karp) on the bw
 // multi-level workload at the paper's 10% stuck-open rate, plus the
-// memoized synthesis front-end (full pipeline compile vs cache hit).
+// memoized synthesis front-end (full pipeline compile vs cache hit), and
+// the telemetry layer's own overhead (counter adds, histogram records,
+// disarmed vs histogram-fed spans).
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -23,6 +25,8 @@
 #include "map/hybrid_mapper.hpp"
 #include "netlist/factor.hpp"
 #include "netlist/nand_mapper.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/defect_model.hpp"
 #include "xbar/defects.hpp"
 #include "xbar/function_matrix.hpp"
@@ -237,6 +241,54 @@ void BM_CircuitCompileCacheHit(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(compileCircuit(spec));
 }
 BENCHMARK(BM_CircuitCompileCacheHit);
+
+// --- Telemetry overhead: counter increments, histogram records, spans -----
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) counter.add(1);
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram hist;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.record(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG spread
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+// The cost left in an instrumented hot path when nothing is armed: the
+// constructor's relaxed load + branch, no clock reads.
+void BM_ObsSpanDisarmed(benchmark::State& state) {
+  obs::setProfiling(false);
+  for (auto _ : state) {
+    obs::Span span("bench_disarmed");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisarmed);
+
+// A span feeding a histogram (no trace sink): two clock reads + a record.
+void BM_ObsSpanHistogram(benchmark::State& state) {
+  obs::Histogram hist;
+  for (auto _ : state) {
+    obs::Span span("bench_histogram", &hist);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanHistogram);
+
+// The profilingArmed() gate itself, as used by the HK hooks.
+void BM_ObsProfilingGate(benchmark::State& state) {
+  obs::setProfiling(false);
+  for (auto _ : state) benchmark::DoNotOptimize(obs::profilingArmed());
+}
+BENCHMARK(BM_ObsProfilingGate);
 
 // Google Benchmark owns this suite's flag grammar (--benchmark_filter,
 // --benchmark_min_time, ...): args are forwarded verbatim instead of going

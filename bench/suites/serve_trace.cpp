@@ -6,8 +6,9 @@
 // deliberate no-backpressure burst — twice: once against a cold circuit
 // cache (every distinct circuit synthesizes) and once warm (everything
 // coalesces onto cached artifacts). Emits BENCH_serve.json with sustained
-// request throughput, p50/p99 response latency, shed and deadline-miss
-// counts for both passes.
+// request throughput, p50/p90/p99 response latency (obs::Histogram
+// quantiles), per-stage queue-wait and synthesis-time distributions, shed
+// and deadline-miss counts for both passes.
 //
 // Usage:
 //   mcx_bench serve-trace [--requests N] [--queue-depth N] [--pool-threads N]
@@ -16,6 +17,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -24,6 +26,7 @@
 
 #include "api/driver.hpp"
 #include "circuit/cache.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/spec.hpp"
 #include "serve/service.hpp"
 #include "util/error.hpp"
@@ -85,15 +88,17 @@ struct PassResult {
   double wallSeconds = 0;
   double sustainedRps = 0;
   double p50Millis = 0;
+  double p90Millis = 0;
   double p99Millis = 0;
+  double queueP50Millis = 0;
+  double queueP99Millis = 0;
+  double synthP50Millis = 0;
+  double synthP99Millis = 0;
+  double synthMaxMillis = 0;
   ServiceCounters counters;
 };
 
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
-}
+constexpr double kNsPerMs = 1e6;  // obs::Histogram quantiles are nanoseconds
 
 /// Replay the trace through a fresh service. Submission uses backpressure
 /// (wait for queue room) so the measured shed/deadline numbers come from
@@ -105,15 +110,20 @@ PassResult runPass(const std::vector<std::string>& trace, const TraceConfig& con
   options.requestThreads = 1;
   options.poolThreads = config.poolThreads;
 
-  std::mutex latencyMutex;
-  std::vector<double> latencies;
-  latencies.reserve(trace.size());
+  // Per-pass distributions, straight into log-bucketed histograms: no
+  // vector growth or post-hoc sort on the response path, and the same
+  // quantile math the service's own "serve.*" histograms report.
+  const auto latencyHist = std::make_unique<obs::Histogram>();
+  const auto queueHist = std::make_unique<obs::Histogram>();
+  const auto synthHist = std::make_unique<obs::Histogram>();
   ExperimentService service(options, [&](const std::string& line) {
     const SpecValue doc = parseSpec(line);
-    if (doc.find("total_ms") != nullptr) {
-      const std::lock_guard<std::mutex> lock(latencyMutex);
-      latencies.push_back(doc.numberOr("total_ms", 0));
-    }
+    if (doc.find("total_ms") != nullptr)
+      latencyHist->recordMillis(doc.numberOr("total_ms", 0));
+    if (doc.find("queue_ms") != nullptr)
+      queueHist->recordMillis(doc.numberOr("queue_ms", 0));
+    if (doc.find("synth_ms") != nullptr)
+      synthHist->recordMillis(doc.numberOr("synth_ms", 0));
   });
 
   const auto inSystem = [&] {
@@ -143,9 +153,17 @@ PassResult runPass(const std::vector<std::string>& trace, const TraceConfig& con
   result.counters = service.counters();
   result.sustainedRps =
       static_cast<double>(result.counters.completedOk) / result.wallSeconds;
-  std::sort(latencies.begin(), latencies.end());
-  result.p50Millis = percentile(latencies, 0.50);
-  result.p99Millis = percentile(latencies, 0.99);
+  const obs::Histogram::Snapshot latency = latencyHist->snapshot();
+  result.p50Millis = latency.quantile(0.50) / kNsPerMs;
+  result.p90Millis = latency.quantile(0.90) / kNsPerMs;
+  result.p99Millis = latency.quantile(0.99) / kNsPerMs;
+  const obs::Histogram::Snapshot queueWait = queueHist->snapshot();
+  result.queueP50Millis = queueWait.quantile(0.50) / kNsPerMs;
+  result.queueP99Millis = queueWait.quantile(0.99) / kNsPerMs;
+  const obs::Histogram::Snapshot synth = synthHist->snapshot();
+  result.synthP50Millis = synth.quantile(0.50) / kNsPerMs;
+  result.synthP99Millis = synth.quantile(0.99) / kNsPerMs;
+  result.synthMaxMillis = static_cast<double>(synth.max) / kNsPerMs;
   return result;
 }
 
@@ -155,7 +173,13 @@ void writePass(JsonWriter& json, const char* label, const PassResult& pass) {
   json.field("wall_seconds", pass.wallSeconds);
   json.field("sustained_rps", pass.sustainedRps);
   json.field("p50_latency_ms", pass.p50Millis);
+  json.field("p90_latency_ms", pass.p90Millis);
   json.field("p99_latency_ms", pass.p99Millis);
+  json.field("queue_wait_p50_ms", pass.queueP50Millis);
+  json.field("queue_wait_p99_ms", pass.queueP99Millis);
+  json.field("synth_p50_ms", pass.synthP50Millis);
+  json.field("synth_p99_ms", pass.synthP99Millis);
+  json.field("synth_max_ms", pass.synthMaxMillis);
   json.field("received", pass.counters.received);
   json.field("completed_ok", pass.counters.completedOk);
   json.field("parse_errors", pass.counters.parseErrors);
@@ -221,10 +245,14 @@ int runServeTrace(const std::vector<std::string>& args) {
     return 2;
   }
 
-  TextTable table({"pass", "req/s", "p50 ms", "p99 ms", "ok", "shed", "ddl miss", "synth"});
+  TextTable table({"pass", "req/s", "p50 ms", "p90 ms", "p99 ms", "q p99", "syn p99", "ok",
+                   "shed", "ddl miss", "synth"});
   const auto addRow = [&table](const char* label, const PassResult& pass) {
     table.addRow({label, TextTable::num(pass.sustainedRps, 1),
-                  TextTable::num(pass.p50Millis, 3), TextTable::num(pass.p99Millis, 3),
+                  TextTable::num(pass.p50Millis, 3), TextTable::num(pass.p90Millis, 3),
+                  TextTable::num(pass.p99Millis, 3),
+                  TextTable::num(pass.queueP99Millis, 3),
+                  TextTable::num(pass.synthP99Millis, 3),
                   std::to_string(pass.counters.completedOk),
                   std::to_string(pass.counters.shedOverloaded),
                   std::to_string(pass.counters.deadlineExceeded),
@@ -244,6 +272,15 @@ int runServeTrace(const std::vector<std::string>& args) {
     std::cerr << "serve_trace: warm pass re-synthesized " << warm.counters.synthesisRuns
               << " circuits (cache coalescing broken)\n";
     ++failures;
+  }
+  // The workload must leave the service's per-stage registry histograms
+  // populated — the contract behind the {"type":"stats"} snapshot.
+  for (const char* stage : {"serve.queue_wait", "serve.synthesis", "serve.mc_run",
+                            "serve.emit"}) {
+    if (obs::Registry::global().histogram(stage).count() == 0) {
+      std::cerr << "serve_trace: registry histogram " << stage << " stayed empty\n";
+      ++failures;
+    }
   }
   return failures == 0 ? 0 : 1;
 }

@@ -6,8 +6,10 @@
 #include "circuit/cache.hpp"
 #include "circuit/registry.hpp"
 #include "map/registry.hpp"
+#include "obs/trace.hpp"
 #include "scenario/registry.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace mcx {
 
@@ -30,6 +32,8 @@ void ExperimentResult::writeJson(JsonWriter& json) const {
   json.field("threads", config.threads);
   json.field("total_seconds", outcome.totalSeconds);
   json.field("mean_seconds", meanSeconds());
+  json.field("synth_millis", synthesisMillis);
+  json.field("mc_run_millis", mcRunMillis);
   json.field("total_backtracks", outcome.totalBacktracks);
   if (config.timePerSample) json.field("mean_map_millis", outcome.perSampleMillis.mean);
   json.endObject();
@@ -172,6 +176,8 @@ ExperimentResult ExperimentBuilder::run() const {
   if (fm_.has_value()) {
     fm = *fm_;
   } else {
+    Stopwatch synthWatch;
+    obs::Span synthSpan("synthesis");
     CircuitSpec spec = *spec_;
     if (multiLevel_.has_value())
       spec.realize = *multiLevel_ ? CircuitSpec::Realize::MultiLevel
@@ -185,6 +191,8 @@ ExperimentResult ExperimentBuilder::run() const {
     const std::shared_ptr<const Circuit> compiled = compileCircuit(spec, memoize);
     fm = compiled->fm;
     result.circuitSpec = spec.canonical();
+    synthSpan.finish();
+    result.synthesisMillis = synthWatch.millis();
   }
 
   result.mapper = mapper_->name();
@@ -202,7 +210,9 @@ ExperimentResult ExperimentBuilder::run() const {
     config.cancel->setDeadlineAfterMillis(*deadlineMillis_);
   }
   result.config = config;
+  Stopwatch mcWatch;
   result.outcome = runDefectExperiment(fm, *mapper_, config);
+  result.mcRunMillis = mcWatch.millis();
   return result;
 }
 

@@ -54,6 +54,10 @@ struct ExperimentResult {
   std::size_t cols = 0;
   DefectExperimentConfig config;    ///< the resolved engine configuration
   DefectExperimentResult outcome;
+  /// Stage split of run(): circuit compile/cache time vs Monte Carlo time.
+  /// A cache hit shows up as synthesisMillis ≈ 0.
+  double synthesisMillis = 0;
+  double mcRunMillis = 0;
 
   std::size_t area() const { return rows * cols; }
   double successRate() const { return outcome.successRate(); }

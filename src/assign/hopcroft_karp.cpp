@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace mcx {
@@ -169,19 +170,41 @@ struct HkEngine {
 
   MatchingResult run(bool warmStart = false) {
     MatchingResult result;
+    std::size_t phases = 0;
     if (warmStart) {
       result.size = g.greedySeed(matchL, matchR);
       if (result.size == g.numLeft()) {  // perfect already: no phases needed
+        recordHkProfile(warmStart, phases);
         result.matchOfLeft = std::move(matchL);
         return result;
       }
     }
     while (bfs()) {
+      ++phases;
       for (std::size_t l = 0; l < g.numLeft(); ++l)
         if (matchL[l] == MatchingResult::kUnmatched && dfs(l)) ++result.size;
     }
+    recordHkProfile(warmStart, phases);
     result.matchOfLeft = std::move(matchL);
     return result;
+  }
+
+  /// Warm-vs-cold phase telemetry. A warm HK run costs ~1µs, so even a
+  /// registry-counter increment is measurable here — everything hides
+  /// behind the profilingArmed() relaxed-load gate (one branch disarmed).
+  static void recordHkProfile(bool warmStart, std::size_t phases) {
+    if (!obs::profilingArmed()) return;
+    static obs::Counter& warmRuns = obs::Registry::global().counter("hk.warm_runs");
+    static obs::Counter& coldRuns = obs::Registry::global().counter("hk.cold_runs");
+    static obs::Counter& warmPhases = obs::Registry::global().counter("hk.warm_phases");
+    static obs::Counter& coldPhases = obs::Registry::global().counter("hk.cold_phases");
+    if (warmStart) {
+      warmRuns.add(1);
+      warmPhases.add(phases);
+    } else {
+      coldRuns.add(1);
+      coldPhases.add(phases);
+    }
   }
 };
 

@@ -6,6 +6,7 @@
 
 #include "circuit/registry.hpp"
 #include "logic/pla.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace mcx {
@@ -77,6 +78,26 @@ auto* findEntry(Buckets& buckets, std::uint64_t hash, const std::string& key) {
   return static_cast<decltype(bucket.data())>(nullptr);
 }
 
+/// Registry mirrors of Stats. The struct stays the resettable per-cache
+/// view (clear() zeroes it; tests pin that); the registry counters are the
+/// process-monotonic view the stats snapshot exposes.
+obs::Counter& cacheHitCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("circuit.cache.hits");
+  return c;
+}
+obs::Counter& cacheMissCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("circuit.cache.misses");
+  return c;
+}
+obs::Counter& coverHitCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("circuit.cache.cover_hits");
+  return c;
+}
+obs::Counter& coverMissCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("circuit.cache.cover_misses");
+  return c;
+}
+
 }  // namespace
 
 std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
@@ -90,6 +111,7 @@ std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (auto* entry = findEntry(circuits_, fnv1a64(key), key)) {
     ++stats_.hits;
+    cacheHitCounter().add(1);
     // The label is presentation, not identity: two specs differing only in
     // label share one compile, but each caller gets its own label back.
     // Relabeled variants are memoized under a label-discriminated key, so
@@ -108,6 +130,7 @@ std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
     return entry->value;
   }
   ++stats_.misses;
+  cacheMissCounter().add(1);
 
   // Synthesis stage, shared across realization variants of the declaration.
   const std::string synthKey = spec.synthCanonical() + suffix;
@@ -115,9 +138,11 @@ std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
   std::shared_ptr<const SynthesizedCover> synthesized;
   if (auto* entry = findEntry(covers_, synthHash, synthKey)) {
     ++stats_.coverHits;
+    coverHitCounter().add(1);
     synthesized = entry->value;
   } else {
     ++stats_.coverMisses;
+    coverMissCounter().add(1);
     synthesized = std::make_shared<const SynthesizedCover>(buildSynthesizedCover(spec));
     covers_[synthHash].push_back({synthKey, synthesized});
   }

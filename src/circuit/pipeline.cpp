@@ -115,11 +115,10 @@ SynthesizedCover buildSynthesizedCover(const CircuitSpec& spec) {
     }
   }
   if (dc.nin() != on.nin() || dc.nout() != on.nout()) dc = Cover(on.nin(), on.nout());
-  result.sourceMillis = watch.millis();
+  result.sourceMillis = watch.lapMillis();  // lap: the synth stage times from here
   result.sourceProducts = on.size();
 
   // --- synthesis ------------------------------------------------------------
-  watch.restart();
   if (!synthesized) {
     switch (spec.synth) {
       case CircuitSpec::Synth::None:

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "mc/executor.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/faultinject.hpp"
 #include "util/stopwatch.hpp"
@@ -84,6 +85,7 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
   std::vector<Scratch> scratch(pool->slots());
 
   Stopwatch wall;
+  obs::Span mcSpan("mc_experiment");
   pool->run(config.samples, [&](std::size_t worker, std::size_t s) {
     // Cooperative abort: a fired token skips the sample entirely (its
     // outcome stays !done); samples already past this check finish
@@ -118,6 +120,7 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
     out.millis = sec * 1e3;
     if (config.keepMappings) result.mappings[s] = std::move(mapping);
   }, token);
+  mcSpan.finish();
   const double wallSeconds = wall.seconds();
 
   // Merge per-sample outcomes deterministically, in sample order; skipped
@@ -128,6 +131,19 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
     ++result.completed;
     if (out.success) ++result.successes;
     result.totalBacktracks += out.backtracks;
+  }
+
+  // Engine throughput telemetry: once per experiment, off the sample path.
+  {
+    static obs::Counter& experiments = obs::Registry::global().counter("mc.experiments");
+    static obs::Counter& samplesRun = obs::Registry::global().counter("mc.samples");
+    static obs::Gauge& samplesPerSec =
+        obs::Registry::global().gauge("mc.samples_per_sec");
+    experiments.add(1);
+    samplesRun.add(result.completed);
+    if (wallSeconds > 0)
+      samplesPerSec.set(
+          static_cast<std::int64_t>(static_cast<double>(result.completed) / wallSeconds));
   }
 
   // Label the abort only when the token actually cut the run short. The

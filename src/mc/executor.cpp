@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/trace.hpp"
+
 namespace mcx {
+
+namespace {
+
+/// Pool telemetry, resolved once. Chunk counting rides the chunk-claim
+/// mutex acquisition that already happens, so it stays on by default;
+/// per-chunk trace spans (one lane per worker in chrome://tracing) only
+/// materialize when a sink is armed.
+obs::Counter& poolJobsCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.jobs");
+  return c;
+}
+obs::Counter& poolChunksCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.chunks");
+  return c;
+}
+
+}  // namespace
 
 std::size_t resolveThreadCount(std::size_t requested) {
   if (requested != 0) return requested;
@@ -100,7 +119,9 @@ void ExecutorPool::runChunks(std::size_t slot, const std::shared_ptr<Job>& job) 
       job->cursor = end;
       ++job->inFlight;
     }
+    poolChunksCounter().add(1);
     try {
+      obs::Span chunkSpan("pool_chunk");
       for (std::size_t i = begin; i < end; ++i) (*job->fn)(slot, i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(job->m);
@@ -124,6 +145,7 @@ void ExecutorPool::runChunks(std::size_t slot, const std::shared_ptr<Job>& job) 
 
 bool ExecutorPool::run(std::size_t n, const Fn& fn, const CancelToken* token) {
   if (n == 0) return true;
+  poolJobsCounter().add(1);
 
   // Inline fast path: no background workers (threads=1), or nothing worth
   // scheduling. Preserves the historical "one thread runs everything on the

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "api/experiment.hpp"
+#include "obs/trace.hpp"
+#include "scenario/spec.hpp"
 #include "util/faultinject.hpp"
 
 namespace mcx::serve {
@@ -60,10 +62,62 @@ std::string okResponse(const std::string& id, const ExperimentResult& result, do
   json.field("success_rate", result.successRate());
   json.field("total_backtracks", result.outcome.totalBacktracks);
   json.field("queue_ms", queueMs);
+  json.field("synth_ms", result.synthesisMillis);
   json.field("run_ms", runMs);
   json.field("total_ms", totalMs);
   json.endObject();
   return out.str();
+}
+
+/// The service's metric handles, resolved once per process. The registry
+/// entries are process-monotonic ("serve.*"); per-service views subtract
+/// the baseline captured at construction (see ServiceCounters).
+struct ServeRegistry {
+  obs::Counter& received;
+  obs::Counter& accepted;
+  obs::Counter& completedOk;
+  obs::Counter& parseErrors;
+  obs::Counter& shedOverloaded;
+  obs::Counter& deadlineExceeded;
+  obs::Counter& cancelled;
+  obs::Counter& internalErrors;
+  obs::Counter& samplesCompleted;
+  obs::Counter& busyMicros;
+  obs::Counter& statsRequests;
+  obs::Gauge& queueDepth;
+  obs::Gauge& inflight;
+  obs::Histogram& parseHist;
+  obs::Histogram& queueWaitHist;
+  obs::Histogram& synthesisHist;
+  obs::Histogram& mcRunHist;
+  obs::Histogram& emitHist;
+  obs::Histogram& totalHist;
+};
+
+ServeRegistry& serveRegistry() {
+  obs::Registry& r = obs::Registry::global();
+  static ServeRegistry reg{
+      r.counter("serve.received"),
+      r.counter("serve.accepted"),
+      r.counter("serve.completed_ok"),
+      r.counter("serve.parse_errors"),
+      r.counter("serve.shed_overloaded"),
+      r.counter("serve.deadline_exceeded"),
+      r.counter("serve.cancelled"),
+      r.counter("serve.internal_errors"),
+      r.counter("serve.samples_completed"),
+      r.counter("serve.busy_micros"),
+      r.counter("serve.stats_requests"),
+      r.gauge("serve.queue_depth"),
+      r.gauge("serve.inflight"),
+      r.histogram("serve.parse"),
+      r.histogram("serve.queue_wait"),
+      r.histogram("serve.synthesis"),
+      r.histogram("serve.mc_run"),
+      r.histogram("serve.emit"),
+      r.histogram("serve.total"),
+  };
+  return reg;
 }
 
 }  // namespace
@@ -73,6 +127,19 @@ ExperimentService::ExperimentService(ServiceOptions options, Sink sink)
       defaultSink_(std::move(sink)),
       cacheBaseline_(CircuitCache::global().stats()),
       pool_(options.poolThreads) {
+  const ServeRegistry& reg = serveRegistry();
+  counterBase_.received = reg.received.value();
+  counterBase_.accepted = reg.accepted.value();
+  counterBase_.completedOk = reg.completedOk.value();
+  counterBase_.parseErrors = reg.parseErrors.value();
+  counterBase_.shedOverloaded = reg.shedOverloaded.value();
+  counterBase_.deadlineExceeded = reg.deadlineExceeded.value();
+  counterBase_.cancelled = reg.cancelled.value();
+  counterBase_.internalErrors = reg.internalErrors.value();
+  counterBase_.samplesCompleted = reg.samplesCompleted.value();
+  counterBase_.busyMicros = reg.busyMicros.value();
+  counterBase_.statsRequests = reg.statsRequests.value();
+
   const std::size_t workers = std::max<std::size_t>(1, options_.requestThreads);
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
@@ -90,13 +157,14 @@ ExperimentService::~ExperimentService() {
 }
 
 void ExperimentService::bumpForCode(ErrorCode code) {
-  // Caller holds mutex_.
+  // Registry counters are atomic: callable with or without the service lock.
+  ServeRegistry& reg = serveRegistry();
   switch (code) {
-    case ErrorCode::Parse: ++counters_.parseErrors; break;
-    case ErrorCode::DeadlineExceeded: ++counters_.deadlineExceeded; break;
-    case ErrorCode::Cancelled: ++counters_.cancelled; break;
-    case ErrorCode::Overloaded: ++counters_.shedOverloaded; break;
-    case ErrorCode::Internal: ++counters_.internalErrors; break;
+    case ErrorCode::Parse: reg.parseErrors.add(1); break;
+    case ErrorCode::DeadlineExceeded: reg.deadlineExceeded.add(1); break;
+    case ErrorCode::Cancelled: reg.cancelled.add(1); break;
+    case ErrorCode::Overloaded: reg.shedOverloaded.add(1); break;
+    case ErrorCode::Internal: reg.internalErrors.add(1); break;
   }
 }
 
@@ -115,9 +183,32 @@ void ExperimentService::emit(const Sink& sink, const std::string& line) {
 }
 
 void ExperimentService::submit(const std::string& line, Sink sink) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.received;
+  ServeRegistry& reg = serveRegistry();
+  reg.received.add(1);
+
+  // Control-plane requests short-circuit before request parsing (which
+  // rejects unknown members, "type" included). The cheap substring check
+  // keeps the experiment fast path free of a second JSON parse.
+  if (line.find("\"type\"") != std::string::npos) {
+    bool isStats = false;
+    try {
+      const SpecValue spec = parseSpec(line);
+      isStats = spec.isObject() && spec.stringOr("type", "") == "stats";
+    } catch (const std::exception&) {
+      // Malformed JSON / mistyped member: fall through to the normal
+      // parse-error response below.
+    }
+    if (isStats) {
+      reg.statsRequests.add(1);
+      std::ostringstream out;
+      JsonWriter json(out, /*pretty=*/false);
+      beginResponse(json, extractRequestId(line), "ok");
+      json.key("stats");
+      writeStatsJson(json);
+      json.endObject();
+      emit(sink, out.str());
+      return;
+    }
   }
 
   // Parse + eager validation happen on the submitter's thread, before any
@@ -125,19 +216,14 @@ void ExperimentService::submit(const std::string& line, Sink sink) {
   Request request;
   try {
     faultinject::onSite("serve.enqueue");
+    obs::Span parseSpan("parse", &reg.parseHist);
     request = parseRequest(line, options_.limits);
   } catch (const ServeError& e) {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      bumpForCode(e.code());
-    }
+    bumpForCode(e.code());
     emit(sink, errorResponse(extractRequestId(line), e.code(), e.what()));
     return;
   } catch (const std::bad_alloc&) {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++counters_.internalErrors;
-    }
+    reg.internalErrors.add(1);
     emit(sink, errorResponse(extractRequestId(line), ErrorCode::Internal,
                              "allocation failure at admission"));
     return;
@@ -147,6 +233,7 @@ void ExperimentService::submit(const std::string& line, Sink sink) {
   pending->request = std::move(request);
   pending->sink = std::move(sink);
   pending->token = std::make_shared<CancelToken>();
+  pending->admitNanos = Stopwatch::processNanos();
   // The deadline clock starts NOW, at admission: a request that waits out
   // its whole budget in the queue is shed by its executor immediately.
   const double deadline = pending->request.deadlineMillis.has_value()
@@ -168,9 +255,9 @@ void ExperimentService::submit(const std::string& line, Sink sink) {
       rejectReason = "admission queue full";
     } else {
       queue_.push_back(pending);
-      ++counters_.accepted;
-      counters_.queueHighWater =
-          std::max<std::uint64_t>(counters_.queueHighWater, queue_.size());
+      reg.accepted.add(1);
+      queueHighWater_ = std::max<std::uint64_t>(queueHighWater_, queue_.size());
+      reg.queueDepth.set(static_cast<std::int64_t>(queue_.size()));
     }
   }
   if (rejected) {
@@ -182,6 +269,7 @@ void ExperimentService::submit(const std::string& line, Sink sink) {
 }
 
 void ExperimentService::workerLoop() {
+  ServeRegistry& reg = serveRegistry();
   for (;;) {
     std::shared_ptr<Pending> pending;
     {
@@ -194,6 +282,8 @@ void ExperimentService::workerLoop() {
       pending = queue_.front();
       queue_.pop_front();
       inFlight_.push_back(pending->token);
+      reg.queueDepth.set(static_cast<std::int64_t>(queue_.size()));
+      reg.inflight.set(static_cast<std::int64_t>(inFlight_.size()));
     }
 
     execute(*pending);
@@ -202,14 +292,30 @@ void ExperimentService::workerLoop() {
       const std::lock_guard<std::mutex> lock(mutex_);
       const auto it = std::find(inFlight_.begin(), inFlight_.end(), pending->token);
       if (it != inFlight_.end()) inFlight_.erase(it);
+      reg.inflight.set(static_cast<std::int64_t>(inFlight_.size()));
       if (queue_.empty() && inFlight_.empty()) idle_.notify_all();
     }
   }
 }
 
 void ExperimentService::execute(Pending& pending) {
+  ServeRegistry& reg = serveRegistry();
   const Request& req = pending.request;
   const double queueMs = pending.admitted.millis();
+  reg.queueWaitHist.recordMillis(queueMs);
+  // The queue wait already happened, so no Span can cover it — but its
+  // endpoints are known, and Chrome complete events carry explicit ts/dur.
+  if (obs::TraceSink* trace = obs::traceSink())
+    trace->writeComplete("queue_wait", static_cast<double>(pending.admitNanos) / 1e3,
+                         queueMs * 1e3, obs::currentTraceTid());
+
+  // One emission per request, timed as the "emit" stage: serializing the
+  // response is cheap, but a blocking default sink shows up here.
+  const auto respond = [&](const std::string& lineOut) {
+    obs::Span emitSpan("emit", &reg.emitHist);
+    emit(pending.sink, lineOut);
+    reg.totalHist.recordMillis(pending.admitted.millis());
+  };
 
   // A request that spent its whole budget queued is answered without
   // doing any work — the structured deadline_exceeded with zero samples.
@@ -218,15 +324,11 @@ void ExperimentService::execute(Pending& pending) {
     const ErrorCode code = reason == CancelToken::StopReason::Cancelled
                                ? ErrorCode::Cancelled
                                : ErrorCode::DeadlineExceeded;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      bumpForCode(code);
-    }
-    emit(pending.sink,
-         errorResponse(req.id, code,
-                       code == ErrorCode::Cancelled ? "cancelled before start"
-                                                    : "deadline exceeded in queue",
-                       nullptr, queueMs, pending.admitted.millis()));
+    bumpForCode(code);
+    respond(errorResponse(req.id, code,
+                          code == ErrorCode::Cancelled ? "cancelled before start"
+                                                       : "deadline exceeded in queue",
+                          nullptr, queueMs, pending.admitted.millis()));
     return;
   }
 
@@ -250,48 +352,37 @@ void ExperimentService::execute(Pending& pending) {
     const ExperimentResult result = builder.run();
     const double runMs = runWatch.millis();
     const double totalMs = pending.admitted.millis();
+    reg.synthesisHist.recordMillis(result.synthesisMillis);
+    reg.mcRunHist.recordMillis(result.mcRunMillis);
+    reg.samplesCompleted.add(result.outcome.completed);
+    reg.busyMicros.add(static_cast<std::uint64_t>(runMs * 1e3));
 
     if (result.outcome.aborted) {
       const ErrorCode code = result.outcome.abortReason == "cancelled"
                                  ? ErrorCode::Cancelled
                                  : ErrorCode::DeadlineExceeded;
-      {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        bumpForCode(code);
-        counters_.samplesCompleted += result.outcome.completed;
-        counters_.busyMillis += runMs;
-      }
-      emit(pending.sink, errorResponse(req.id, code,
-                                       code == ErrorCode::Cancelled
-                                           ? "cancelled mid-experiment"
-                                           : "deadline exceeded mid-experiment",
-                                       &result, queueMs, totalMs));
+      bumpForCode(code);
+      respond(errorResponse(req.id, code,
+                            code == ErrorCode::Cancelled ? "cancelled mid-experiment"
+                                                         : "deadline exceeded mid-experiment",
+                            &result, queueMs, totalMs));
       return;
     }
 
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++counters_.completedOk;
-      counters_.samplesCompleted += result.outcome.completed;
-      counters_.busyMillis += runMs;
-    }
-    emit(pending.sink, okResponse(req.id, result, queueMs, runMs, totalMs));
+    reg.completedOk.add(1);
+    respond(okResponse(req.id, result, queueMs, runMs, totalMs));
   } catch (const std::bad_alloc&) {
-    const std::lock_guard<std::mutex> lock(mutex_);  // counters under lock
-    ++counters_.internalErrors;
-    counters_.busyMillis += runWatch.millis();
-    emit(pending.sink, errorResponse(req.id, ErrorCode::Internal, "allocation failure",
-                                     nullptr, queueMs, pending.admitted.millis()));
+    reg.internalErrors.add(1);
+    reg.busyMicros.add(static_cast<std::uint64_t>(runWatch.millis() * 1e3));
+    respond(errorResponse(req.id, ErrorCode::Internal, "allocation failure", nullptr,
+                          queueMs, pending.admitted.millis()));
   } catch (const std::exception& e) {
     // Synthesis failures, engine invariant violations, injected faults:
     // the request dies with a structured `internal`, the daemon lives on.
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++counters_.internalErrors;
-      counters_.busyMillis += runWatch.millis();
-    }
-    emit(pending.sink, errorResponse(req.id, ErrorCode::Internal, e.what(), nullptr,
-                                     queueMs, pending.admitted.millis()));
+    reg.internalErrors.add(1);
+    reg.busyMicros.add(static_cast<std::uint64_t>(runWatch.millis() * 1e3));
+    respond(errorResponse(req.id, ErrorCode::Internal, e.what(), nullptr, queueMs,
+                          pending.admitted.millis()));
   }
 }
 
@@ -322,13 +413,28 @@ bool ExperimentService::draining() const {
 
 ServiceCounters ExperimentService::counters() const {
   ServiceCounters snapshot;
+  const ServeRegistry& reg = serveRegistry();
+  snapshot.received = reg.received.value() - counterBase_.received;
+  snapshot.accepted = reg.accepted.value() - counterBase_.accepted;
+  snapshot.completedOk = reg.completedOk.value() - counterBase_.completedOk;
+  snapshot.parseErrors = reg.parseErrors.value() - counterBase_.parseErrors;
+  snapshot.shedOverloaded = reg.shedOverloaded.value() - counterBase_.shedOverloaded;
+  snapshot.deadlineExceeded = reg.deadlineExceeded.value() - counterBase_.deadlineExceeded;
+  snapshot.cancelled = reg.cancelled.value() - counterBase_.cancelled;
+  snapshot.internalErrors = reg.internalErrors.value() - counterBase_.internalErrors;
+  snapshot.samplesCompleted = reg.samplesCompleted.value() - counterBase_.samplesCompleted;
+  snapshot.busyMillis =
+      static_cast<double>(reg.busyMicros.value() - counterBase_.busyMicros) / 1e3;
+  snapshot.statsRequests = reg.statsRequests.value() - counterBase_.statsRequests;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    snapshot = counters_;
+    snapshot.queueHighWater = queueHighWater_;
   }
   const CircuitCache::Stats cache = CircuitCache::global().stats();
   snapshot.circuitCacheHits = cache.hits - cacheBaseline_.hits;
   snapshot.circuitCacheMisses = cache.misses - cacheBaseline_.misses;
+  snapshot.circuitCoverHits = cache.coverHits - cacheBaseline_.coverHits;
+  snapshot.circuitCoverMisses = cache.coverMisses - cacheBaseline_.coverMisses;
   snapshot.synthesisRuns = cache.coverMisses - cacheBaseline_.coverMisses;
   return snapshot;
 }
@@ -347,8 +453,11 @@ void ExperimentService::writeCountersJson(JsonWriter& json) const {
   json.field("queue_high_water", c.queueHighWater);
   json.field("samples_completed", c.samplesCompleted);
   json.field("busy_millis", c.busyMillis);
+  json.field("stats_requests", c.statsRequests);
   json.field("circuit_cache_hits", c.circuitCacheHits);
   json.field("circuit_cache_misses", c.circuitCacheMisses);
+  json.field("circuit_cover_hits", c.circuitCoverHits);
+  json.field("circuit_cover_misses", c.circuitCoverMisses);
   json.field("synthesis_runs", c.synthesisRuns);
   json.endObject();
 }
@@ -357,6 +466,22 @@ std::string ExperimentService::countersJson(bool pretty) const {
   std::ostringstream out;
   JsonWriter json(out, pretty);
   writeCountersJson(json);
+  return out.str();
+}
+
+void ExperimentService::writeStatsJson(JsonWriter& json) const {
+  json.beginObject();
+  json.key("service");
+  writeCountersJson(json);
+  json.key("registry");
+  obs::Registry::global().writeJson(json);
+  json.endObject();
+}
+
+std::string ExperimentService::statsJson(bool pretty) const {
+  std::ostringstream out;
+  JsonWriter json(out, pretty);
+  writeStatsJson(json);
   return out.str();
 }
 

@@ -64,7 +64,10 @@ struct ServiceOptions {
   RequestLimits limits;
 };
 
-/// Monotonic service counters (a snapshot; taken under the service lock).
+/// Per-service counter snapshot. The underlying counters live in the
+/// process-wide obs::Registry (under "serve.*" names); each service captures
+/// a baseline at construction and reports deltas, so a fresh service always
+/// counts from zero while `{"type":"stats"}` exposes the process totals.
 struct ServiceCounters {
   std::uint64_t received = 0;           ///< submit() calls
   std::uint64_t accepted = 0;           ///< admitted to the queue
@@ -77,10 +80,14 @@ struct ServiceCounters {
   std::uint64_t queueHighWater = 0;     ///< max queued-at-once observed
   std::uint64_t samplesCompleted = 0;   ///< Monte Carlo samples actually run
   double busyMillis = 0;                ///< summed per-request execution time
+  std::uint64_t statsRequests = 0;      ///< `{"type":"stats"}` requests served
   /// Global CircuitCache deltas since this service was constructed: how
-  /// often requests coalesced onto an already-compiled circuit.
+  /// often requests coalesced onto an already-compiled circuit, at both
+  /// memo stages (circuit artifacts and synthesized covers).
   std::uint64_t circuitCacheHits = 0;
   std::uint64_t circuitCacheMisses = 0;
+  std::uint64_t circuitCoverHits = 0;
+  std::uint64_t circuitCoverMisses = 0;
   std::uint64_t synthesisRuns = 0;
 };
 
@@ -102,6 +109,8 @@ public:
   /// (or the parse/overloaded error) is either emitted synchronously here
   /// or scheduled on a request thread. @p sink overrides the default sink
   /// for THIS request's response (the daemon's per-connection routing).
+  /// `{"type":"stats"}` lines short-circuit: the metrics snapshot (see
+  /// statsJson) is emitted synchronously, bypassing the admission queue.
   void submit(const std::string& line, Sink sink = nullptr);
 
   /// Stop admitting (subsequent submits shed as `overloaded`), finish every
@@ -118,6 +127,14 @@ public:
   void writeCountersJson(JsonWriter& json) const;
   std::string countersJson(bool pretty = false) const;
 
+  /// Full telemetry snapshot: {"service": <countersJson>, "registry":
+  /// {"counters":..,"gauges":..,"histograms":..}} — the payload of the
+  /// `{"type":"stats"}` protocol request and the daemon's periodic
+  /// --metrics-interval flush. Histograms report per-stage request latency
+  /// quantiles (queue wait, synthesis, MC run, emit) in milliseconds.
+  void writeStatsJson(JsonWriter& json) const;
+  std::string statsJson(bool pretty = false) const;
+
   const ServiceOptions& options() const { return options_; }
   ExecutorPool& pool() { return pool_; }
 
@@ -126,7 +143,23 @@ private:
     Request request;
     Sink sink;  ///< null = service default
     std::shared_ptr<CancelToken> token;
-    Stopwatch admitted;  ///< queue + execution latency clock
+    Stopwatch admitted;             ///< queue + execution latency clock
+    std::uint64_t admitNanos = 0;   ///< process-epoch admission time (tracing)
+  };
+
+  /// Registry values captured at construction; counters() reports deltas.
+  struct CounterBaseline {
+    std::uint64_t received = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t completedOk = 0;
+    std::uint64_t parseErrors = 0;
+    std::uint64_t shedOverloaded = 0;
+    std::uint64_t deadlineExceeded = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t internalErrors = 0;
+    std::uint64_t samplesCompleted = 0;
+    std::uint64_t busyMicros = 0;
+    std::uint64_t statsRequests = 0;
   };
 
   void workerLoop();
@@ -137,13 +170,14 @@ private:
   ServiceOptions options_;
   Sink defaultSink_;
   CircuitCache::Stats cacheBaseline_;
+  CounterBaseline counterBase_;
 
   mutable std::mutex mutex_;
   std::condition_variable workReady_;  ///< queue became non-empty / stopping
   std::condition_variable idle_;       ///< queue empty and nothing in flight
   std::deque<std::shared_ptr<Pending>> queue_;
   std::vector<std::shared_ptr<CancelToken>> inFlight_;  ///< tokens being executed
-  ServiceCounters counters_;
+  std::uint64_t queueHighWater_ = 0;   ///< a max, not a sum: stays service-local
   bool draining_ = false;
   bool stopping_ = false;
 

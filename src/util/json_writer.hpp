@@ -57,6 +57,11 @@ public:
     out_ << v;
     return *this;
   }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    out_ << v;
+    return *this;
+  }
   JsonWriter& value(int v) {
     separate();
     out_ << v;

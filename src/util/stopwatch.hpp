@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace mcx {
 
@@ -16,6 +17,31 @@ public:
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
   double millis() const { return seconds() * 1e3; }
+  /// Elapsed nanoseconds since construction / restart (the span timebase).
+  std::uint64_t nanos() const {
+    const auto d = Clock::now() - start_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  }
+
+  /// Elapsed seconds since construction / restart / previous lap, and
+  /// restart — splits one watch into consecutive stage timings.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return elapsed;
+  }
+  double lapMillis() { return lap() * 1e3; }
+
+  /// Nanoseconds since a process-wide epoch (fixed at the first call).
+  /// Monotonic and shared across threads — trace event timestamps.
+  static std::uint64_t processNanos() {
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+            .count());
+  }
 
 private:
   using Clock = std::chrono::steady_clock;

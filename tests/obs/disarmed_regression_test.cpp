@@ -1,0 +1,87 @@
+// The telemetry layer must be a pure observer: with tracing disarmed (the
+// default) AND with a sink armed + profiling on, the MC engine must keep
+// reproducing the committed BENCH_defect_mc.json success count bit-for-bit.
+// The spans and gated counters live inside runDefectExperiment, the
+// executor pool chunk loop and the Hopcroft–Karp engine — this test proves
+// none of them perturb the RNG streams or the work partition.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenario/spec.hpp"
+
+#ifndef MCX_REPO_ROOT
+#error "MCX_REPO_ROOT must point at the repository root (set by CMake)"
+#endif
+
+namespace mcx {
+namespace {
+
+/// Committed success count for the rd53 / HBA / legacy-rates row.
+std::size_t committedRd53HbaSuccesses() {
+  std::ifstream file(std::string(MCX_REPO_ROOT) + "/BENCH_defect_mc.json");
+  EXPECT_TRUE(file.good()) << "committed BENCH_defect_mc.json not found";
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const SpecValue doc = parseSpec(buffer.str());
+  const SpecValue* circuits = doc.find("circuits");
+  if (circuits == nullptr) return 0;
+  for (const SpecValue& circuit : circuits->array) {
+    if (circuit.stringOr("name", "") != "rd53") continue;
+    const SpecValue* mappers = circuit.find("mappers");
+    if (mappers == nullptr) return 0;
+    for (const SpecValue& entry : mappers->array) {
+      if (entry.stringOr("mapper", "") != "HBA") continue;
+      if (entry.stringOr("scenario", "") != "iid (legacy rates)") continue;
+      const SpecValue* runs = entry.find("runs");
+      if (runs == nullptr || runs->array.empty()) return 0;
+      return static_cast<std::size_t>(runs->array.front().numberOr("successes", 0));
+    }
+  }
+  return 0;
+}
+
+ExperimentResult runCommittedWorkload() {
+  std::ifstream file(std::string(MCX_REPO_ROOT) + "/BENCH_defect_mc.json");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const SpecValue doc = parseSpec(buffer.str());
+  return ExperimentBuilder()
+      .circuit("rd53-min")
+      .multiLevel()
+      .mapper("hba")
+      .legacyRates(doc.numberOr("stuck_open_rate", 0.0))
+      .samples(static_cast<std::size_t>(doc.numberOr("samples", 0)))
+      .seed(0x51a)
+      .threads(2)  // spans + chunk counters on the pooled path too
+      .run();
+}
+
+TEST(ObsDisarmedRegression, TelemetryNeverPerturbsTheCommittedSuccessCounts) {
+  const std::size_t committed = committedRd53HbaSuccesses();
+  ASSERT_GT(committed, 0u) << "committed regression surface missing";
+
+  // Disarmed (the production default): spans are inert, gated counters off.
+  obs::setProfiling(false);
+  EXPECT_EQ(runCommittedWorkload().outcome.successes, committed)
+      << "disarmed telemetry changed the MC result";
+
+  // Fully armed: trace sink + profiling counters live on the same run.
+  const std::string trace = ::testing::TempDir() + "mcx_disarmed_regression.json";
+  obs::armTrace(trace);
+  const ExperimentResult armed = runCommittedWorkload();
+  obs::disarmTrace();
+  obs::setProfiling(false);
+  std::remove(trace.c_str());
+  EXPECT_EQ(armed.outcome.successes, committed)
+      << "armed telemetry changed the MC result";
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,274 @@
+// mcx::obs metric primitives: histogram bucket geometry and quantile edge
+// cases (0, 1, max, overflow), counter sharding under a concurrent hammer
+// (the TSan CI job runs these with Obs* in its filter), gauge levels and
+// registry snapshot shape. Geometry checks lean on the bucketIndex /
+// bucketLo / bucketWidth statics the Histogram exposes for exactly this.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace mcx::obs {
+namespace {
+
+using Hist = Histogram;
+
+TEST(ObsHistogram, GeometryConstantsAreConsistent) {
+  // 8 unit buckets, 37 octave groups of 8 sub-buckets, 1 overflow bucket.
+  EXPECT_EQ(Hist::kSubBuckets, 8u);
+  EXPECT_EQ(Hist::kGroups, 37u);
+  EXPECT_EQ(Hist::kBuckets, 305u);
+}
+
+TEST(ObsHistogram, UnitBucketsBelowEight) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(Hist::bucketIndex(v), v);
+    EXPECT_EQ(Hist::bucketLo(v), v);
+    EXPECT_EQ(Hist::bucketWidth(v), 1u);
+  }
+}
+
+TEST(ObsHistogram, BucketsTileTheRangeWithoutGapsOrOverlap) {
+  // Every regular bucket's upper edge is the next bucket's lower edge, all
+  // the way to the overflow threshold 2^40.
+  for (std::size_t i = 0; i + 1 < Hist::kBuckets; ++i) {
+    EXPECT_EQ(Hist::bucketLo(i) + Hist::bucketWidth(i), Hist::bucketLo(i + 1))
+        << "gap or overlap at bucket " << i;
+  }
+  EXPECT_EQ(Hist::bucketLo(Hist::kBuckets - 1), std::uint64_t{1} << 40);
+  EXPECT_EQ(Hist::bucketWidth(Hist::kBuckets - 1), 0u);
+}
+
+TEST(ObsHistogram, EveryBucketEdgeRoundTripsThroughBucketIndex) {
+  for (std::size_t i = 0; i + 1 < Hist::kBuckets; ++i) {
+    const std::uint64_t lo = Hist::bucketLo(i);
+    const std::uint64_t hi = lo + Hist::bucketWidth(i) - 1;
+    EXPECT_EQ(Hist::bucketIndex(lo), i) << "lower edge of bucket " << i;
+    EXPECT_EQ(Hist::bucketIndex(hi), i) << "upper edge of bucket " << i;
+  }
+}
+
+TEST(ObsHistogram, RelativeBucketErrorIsBounded) {
+  // The HDR contract: width <= lo / 8 for every octave bucket, i.e. any
+  // recorded value is within 12.5% of its bucket's lower bound.
+  for (std::size_t i = Hist::kSubBuckets; i + 1 < Hist::kBuckets; ++i)
+    EXPECT_LE(Hist::bucketWidth(i) * 8, Hist::bucketLo(i)) << "bucket " << i;
+}
+
+TEST(ObsHistogram, OverflowThresholdAndExtremes) {
+  const std::uint64_t threshold = std::uint64_t{1} << 40;
+  EXPECT_EQ(Hist::bucketIndex(threshold - 1), Hist::kBuckets - 2);
+  EXPECT_EQ(Hist::bucketIndex(threshold), Hist::kBuckets - 1);
+  EXPECT_EQ(Hist::bucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            Hist::kBuckets - 1);
+}
+
+TEST(ObsHistogram, EmptySnapshotQuantilesAreZero) {
+  Hist hist;
+  const Hist::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile(0.0), 0.0);
+  EXPECT_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_EQ(snap.quantile(1.0), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(ObsHistogram, SingleRecordPinsEveryQuantileNearTheValue) {
+  Hist hist;
+  hist.record(1000);
+  const Hist::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 1000u);
+  EXPECT_EQ(snap.max, 1000u);
+  // All mass sits in bucket(1000); every quantile lands inside it and the
+  // clamp-to-max keeps the top end exact.
+  const std::size_t i = Hist::bucketIndex(1000);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = snap.quantile(q);
+    EXPECT_GE(v, static_cast<double>(Hist::bucketLo(i)));
+    EXPECT_LE(v, 1000.0) << "quantile must clamp to the exact max";
+  }
+  EXPECT_EQ(snap.quantile(1.0), 1000.0);
+}
+
+TEST(ObsHistogram, ZeroRecordLandsInTheZeroBucket) {
+  Hist hist;
+  hist.record(0);
+  const Hist::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.quantile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, OverflowBucketReportsTheExactMax) {
+  Hist hist;
+  hist.record(100);
+  const std::uint64_t huge = (std::uint64_t{1} << 40) + 12345;
+  hist.record(huge);
+  const Hist::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.counts[Hist::kBuckets - 1], 1u);
+  EXPECT_EQ(snap.max, huge);
+  // A quantile landing in the overflow bucket must not invent a value: it
+  // reports the CAS-maintained exact max.
+  EXPECT_EQ(snap.quantile(1.0), static_cast<double>(huge));
+  EXPECT_EQ(snap.quantile(0.99), static_cast<double>(huge));
+}
+
+TEST(ObsHistogram, QuantilesAreMonotonicInQ) {
+  Hist hist;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 1000; ++i) {
+    hist.record(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // LCG spread
+    v &= (std::uint64_t{1} << 38) - 1;               // stay below overflow
+  }
+  const Hist::Snapshot snap = hist.snapshot();
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double val = snap.quantile(q);
+    EXPECT_GE(val, prev) << "quantile not monotonic at q=" << q;
+    prev = val;
+  }
+  EXPECT_LE(snap.quantile(1.0), static_cast<double>(snap.max));
+}
+
+TEST(ObsHistogram, RecordMillisClampsNegativeAndNaNToZero) {
+  Hist hist;
+  hist.recordMillis(-5.0);
+  hist.recordMillis(std::numeric_limits<double>::quiet_NaN());
+  hist.recordMillis(1.5);  // 1.5ms = 1'500'000 ns
+  const Hist::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.max, 1'500'000u);
+}
+
+TEST(ObsCounter, AddsAndSumsAcrossShards) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsCounter, ConcurrentHammerLosesNothing) {
+  // 8 threads x 100k relaxed increments; the sharded total must be exact.
+  // The TSan CI job runs this suite to prove the relaxed path is race-free.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  Counter c;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsLoseNothing) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  Hist hist;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        hist.record(static_cast<std::uint64_t>(t) * 1000 + (i & 511));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Hist::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : snap.counts) total += n;
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+TEST(ObsGauge, SetAndAdjust) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(ObsRegistry, SameNameResolvesToTheSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  // Kinds are independent namespaces.
+  reg.gauge("x").set(5);
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  EXPECT_EQ(reg.gauge("x").value(), 5);
+}
+
+TEST(ObsRegistry, SnapshotJsonHasAllThreeSectionsSortedByName) {
+  Registry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("depth").set(4);
+  reg.histogram("lat").recordMillis(2.0);
+
+  const SpecValue doc = parseSpec(reg.toJson());
+  ASSERT_TRUE(doc.isObject());
+  const SpecValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->numberOr("a.count", -1), 1.0);
+  EXPECT_EQ(counters->numberOr("b.count", -1), 2.0);
+  const SpecValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->numberOr("depth", -1), 4.0);
+  const SpecValue* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const SpecValue* lat = hists->find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->numberOr("count", -1), 1.0);
+  EXPECT_NEAR(lat->numberOr("max_ms", -1), 2.0, 1e-9);
+  EXPECT_GT(lat->numberOr("p50_ms", -1), 0.0);
+  // Map iteration order == lexical name order in the serialized text.
+  const std::string text = reg.toJson();
+  EXPECT_LT(text.find("a.count"), text.find("b.count"));
+}
+
+TEST(ObsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(ObsRegistry, ConcurrentResolutionAndMutationIsSafe) {
+  // Threads race name resolution (mutex) against mutation (lock-free) on a
+  // shared registry — the pattern every instrumented subsystem uses.
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& mine = reg.counter("shared.hammer");
+      for (int i = 0; i < kIters; ++i) {
+        mine.add();
+        reg.histogram("shared.lat").record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared.hammer").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("shared.lat").count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace mcx::obs

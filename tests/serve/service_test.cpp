@@ -343,6 +343,68 @@ TEST_F(ServiceTest, SlowPerRequestSinkDoesNotStallOtherResponses) {
   EXPECT_EQ(service.counters().completedOk, 2u);
 }
 
+TEST_F(ServiceTest, StatsRequestAnswersInlineWithRegistrySnapshot) {
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.submit(R"({"id": "work", "circuit": "rd53-min", "samples": 5, "seed": 7})");
+  service.drain();
+  // Answered synchronously on the submitting thread — works even after the
+  // drain latch closes the queue, so an operator can always pull stats.
+  service.submit(R"({"id": "s1", "type": "stats"})");
+  ASSERT_TRUE(log.has("s1"));
+
+  const SpecValue stats = log.response("s1");
+  EXPECT_EQ(stats.stringOr("status", ""), "ok");
+  const SpecValue* payload = stats.find("stats");
+  ASSERT_NE(payload, nullptr);
+  const SpecValue* svc = payload->find("service");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->numberOr("completed_ok", -1), 1.0);
+  EXPECT_EQ(svc->numberOr("stats_requests", -1), 1.0);
+  const SpecValue* registry = payload->find("registry");
+  ASSERT_NE(registry, nullptr);
+  const SpecValue* hists = registry->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  // The per-stage latency histograms saw the completed request (the
+  // registry is process-wide, so counts are >= this service's one).
+  for (const char* name :
+       {"serve.parse", "serve.queue_wait", "serve.synthesis", "serve.mc_run"}) {
+    const SpecValue* hist = hists->find(name);
+    ASSERT_NE(hist, nullptr) << name;
+    EXPECT_GE(hist->numberOr("count", 0), 1.0) << name;
+  }
+
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.statsRequests, 1u);
+  EXPECT_EQ(counters.received, 2u);
+  EXPECT_EQ(counters.accepted, 1u);  // stats never touches the queue
+}
+
+TEST_F(ServiceTest, CoverStageHitsAndMissesSurfaceInCounters) {
+  // Two realizations of one synthesis declaration: the second request
+  // misses the full-spec cache (different realize) but reuses the
+  // synthesized cover, which the counters must break out per stage.
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.submit(
+      R"({"id": "f3", "circuit": {"circuit": "sop:x1 x2 + x3 x4 + !x1 x5", )"
+      R"("synth": "qm", "realize": "two-level"}, "samples": 5, "seed": 7})");
+  service.submit(
+      R"({"id": "f4", "circuit": {"circuit": "sop:x1 x2 + x3 x4 + !x1 x5", )"
+      R"("synth": "qm", "realize": "multilevel"}, "samples": 5, "seed": 7})");
+  service.drain();
+  EXPECT_EQ(log.response("f3").stringOr("status", ""), "ok");
+  EXPECT_EQ(log.response("f4").stringOr("status", ""), "ok");
+
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.circuitCacheMisses, 2u) << "distinct realizations";
+  EXPECT_GE(counters.circuitCoverHits, 1u) << "shared synthesis stage";
+  // The JSON snapshot carries the cover stage too.
+  const std::string json = service.countersJson();
+  EXPECT_NE(json.find("\"circuit_cover_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"circuit_cover_misses\""), std::string::npos);
+}
+
 TEST_F(ServiceTest, DestructorWithWorkInFlightDoesNotHangOrLeak) {
   faultinject::arm("mc.sample", {Kind::Stall, 5.0, 0, UINT64_MAX});
   ResponseLog log;

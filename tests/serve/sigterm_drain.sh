@@ -12,7 +12,9 @@ trap 'rm -rf "$workdir"' EXIT
 # A fifo held open by this script keeps the daemon's stdin from hitting EOF,
 # so the exit we observe is the signal path, not the end-of-input path.
 mkfifo "$workdir/in"
+# --metrics-interval exercises the periodic registry flush during the run.
 "$SERVE" --queue-depth 8 --request-threads 1 --pool-threads 1 \
+  --metrics-interval 0.2 \
   < "$workdir/in" > "$workdir/out.jsonl" 2> "$workdir/err.log" &
 daemon=$!
 exec 3> "$workdir/in"
@@ -37,4 +39,6 @@ grep '"id": "slow"' "$workdir/out.jsonl" | grep -q '"status": "ok"' \
 grep '"id": "slow"' "$workdir/out.jsonl" | grep -q '"completed": 400' \
   || fail "in-flight request was cut short"
 grep -q '"completed_ok": 1' "$workdir/err.log" || fail "counters not flushed"
+# At least one periodic metrics tick fired during the ~1s run.
+grep -q 'mcx_serve: metrics' "$workdir/err.log" || fail "no periodic metrics flush"
 echo "PASS"

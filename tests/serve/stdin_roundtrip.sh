@@ -14,6 +14,7 @@ cat > "$workdir/requests.jsonl" <<'EOF'
 {"id": "bad-json", "circuit": "rd53-min",
 {"id": "bad-circuit", "circuit": "no-such-circuit", "samples": 5}
 {"id": "ok-2", "circuit": "rd53-min", "scenario": "clustered", "rate": 0.05, "samples": 5}
+{"id": "stats-1", "type": "stats"}
 EOF
 
 "$SERVE" --queue-depth 8 --request-threads 1 --pool-threads 1 \
@@ -23,7 +24,7 @@ status=$?
 
 fail() { echo "FAIL: $1"; echo "--- stdout:"; cat "$workdir/out.jsonl"; echo "--- stderr:"; cat "$workdir/err.log"; exit 1; }
 
-[ "$(wc -l < "$workdir/out.jsonl")" -eq 4 ] || fail "expected 4 response lines"
+[ "$(wc -l < "$workdir/out.jsonl")" -eq 5 ] || fail "expected 5 response lines"
 grep -q '"id": "ok-1"' "$workdir/out.jsonl" || fail "missing ok-1 response"
 grep '"id": "ok-1"' "$workdir/out.jsonl" | grep -q '"status": "ok"' || fail "ok-1 not ok"
 grep '"id": "ok-1"' "$workdir/out.jsonl" | grep -q '"completed": 5' || fail "ok-1 completed != 5"
@@ -32,8 +33,16 @@ grep -q '"code": "parse"' "$workdir/out.jsonl" || fail "no parse error emitted"
 grep '"id": "bad-circuit"' "$workdir/out.jsonl" | grep -q '"code": "parse"' \
   || fail "bad-circuit not rejected as parse"
 grep '"id": "ok-2"' "$workdir/out.jsonl" | grep -q '"status": "ok"' || fail "ok-2 not ok"
+# The stats request answers inline with the service counters and the
+# process-wide metrics registry (per-stage latency histograms included).
+grep '"id": "stats-1"' "$workdir/out.jsonl" | grep -q '"status": "ok"' \
+  || fail "stats request not answered ok"
+grep '"id": "stats-1"' "$workdir/out.jsonl" | grep -q '"registry"' \
+  || fail "stats response missing registry snapshot"
+grep '"id": "stats-1"' "$workdir/out.jsonl" | grep -q '"serve.parse"' \
+  || fail "stats response missing per-stage histograms"
 # Counters land on stderr as one JSON object after the drain.
-grep -q '"received": 4' "$workdir/err.log" || fail "counters missing received=4"
+grep -q '"received": 5' "$workdir/err.log" || fail "counters missing received=5"
 grep -q '"completed_ok": 2' "$workdir/err.log" || fail "counters missing completed_ok=2"
 grep -q '"parse_errors": 2' "$workdir/err.log" || fail "counters missing parse_errors=2"
 echo "PASS"

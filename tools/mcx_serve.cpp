@@ -17,6 +17,13 @@
 //   - SIGINT/SIGTERM drain gracefully: stop admitting, finish in-flight
 //     work, flush the counters JSON to stderr, exit 0
 //   - MCX_FAULTINJECT arms the fault-injection sites (testing only)
+//
+// Observability:
+//   - --metrics-interval <s> flushes the full telemetry snapshot (service
+//     counters + registry histograms) to stderr periodically, one line
+//     prefixed "mcx_serve: metrics "
+//   - MCX_TRACE=<path> arms Chrome trace_event output (chrome://tracing)
+//   - MCX_PROFILE=1 arms the gated hot-path profiling counters
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -29,15 +36,21 @@
 #include <string>
 #include <vector>
 
+#include <condition_variable>
+#include <thread>
+
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "util/arg_parser.hpp"
 #include "util/faultinject.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -82,8 +95,7 @@ bool writeLine(int fd, const std::string& line) {
   std::string buffer = line;
   buffer.push_back('\n');
   std::size_t off = 0;
-  const auto giveUpAt = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(kWriteTimeoutMillis);
+  const mcx::Stopwatch elapsed;  // budget clock for the whole response write
   while (off < buffer.size()) {
     const ssize_t n = ::write(fd, buffer.data() + off, buffer.size() - off);
     if (n > 0) {
@@ -92,11 +104,10 @@ bool writeLine(int fd, const std::string& line) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          giveUpAt - std::chrono::steady_clock::now());
-      if (left.count() <= 0) return false;  // stuck client: drop, don't wedge
+      const int leftMillis = kWriteTimeoutMillis - static_cast<int>(elapsed.millis());
+      if (leftMillis <= 0) return false;  // stuck client: drop, don't wedge
       struct pollfd pfd = {fd, POLLOUT, 0};
-      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      const int ready = ::poll(&pfd, 1, leftMillis);
       if (ready > 0 && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) == 0) continue;
       if (ready < 0 && errno == EINTR) continue;
       return false;
@@ -271,12 +282,56 @@ int runSocketLoop(mcx::serve::ExperimentService& service, const std::string& pat
   return 0;
 }
 
+/// Background stderr flusher for --metrics-interval: one compact snapshot
+/// line per tick, stopped promptly (condition variable, not a sleep) when
+/// the daemon drains.
+class MetricsFlusher {
+public:
+  MetricsFlusher(mcx::serve::ExperimentService& service, double intervalSeconds)
+      : service_(service), intervalSeconds_(intervalSeconds) {
+    if (intervalSeconds_ > 0) thread_ = std::thread([this] { loop(); });
+  }
+  ~MetricsFlusher() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    tick_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (tick_.wait_for(lock, std::chrono::duration<double>(intervalSeconds_),
+                         [this] { return stop_; }))
+        return;
+      lock.unlock();
+      // One pre-built string per tick: stderr is unbuffered, and the final
+      // counters flush may race this thread — whole-line writes keep both
+      // readable.
+      std::cerr << ("mcx_serve: metrics " + service_.statsJson(false) + "\n")
+                << std::flush;
+      lock.lock();
+    }
+  }
+
+  mcx::serve::ExperimentService& service_;
+  double intervalSeconds_;
+  std::mutex mutex_;
+  std::condition_variable tick_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   mcx::serve::ServiceOptions options;
   std::string socketPath;
   double defaultDeadline = 0;
+  double metricsInterval = 0;
   std::size_t maxSamples = options.limits.maxSamples;
 
   mcx::cli::ArgParser parser(
@@ -294,6 +349,8 @@ int main(int argc, char** argv) {
              "deadline applied to requests without deadline_ms (0 = none)");
   parser.add("--max-samples", &maxSamples, "N",
              "per-request sample cap enforced at parse time");
+  parser.add("--metrics-interval", &metricsInterval, "S",
+             "flush the telemetry snapshot to stderr every S seconds (0 = off)");
   parser.add("--socket", &socketPath, "PATH",
              "serve a unix stream socket instead of stdin/stdout");
 
@@ -311,6 +368,12 @@ int main(int argc, char** argv) {
     std::cerr << "mcx_serve: MCX_FAULTINJECT: " << e.what() << "\n";
     return 2;
   }
+  // MCX_TRACE / MCX_PROFILE arm tracing and hot-path profiling; a periodic
+  // metrics flush arms profiling too so its snapshots carry the gated
+  // counters. Bad trace paths warn and leave tracing off (armTraceFromEnv).
+  mcx::obs::armTraceFromEnv();
+  mcx::obs::armProfilingFromEnv();
+  if (metricsInterval > 0) mcx::obs::setProfiling(true);
 
   if (!installSignalHandlers()) {
     std::cerr << "mcx_serve: failed to install signal handlers\n";
@@ -322,6 +385,7 @@ int main(int argc, char** argv) {
     mcx::serve::ExperimentService service(options, [](const std::string& line) {
       std::cout << line << "\n" << std::flush;
     });
+    const MetricsFlusher flusher(service, metricsInterval);
 
     if (socketPath.empty())
       runStdinLoop(service);
