@@ -96,6 +96,8 @@ struct PassResult {
   double synthP99Millis = 0;
   double synthMaxMillis = 0;
   ServiceCounters counters;
+  std::uint64_t cacheEvictions = 0;      ///< byte-budget evictions during the pass
+  std::uint64_t cacheEvictedBytes = 0;
 };
 
 constexpr double kNsPerMs = 1e6;  // obs::Histogram quantiles are nanoseconds
@@ -131,6 +133,7 @@ PassResult runPass(const std::vector<std::string>& trace, const TraceConfig& con
     return c.accepted - (c.completedOk + c.deadlineExceeded + c.cancelled + c.internalErrors);
   };
 
+  const CircuitCache::Stats cacheBefore = CircuitCache::global().stats();
   Stopwatch wall;
   for (const std::string& line : trace) {
     // Backpressure: hold submission while the queue is at capacity.
@@ -151,6 +154,9 @@ PassResult runPass(const std::vector<std::string>& trace, const TraceConfig& con
   PassResult result;
   result.wallSeconds = wall.seconds();
   result.counters = service.counters();
+  const CircuitCache::Stats cacheAfter = CircuitCache::global().stats();
+  result.cacheEvictions = cacheAfter.evictions - cacheBefore.evictions;
+  result.cacheEvictedBytes = cacheAfter.evictedBytes - cacheBefore.evictedBytes;
   result.sustainedRps =
       static_cast<double>(result.counters.completedOk) / result.wallSeconds;
   const obs::Histogram::Snapshot latency = latencyHist->snapshot();
@@ -184,12 +190,22 @@ void writePass(JsonWriter& json, const char* label, const PassResult& pass) {
   json.field("completed_ok", pass.counters.completedOk);
   json.field("parse_errors", pass.counters.parseErrors);
   json.field("shed_overloaded", pass.counters.shedOverloaded);
+  // Governance breakdown: which shedder did the work (all zero at the
+  // default knobs — the committed invariants ok+ddl/parse/shed are measured
+  // with governance off, and MUST stay identical when it merely exists).
+  json.field("client_shed", pass.counters.clientShed);
+  json.field("cost_shed", pass.counters.costShed);
+  json.field("batch_shed", pass.counters.batchShed);
+  json.field("aged_out", pass.counters.agedOut);
+  json.field("degraded_responses", pass.counters.degradedResponses);
   json.field("deadline_exceeded", pass.counters.deadlineExceeded);
   json.field("internal_errors", pass.counters.internalErrors);
   json.field("queue_high_water", pass.counters.queueHighWater);
   json.field("samples_completed", pass.counters.samplesCompleted);
   json.field("circuit_cache_hits", pass.counters.circuitCacheHits);
   json.field("circuit_cache_misses", pass.counters.circuitCacheMisses);
+  json.field("cache_evictions", pass.cacheEvictions);
+  json.field("cache_evicted_bytes", pass.cacheEvictedBytes);
   json.field("synthesis_runs", pass.counters.synthesisRuns);
   json.endObject();
 }

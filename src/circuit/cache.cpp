@@ -1,6 +1,8 @@
 #include "circuit/cache.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -65,6 +67,10 @@ std::uint64_t fnv1a64(const std::string& text) {
 
 CircuitCache& CircuitCache::global() {
   static CircuitCache cache;
+  // Only the process-wide instance drives the registry gauge: tests build
+  // private caches whose footprints would otherwise fight over one value.
+  static const bool armed = (cache.publishGauge_ = true);
+  (void)armed;
   return cache;
 }
 
@@ -97,8 +103,81 @@ obs::Counter& coverMissCounter() {
   static obs::Counter& c = obs::Registry::global().counter("circuit.cache.cover_misses");
   return c;
 }
+obs::Counter& evictionCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("circuit.cache.evictions");
+  return c;
+}
+obs::Counter& evictedBytesCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("circuit.cache.evicted_bytes");
+  return c;
+}
+obs::Gauge& cacheBytesGauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge("circuit.cache_bytes");
+  return g;
+}
+
+/// Evict the least-recently-used entry across one bucket level; returns the
+/// freed byte count (0 when the level is empty).
+template <typename Buckets>
+std::size_t evictOldest(Buckets& buckets, std::uint64_t* oldestStampOut) {
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  typename Buckets::iterator oldestBucket = buckets.end();
+  std::size_t oldestIndex = 0;
+  for (auto it = buckets.begin(); it != buckets.end(); ++it) {
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (it->second[i].lastUse < oldest) {
+        oldest = it->second[i].lastUse;
+        oldestBucket = it;
+        oldestIndex = i;
+      }
+    }
+  }
+  if (oldestBucket == buckets.end()) return 0;
+  const std::size_t freed = oldestBucket->second[oldestIndex].bytes;
+  oldestBucket->second.erase(oldestBucket->second.begin() +
+                             static_cast<std::ptrdiff_t>(oldestIndex));
+  if (oldestBucket->second.empty()) buckets.erase(oldestBucket);
+  if (oldestStampOut) *oldestStampOut = oldest;
+  return freed;
+}
 
 }  // namespace
+
+void CircuitCache::publishBytesLocked() {
+  if (publishGauge_) cacheBytesGauge().set(static_cast<std::int64_t>(totalBytes_));
+}
+
+void CircuitCache::enforceBudgetLocked() {
+  // Joint LRU across both memo stages: whichever level holds the globally
+  // oldest entry gives it up first. Handed-out shared_ptrs keep evicted
+  // artifacts alive for their holders, so eviction can never corrupt a
+  // result a concurrent compile() already returned — the bit-identity
+  // guarantee costs nothing beyond the re-compile on the next miss.
+  while (budget_ != 0 && totalBytes_ > budget_) {
+    std::uint64_t circuitStamp = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t coverStamp = std::numeric_limits<std::uint64_t>::max();
+    // Probe both levels' oldest stamps without erasing: scan, then evict
+    // from the level holding the older one.
+    for (const auto& [hash, bucket] : circuits_)
+      for (const auto& entry : bucket) circuitStamp = std::min(circuitStamp, entry.lastUse);
+    for (const auto& [hash, bucket] : covers_)
+      for (const auto& entry : bucket) coverStamp = std::min(coverStamp, entry.lastUse);
+    std::size_t freed = 0;
+    if (circuitStamp <= coverStamp && circuitStamp != std::numeric_limits<std::uint64_t>::max()) {
+      freed = evictOldest(circuits_, nullptr);
+    } else if (coverStamp != std::numeric_limits<std::uint64_t>::max()) {
+      freed = evictOldest(covers_, nullptr);
+    } else {
+      break;  // both levels empty; nothing left to free
+    }
+    totalBytes_ -= std::min(freed, totalBytes_);
+    ++stats_.evictions;
+    stats_.evictedBytes += freed;
+    evictionCounter().add(1);
+    evictedBytesCounter().add(freed);
+  }
+  publishBytesLocked();
+}
 
 std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
   // The source content is read once and keys both stages.
@@ -107,11 +186,14 @@ std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
 
   // Build while holding the lock: compilation is a front-end cost, and
   // serializing it means concurrent requests for the same spec do the work
-  // exactly once.
+  // exactly once. Holding the lock across insert + eviction also makes the
+  // budget invariant atomic: no caller can observe currentBytes() above the
+  // budget after any compile() returns.
   std::lock_guard<std::mutex> lock(mutex_);
   if (auto* entry = findEntry(circuits_, fnv1a64(key), key)) {
     ++stats_.hits;
     cacheHitCounter().add(1);
+    entry->lastUse = ++useClock_;
     // The label is presentation, not identity: two specs differing only in
     // label share one compile, but each caller gets its own label back.
     // Relabeled variants are memoized under a label-discriminated key, so
@@ -119,12 +201,17 @@ std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
     if (entry->value->label != spec.displayLabel()) {
       const std::string labeledKey = key + "\n#label=" + spec.displayLabel();
       const std::uint64_t labeledHash = fnv1a64(labeledKey);
-      if (auto* labeled = findEntry(circuits_, labeledHash, labeledKey))
+      if (auto* labeled = findEntry(circuits_, labeledHash, labeledKey)) {
+        labeled->lastUse = ++useClock_;
         return labeled->value;
+      }
       auto relabeled = std::make_shared<Circuit>(*entry->value);
       relabeled->spec.label = spec.label;
       relabeled->label = spec.displayLabel();
-      circuits_[labeledHash].push_back({labeledKey, relabeled});
+      const std::size_t bytes = relabeled->estimatedBytes();
+      circuits_[labeledHash].push_back({labeledKey, relabeled, bytes, ++useClock_});
+      totalBytes_ += bytes;
+      enforceBudgetLocked();
       return relabeled;
     }
     return entry->value;
@@ -139,16 +226,22 @@ std::shared_ptr<const Circuit> CircuitCache::compile(const CircuitSpec& spec) {
   if (auto* entry = findEntry(covers_, synthHash, synthKey)) {
     ++stats_.coverHits;
     coverHitCounter().add(1);
+    entry->lastUse = ++useClock_;
     synthesized = entry->value;
   } else {
     ++stats_.coverMisses;
     coverMissCounter().add(1);
     synthesized = std::make_shared<const SynthesizedCover>(buildSynthesizedCover(spec));
-    covers_[synthHash].push_back({synthKey, synthesized});
+    const std::size_t bytes = synthesized->estimatedBytes();
+    covers_[synthHash].push_back({synthKey, synthesized, bytes, ++useClock_});
+    totalBytes_ += bytes;
   }
 
   auto circuit = std::make_shared<const Circuit>(realizeCircuit(spec, *synthesized));
-  circuits_[fnv1a64(key)].push_back({key, circuit});
+  const std::size_t bytes = circuit->estimatedBytes();
+  circuits_[fnv1a64(key)].push_back({key, circuit, bytes, ++useClock_});
+  totalBytes_ += bytes;
+  enforceBudgetLocked();
   return circuit;
 }
 
@@ -169,6 +262,24 @@ void CircuitCache::clear() {
   circuits_.clear();
   covers_.clear();
   stats_ = {};
+  totalBytes_ = 0;
+  publishBytesLocked();
+}
+
+void CircuitCache::setByteBudget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_ = bytes;
+  enforceBudgetLocked();
+}
+
+std::size_t CircuitCache::byteBudget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_;
+}
+
+std::size_t CircuitCache::currentBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totalBytes_;
 }
 
 std::shared_ptr<const Circuit> compileCircuit(const CircuitSpec& spec, bool useCache) {

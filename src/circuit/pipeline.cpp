@@ -1,5 +1,6 @@
 #include "circuit/pipeline.hpp"
 
+#include <cstdint>
 #include <utility>
 
 #include "benchdata/registry.hpp"
@@ -181,6 +182,45 @@ Circuit realizeCircuit(const CircuitSpec& spec, const SynthesizedCover& synthesi
 
 Circuit buildCircuit(const CircuitSpec& spec) {
   return realizeCircuit(spec, buildSynthesizedCover(spec));
+}
+
+namespace {
+
+std::size_t bitsBytes(std::size_t widthBits) {
+  return ((widthBits + 63) / 64) * sizeof(std::uint64_t) + 3 * sizeof(void*);
+}
+
+std::size_t coverBytes(const Cover& cover) {
+  // Each cube holds two DynBits (input pairs + outputs) plus vector
+  // bookkeeping; the cube vector itself is the per-entry overhead.
+  const std::size_t perCube =
+      bitsBytes(2 * cover.nin()) + bitsBytes(cover.nout()) + sizeof(Cube);
+  return sizeof(Cover) + cover.size() * perCube;
+}
+
+std::size_t matrixBytes(const FunctionMatrix& fm) {
+  return sizeof(FunctionMatrix) + fm.rows() * bitsBytes(fm.cols());
+}
+
+std::size_t layoutBytes(const MultiLevelLayout& layout) {
+  std::size_t gateBytes = 0;
+  for (const auto gate : layout.network.gates())
+    gateBytes += 64 + layout.network.fanins(gate).size() * 8;
+  return sizeof(MultiLevelLayout) + gateBytes + matrixBytes(layout.fm) +
+         layout.connOfGate.size() * sizeof(std::size_t);
+}
+
+}  // namespace
+
+std::size_t SynthesizedCover::estimatedBytes() const {
+  return sizeof(SynthesizedCover) + coverBytes(on) + coverBytes(dc);
+}
+
+std::size_t Circuit::estimatedBytes() const {
+  std::size_t bytes = sizeof(Circuit) + coverBytes(cover) + coverBytes(dc) +
+                      matrixBytes(fm) + label.size();
+  if (layout.has_value()) bytes += layoutBytes(*layout);
+  return bytes;
 }
 
 }  // namespace mcx

@@ -43,6 +43,12 @@ struct Circuit {
   CircuitSynthStats stats;
 
   CrossbarDims dims() const { return fm.dims(); }
+
+  /// Approximate heap footprint of the artifact (covers, bit matrix,
+  /// layout) — the cost the memo cache charges against its byte budget.
+  /// An estimate, not an accounting: monotone in circuit size and within a
+  /// small constant factor of the real allocation.
+  std::size_t estimatedBytes() const;
 };
 
 /// Stage 1 of the pipeline — source + synthesis, no realization. This is
@@ -55,6 +61,9 @@ struct SynthesizedCover {
   std::size_t sourceProducts = 0;
   double sourceMillis = 0.0;
   double synthMillis = 0.0;
+
+  /// Approximate heap footprint (see Circuit::estimatedBytes).
+  std::size_t estimatedBytes() const;
 };
 SynthesizedCover buildSynthesizedCover(const CircuitSpec& spec);
 

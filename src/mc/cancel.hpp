@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 namespace mcx {
@@ -61,6 +62,14 @@ public:
 
   bool hasDeadline() const {
     return deadlineTicks_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+  /// Milliseconds until the armed deadline — negative once past, +infinity
+  /// when no deadline is armed. The degradation path sizes trimmed sample
+  /// counts against this remaining budget.
+  double remainingMillis() const {
+    const auto ticks = deadlineTicks_.load(std::memory_order_relaxed);
+    if (ticks == kNoDeadline) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(ticks - Clock::now().time_since_epoch().count()) / 1e6;
   }
   bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
   bool expired() const {

@@ -5,6 +5,7 @@
 
 #include "circuit/registry.hpp"
 #include "map/registry.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
 #include "serve/error.hpp"
@@ -15,6 +16,11 @@ namespace {
 
 [[noreturn]] void failParse(const std::string& msg) {
   throw ServeError(ErrorCode::Parse, "request: " + msg);
+}
+
+obs::Counter& oversizedLineCounter() {
+  static obs::Counter& c = obs::Registry::global().counter("serve.oversized_lines");
+  return c;
 }
 
 /// A non-negative integral number member within [min, max]; requests with
@@ -45,7 +51,7 @@ double rateOr(const SpecValue& doc, const std::string& key, double fallback) {
 const char* const kKnownMembers[] = {"id",     "circuit",    "mapper",     "scenario",
                                      "rate",   "open",       "closed",     "samples",
                                      "seed",   "spare_rows", "multilevel", "deadline_ms",
-                                     "cache"};
+                                     "cache",  "lane"};
 
 void rejectUnknownMembers(const SpecValue& doc) {
   for (const auto& [name, value] : doc.members) {
@@ -78,8 +84,13 @@ std::string idOf(const SpecValue& doc) {
 }  // namespace
 
 Request parseRequest(const std::string& line, const RequestLimits& limits) {
-  if (line.size() > limits.maxLineBytes)
-    failParse("line exceeds " + std::to_string(limits.maxLineBytes) + " bytes");
+  if (line.size() > limits.maxLineBytes) {
+    // The observed length matters operationally: it tells a client whether
+    // it sent one huge request or forgot its newline framing entirely.
+    oversizedLineCounter().add(1);
+    failParse("line is " + std::to_string(line.size()) + " bytes, exceeds the " +
+              std::to_string(limits.maxLineBytes) + "-byte limit");
+  }
 
   SpecValue doc;
   try {
@@ -165,6 +176,14 @@ Request parseRequest(const std::string& line, const RequestLimits& limits) {
     req.useCache = doc.boolOr("cache", true);
   } catch (const ParseError& e) {
     failParse(e.what());
+  }
+
+  const SpecValue* lane = doc.find("lane");
+  if (lane != nullptr) {
+    if (lane->kind != SpecValue::Kind::String ||
+        (lane->string != "interactive" && lane->string != "batch"))
+      failParse("member \"lane\" must be \"interactive\" or \"batch\"");
+    req.lane = lane->string == "batch" ? Request::Lane::Batch : Request::Lane::Interactive;
   }
   return req;
 }

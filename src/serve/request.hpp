@@ -26,6 +26,8 @@
 //   deadline_ms  per-request time budget, measured from ADMISSION —
 //                queueing and synthesis count (optional; service default)
 //   cache        compile through the memo cache (default true)
+//   lane         "interactive" (default) or "batch" — batch requests are
+//                the first shed when the service enters overload mode
 #pragma once
 
 #include <cstdint>
@@ -47,6 +49,10 @@ struct RequestLimits {
 };
 
 struct Request {
+  /// Scheduling lane: batch work is shed first under overload, so the
+  /// interactive lane keeps its latency while the service degrades.
+  enum class Lane { Interactive, Batch };
+
   std::string id;
   CircuitSpec circuit;
   std::shared_ptr<const IMapper> mapper;
@@ -61,6 +67,7 @@ struct Request {
   std::optional<bool> multiLevel;
   std::optional<double> deadlineMillis;
   bool useCache = true;
+  Lane lane = Lane::Interactive;
 };
 
 /// Parse and validate one request line. Throws ServeError(ErrorCode::Parse)

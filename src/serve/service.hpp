@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/cache.hpp"
@@ -62,6 +63,29 @@ struct ServiceOptions {
   /// Applied to requests that carry no deadline_ms (0 = no deadline).
   double defaultDeadlineMillis = 0;
   RequestLimits limits;
+
+  // --- resource governance (all knobs default off: count-only admission,
+  // --- no degradation — the PR 6 behaviour and bench invariants) ---------
+
+  /// Cost-aware admission: summed cost units (samples x learned circuit
+  /// area, see ServiceCounters) the queue will hold before shedding.
+  /// 0 = count-only admission.
+  std::uint64_t queueCostBudget = 0;
+  /// Per-client token bucket: cost units refilled per second (0 = off) and
+  /// the bucket's burst capacity (0 = same as one second of rate).
+  double clientCostRate = 0;
+  double clientCostBurst = 0;
+  /// Overload mode: once the queue is at least this full (fraction of
+  /// queueDepth), new batch-lane requests are shed before anything else.
+  /// Interactive requests are unaffected until the queue is actually full.
+  double batchShedFraction = 0.5;
+  /// Trim a deadline-carrying request's sample count to what the learned
+  /// per-sample rate says fits the remaining budget; the response is then
+  /// labeled "degraded": true with the original requested_samples.
+  bool degradeSamples = false;
+  /// Flag requests stuck in flight past factor x p99 of serve.total (with
+  /// a 100 ms floor while the histogram warms up). 0 = watchdog off.
+  double watchdogFactor = 0;
 };
 
 /// Per-service counter snapshot. The underlying counters live in the
@@ -81,6 +105,14 @@ struct ServiceCounters {
   std::uint64_t samplesCompleted = 0;   ///< Monte Carlo samples actually run
   double busyMillis = 0;                ///< summed per-request execution time
   std::uint64_t statsRequests = 0;      ///< `{"type":"stats"}` requests served
+  std::uint64_t healthRequests = 0;     ///< `{"type":"health"}` requests served
+  std::uint64_t oversizedLines = 0;     ///< lines rejected by the byte limit
+  std::uint64_t agedOut = 0;            ///< expired in queue, swept before work
+  std::uint64_t clientShed = 0;         ///< shed by a client's token bucket
+  std::uint64_t costShed = 0;           ///< shed by the queue cost budget
+  std::uint64_t batchShed = 0;          ///< batch-lane requests shed in overload
+  std::uint64_t degradedResponses = 0;  ///< ok responses with trimmed samples
+  std::uint64_t watchdogFlags = 0;      ///< stuck-request flags raised
   /// Global CircuitCache deltas since this service was constructed: how
   /// often requests coalesced onto an already-compiled circuit, at both
   /// memo stages (circuit artifacts and synthesized covers).
@@ -109,9 +141,13 @@ public:
   /// (or the parse/overloaded error) is either emitted synchronously here
   /// or scheduled on a request thread. @p sink overrides the default sink
   /// for THIS request's response (the daemon's per-connection routing).
-  /// `{"type":"stats"}` lines short-circuit: the metrics snapshot (see
-  /// statsJson) is emitted synchronously, bypassing the admission queue.
-  void submit(const std::string& line, Sink sink = nullptr);
+  /// @p client keys the per-client cost bucket (the daemon passes one key
+  /// per connection; empty = the anonymous shared bucket).
+  /// `{"type":"stats"}` and `{"type":"health"}` lines short-circuit: their
+  /// snapshots are emitted synchronously, bypassing admission entirely —
+  /// a saturated or draining daemon still answers its operators.
+  void submit(const std::string& line, Sink sink = nullptr,
+              const std::string& client = {});
 
   /// Stop admitting (subsequent submits shed as `overloaded`), finish every
   /// admitted request, return when idle. Idempotent; safe from any thread.
@@ -135,6 +171,14 @@ public:
   void writeStatsJson(JsonWriter& json) const;
   std::string statsJson(bool pretty = false) const;
 
+  /// Liveness/degradation snapshot — the `{"type":"health"}` payload and
+  /// the daemon's --health-file heartbeat body. status is "ok", "degraded"
+  /// (overloaded queue or watchdog-flagged requests) or "draining"; the
+  /// rest is the load picture (queue depth, in-flight, queued cost, cache
+  /// bytes, RSS).
+  void writeHealthJson(JsonWriter& json) const;
+  std::string healthJson(bool pretty = false) const;
+
   const ServiceOptions& options() const { return options_; }
   ExecutorPool& pool() { return pool_; }
 
@@ -145,6 +189,14 @@ private:
     std::shared_ptr<CancelToken> token;
     Stopwatch admitted;             ///< queue + execution latency clock
     std::uint64_t admitNanos = 0;   ///< process-epoch admission time (tracing)
+    std::uint64_t cost = 0;         ///< admission cost units (samples x area)
+    bool flagged = false;           ///< watchdog: stuck past the p99 threshold
+  };
+
+  /// Per-client admission token bucket (cost units; refilled by wall time).
+  struct ClientBucket {
+    double tokens = 0;
+    std::uint64_t lastRefillNanos = 0;
   };
 
   /// Registry values captured at construction; counters() reports deltas.
@@ -160,12 +212,25 @@ private:
     std::uint64_t samplesCompleted = 0;
     std::uint64_t busyMicros = 0;
     std::uint64_t statsRequests = 0;
+    std::uint64_t healthRequests = 0;
+    std::uint64_t oversizedLines = 0;
+    std::uint64_t agedOut = 0;
+    std::uint64_t clientShed = 0;
+    std::uint64_t costShed = 0;
+    std::uint64_t batchShed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t watchdogFlags = 0;
   };
 
   void workerLoop();
+  void watchdogLoop();
   void execute(Pending& pending);
   void emit(const Sink& sink, const std::string& line);
   void bumpForCode(ErrorCode code);
+  /// Admission cost estimate: samples x learned realized area (rows x cols;
+  /// kUnknownArea for circuits this service has not executed yet). Called
+  /// and learned under mutex_.
+  std::uint64_t costOfLocked(const Request& request) const;
 
   ServiceOptions options_;
   Sink defaultSink_;
@@ -176,15 +241,25 @@ private:
   std::condition_variable workReady_;  ///< queue became non-empty / stopping
   std::condition_variable idle_;       ///< queue empty and nothing in flight
   std::deque<std::shared_ptr<Pending>> queue_;
-  std::vector<std::shared_ptr<CancelToken>> inFlight_;  ///< tokens being executed
+  std::vector<std::shared_ptr<Pending>> inFlight_;  ///< requests being executed
   std::uint64_t queueHighWater_ = 0;   ///< a max, not a sum: stays service-local
+  std::uint64_t queuedCost_ = 0;       ///< summed cost of queued requests
   bool draining_ = false;
   bool stopping_ = false;
+
+  /// Cost model state, learned per executed circuit (guarded by mutex_):
+  /// canonical spec -> realized area, plus an EWMA of per-sample run time
+  /// feeding the degradation trimmer.
+  std::unordered_map<std::string, std::uint64_t> learnedArea_;
+  double ewmaSampleMillis_ = 0;
+  std::unordered_map<std::string, ClientBucket> clientBuckets_;
 
   std::mutex emitMutex_;  ///< serializes DEFAULT-sink calls (one line at a time)
 
   ExecutorPool pool_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;               ///< only started when watchdogFactor > 0
+  std::condition_variable watchdogCv_; ///< wakes the watchdog for shutdown
 };
 
 }  // namespace mcx::serve

@@ -27,7 +27,19 @@ struct SiteState {
 struct Registry {
   std::mutex mutex;
   std::map<std::string, SiteState> sites;
+  /// splitmix64 state for probability draws; fixed default seed so
+  /// probabilistic plans replay even unseeded.
+  std::uint64_t rngState = 0x9e3779b97f4a7c15ull;
 };
+
+/// One splitmix64 step mapped to [0, 1). Guarded by the registry mutex.
+double nextUniform(Registry& r) {
+  std::uint64_t z = (r.rngState += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
 
 Registry& registry() {
   static Registry* r = new Registry;  // immortal: sites fire during shutdown too
@@ -57,6 +69,7 @@ void onSiteSlow(const char* site) {
     ++state.hits;
     if (state.hits <= state.plan.skip) return;
     if (state.fired >= state.plan.times) return;
+    if (state.plan.probability < 1.0 && nextUniform(r) >= state.plan.probability) return;
     ++state.fired;
     kind = state.plan.kind;
     stallMillis = state.plan.stallMillis;
@@ -107,6 +120,19 @@ std::uint64_t hits(const std::string& site) {
   return it == r.sites.end() ? 0 : it->second.hits;
 }
 
+std::uint64_t fired(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+void seed(std::uint64_t value) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.rngState = value ^ 0x9e3779b97f4a7c15ull;  // avoid the all-zero orbit start
+}
+
 namespace {
 
 /// Strip a trailing `<marker><digits>` modifier off @p body. Returns the
@@ -148,10 +174,16 @@ void armFromSpec(const std::string& spec) {
       throw ParseError("faultinject: entry \"" + entry + "\" is not site=kind");
     const std::string site = entry.substr(0, eq);
 
-    // kind[@<skip>][x<times>] — modifiers come off the right: `x<times>`
-    // first (it is the outermost suffix), then `@<skip>`.
+    // kind[@<skip>][x<times>][%<percent>] — modifiers come off the right,
+    // outermost first: `%<percent>`, then `x<times>`, then `@<skip>`.
     std::string kind = entry.substr(eq + 1);
     Plan plan;
+    if (const auto digits = stripCountSuffix(kind, '%')) {
+      const std::uint64_t percent = parseCount(*digits, "probability percent", entry);
+      if (percent > 100)
+        throw ParseError("faultinject: probability percent > 100 in \"" + entry + "\"");
+      plan.probability = static_cast<double>(percent) / 100.0;
+    }
     if (const auto digits = stripCountSuffix(kind, 'x'))
       plan.times = parseCount(*digits, "times", entry);
     if (const auto digits = stripCountSuffix(kind, '@'))
@@ -171,7 +203,7 @@ void armFromSpec(const std::string& spec) {
     } else {
       throw ParseError("faultinject: unknown kind \"" + kind +
                        "\" (want throw | badalloc | stall:<ms>, each optionally "
-                       "suffixed @<skip> and/or x<times>)");
+                       "suffixed @<skip>, x<times> and/or %<percent>)");
     }
     arm(site, plan);
   }
@@ -180,6 +212,9 @@ void armFromSpec(const std::string& spec) {
 void armFromEnv() {
   static std::once_flag once;
   std::call_once(once, [] {
+    const char* seedText = std::getenv("MCX_FAULTINJECT_SEED");
+    if (seedText != nullptr && *seedText != '\0')
+      seed(parseCount(seedText, "MCX_FAULTINJECT_SEED", seedText));
     const char* spec = std::getenv("MCX_FAULTINJECT");
     if (spec != nullptr && *spec != '\0') armFromSpec(spec);
   });

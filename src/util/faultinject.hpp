@@ -57,6 +57,11 @@ struct Plan {
   /// Fire at most this many times, then fall dormant (hit counting
   /// continues).
   std::uint64_t times = UINT64_MAX;
+  /// Fire with this probability per eligible hit (chaos soaks arm every
+  /// site at a few percent instead of deterministically). Draws come from
+  /// the registry's seeded RNG — see seed() — so a soak is replayable.
+  /// Skipped draws count as hits but not as fires.
+  double probability = 1.0;
 };
 
 namespace detail {
@@ -79,13 +84,23 @@ void reset();
 /// Times onSite(site) was reached while the registry was active (armed
 /// sites only; counts keep accumulating after `times` fires are spent).
 std::uint64_t hits(const std::string& site);
+/// Times the site's plan actually fired (skip window passed, probability
+/// draw succeeded) — the chaos soak's evidence that faults really flowed.
+std::uint64_t fired(const std::string& site);
 
-/// Parse and arm a MCX_FAULTINJECT-style spec ("a=throw;b=stall:5@1x2" —
-/// `@<skip>` / `x<times>` fill the Plan's skip/times windows).
-/// Throws mcx::ParseError on malformed entries.
+/// Seed the probability-draw RNG (deterministic soak replay). Also honored
+/// from MCX_FAULTINJECT_SEED by armFromEnv(). Defaults to a fixed seed, so
+/// probabilistic plans are replayable even unseeded.
+void seed(std::uint64_t value);
+
+/// Parse and arm a MCX_FAULTINJECT-style spec ("a=throw;b=stall:5@1x2",
+/// "mc.sample=throw%3" — `@<skip>` / `x<times>` fill the Plan's skip/times
+/// windows, `%<percent>` its firing probability). Throws mcx::ParseError
+/// on malformed entries.
 void armFromSpec(const std::string& spec);
 /// Arm from the MCX_FAULTINJECT environment variable, once per process
-/// (subsequent calls are no-ops). Called by the daemon at start-up.
+/// (subsequent calls are no-ops); seeds the draw RNG from
+/// MCX_FAULTINJECT_SEED when set. Called by the daemon at start-up.
 void armFromEnv();
 
 }  // namespace faultinject

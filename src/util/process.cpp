@@ -1,0 +1,35 @@
+#include "util/process.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mcx::proc {
+
+namespace {
+
+/// Parse the "<label>: <kB> kB" value off a /proc/self/status line; returns
+/// 0 when the line is not the wanted label.
+std::size_t kbValue(const char* line, const char* label) {
+  const std::size_t len = std::strlen(label);
+  if (std::strncmp(line, label, len) != 0) return 0;
+  unsigned long long kb = 0;
+  if (std::sscanf(line + len, " %llu", &kb) != 1) return 0;
+  return static_cast<std::size_t>(kb) * 1024;
+}
+
+}  // namespace
+
+MemoryUsage memoryUsage() noexcept {
+  MemoryUsage usage;
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return usage;
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (const std::size_t rss = kbValue(line, "VmRSS:")) usage.rssBytes = rss;
+    if (const std::size_t peak = kbValue(line, "VmHWM:")) usage.peakRssBytes = peak;
+  }
+  std::fclose(status);
+  return usage;
+}
+
+}  // namespace mcx::proc

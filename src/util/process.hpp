@@ -1,0 +1,20 @@
+// Process self-observation: resident-set sampling for health probes and the
+// chaos soak's bounded-RSS assertion. Linux-only in substance (/proc/self/
+// status); other platforms report zeros, and callers treat 0 as "unknown"
+// rather than "no memory".
+#pragma once
+
+#include <cstddef>
+
+namespace mcx::proc {
+
+struct MemoryUsage {
+  std::size_t rssBytes = 0;      ///< current resident set (VmRSS); 0 = unknown
+  std::size_t peakRssBytes = 0;  ///< high-water mark (VmHWM); 0 = unknown
+};
+
+/// Sample the process's resident-set usage. Never throws; fields stay 0
+/// when the platform offers no /proc/self/status.
+MemoryUsage memoryUsage() noexcept;
+
+}  // namespace mcx::proc

@@ -1,0 +1,173 @@
+// Byte-accounted LRU eviction: budget invariants, LRU order, stats, and the
+// concurrent eviction-vs-hit bit-identity hammer. A private cache per test —
+// the global one is shared with other suites (and is the only instance that
+// publishes the circuit.cache_bytes gauge).
+#include "circuit/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/registry.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcx {
+namespace {
+
+class CacheEvictTest : public ::testing::Test {
+protected:
+  CircuitCache cache;
+};
+
+/// A family of distinct specs with non-trivial footprints (generator
+/// circuits: no file I/O, deterministic, a few KB each realized).
+std::vector<CircuitSpec> distinctSpecs(std::size_t count) {
+  std::vector<CircuitSpec> specs;
+  const char* families[] = {"gen:majority", "gen:parity", "gen:weight"};
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string source = std::string(families[i % 3]) + std::to_string(4 + i % 5);
+    specs.push_back(i % 2 ? makeCircuitSpec(R"({"circuit":")" + source +
+                                            R"(","realize":"multilevel"})")
+                          : makeCircuitSpec(source));
+  }
+  return specs;
+}
+
+TEST_F(CacheEvictTest, UnboundedByDefault) {
+  EXPECT_EQ(cache.byteBudget(), 0u);
+  for (const CircuitSpec& spec : distinctSpecs(6)) cache.compile(spec);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.currentBytes(), 0u) << "inserts must be byte-accounted even unbounded";
+}
+
+TEST_F(CacheEvictTest, BytesTrackEstimates) {
+  const auto circuit = cache.compile(makeCircuitSpec("gen:parity4"));
+  EXPECT_GE(cache.currentBytes(), circuit->estimatedBytes())
+      << "resident bytes must include the realized circuit";
+  cache.clear();
+  EXPECT_EQ(cache.currentBytes(), 0u);
+}
+
+TEST_F(CacheEvictTest, BudgetIsEnforcedAfterEveryInsert) {
+  const auto specs = distinctSpecs(10);
+  // Size the budget to roughly two circuits' worth of footprint.
+  const auto probe = cache.compile(specs[0]);
+  const std::size_t budget = 3 * probe->estimatedBytes();
+  cache.clear();
+  cache.setByteBudget(budget);
+  for (const CircuitSpec& spec : specs) {
+    cache.compile(spec);
+    EXPECT_LE(cache.currentBytes(), budget)
+        << "budget must hold after every insert returns";
+  }
+  const CircuitCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.evictedBytes, 0u);
+}
+
+TEST_F(CacheEvictTest, ShrinkingTheBudgetEvictsImmediately) {
+  for (const CircuitSpec& spec : distinctSpecs(6)) cache.compile(spec);
+  const std::size_t before = cache.currentBytes();
+  ASSERT_GT(before, 128u);
+  cache.setByteBudget(before / 2);
+  EXPECT_LE(cache.currentBytes(), before / 2);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST_F(CacheEvictTest, LeastRecentlyUsedGoesFirst) {
+  const CircuitSpec hot = makeCircuitSpec("gen:majority5");
+  const CircuitSpec cold = makeCircuitSpec("gen:parity5");
+  const auto hotArtifact = cache.compile(hot);
+  cache.compile(cold);
+  cache.compile(hot);  // refresh: cold is now the LRU entry
+
+  // A budget of exactly the current footprint minus one byte must evict
+  // the cold entry (and possibly its cover), never the hot circuit.
+  cache.setByteBudget(cache.currentBytes() - 1);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  const auto again = cache.compile(hot);
+  EXPECT_EQ(again.get(), hotArtifact.get()) << "the refreshed entry must survive";
+}
+
+TEST_F(CacheEvictTest, EvictedSpecRecompilesBitIdentical) {
+  const CircuitSpec spec =
+      makeCircuitSpec(R"({"circuit":"gen:weight5","realize":"multilevel"})");
+  const auto first = cache.compile(spec);
+  cache.setByteBudget(1);  // evict everything on the next enforcement
+  cache.compile(makeCircuitSpec("gen:parity4"));
+  EXPECT_EQ(cache.size(), 0u) << "1-byte budget keeps nothing resident";
+
+  // The held shared_ptr stays valid after eviction, and the re-compile is
+  // a distinct but bit-identical artifact.
+  const auto second = cache.compile(spec);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(first->cover, second->cover);
+  EXPECT_EQ(first->fm.bits(), second->fm.bits());
+  EXPECT_EQ(first->layout->connOfGate, second->layout->connOfGate);
+}
+
+TEST_F(CacheEvictTest, RegistryCountersAndGauge) {
+  obs::Registry& registry = obs::Registry::global();
+  const std::uint64_t evictionsBefore = registry.counter("circuit.cache.evictions").value();
+  cache.setByteBudget(1);
+  cache.compile(makeCircuitSpec("gen:parity4"));
+  EXPECT_GT(registry.counter("circuit.cache.evictions").value(), evictionsBefore);
+
+  // Only the global cache drives the gauge: this private cache's churn must
+  // not perturb it, while the global instance publishes its own footprint.
+  const std::int64_t gaugeBefore = registry.gauge("circuit.cache_bytes").value();
+  cache.compile(makeCircuitSpec("gen:parity5"));
+  EXPECT_EQ(registry.gauge("circuit.cache_bytes").value(), gaugeBefore);
+  const auto held = CircuitCache::global().compile(makeCircuitSpec("gen:majority4"));
+  EXPECT_GE(registry.gauge("circuit.cache_bytes").value(),
+            static_cast<std::int64_t>(held->estimatedBytes()));
+}
+
+TEST_F(CacheEvictTest, ConcurrentEvictionHammerStaysBitIdentical) {
+  // The satellite contract: 8 threads compiling a spec set ~4x the byte
+  // budget; every returned circuit bit-identical to a fresh compile, and
+  // the budget never exceeded after any insert returns.
+  const auto specs = distinctSpecs(12);
+  std::vector<std::shared_ptr<const Circuit>> references;
+  std::size_t workingSet = 0;
+  for (const CircuitSpec& spec : specs) {
+    references.push_back(compileCircuit(spec, /*useCache=*/false));
+    workingSet += references.back()->estimatedBytes();
+  }
+  const std::size_t budget = workingSet / 4;
+  cache.setByteBudget(budget);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 6;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          const std::size_t pick = (i + t * 5 + round) % specs.size();
+          const auto got = cache.compile(specs[pick]);
+          if (got->fm.bits() != references[pick]->fm.bits() ||
+              got->cover != references[pick]->cover) {
+            failures[t] = "spec " + std::to_string(pick) + " not bit-identical";
+            return;
+          }
+          if (cache.currentBytes() > budget) {
+            failures[t] = "budget exceeded after insert";
+            return;
+          }
+        }
+      }
+    });
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], "") << "thread " << t;
+
+  const CircuitCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u) << "a 1/4-working-set budget must churn";
+  EXPECT_LE(cache.currentBytes(), budget);
+}
+
+}  // namespace
+}  // namespace mcx

@@ -52,7 +52,11 @@ std::vector<Event> readTrace(const std::string& path) {
 class ObsTrace : public ::testing::Test {
 protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "mcx_trace_test.json";
+    // Unique per test: ctest runs each test as its own process, possibly in
+    // parallel — a shared path lets concurrent ObsTrace tests clobber each
+    // other's trace files (observed as a flaky parse failure under -j).
+    path_ = ::testing::TempDir() + "mcx_trace_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".json";
   }
   void TearDown() override {
     disarmTrace();

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <new>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -115,6 +117,64 @@ TEST_F(FaultInjectTest, ArmFromSpecCombinesSkipAndTimesOnAnyKind) {
   EXPECT_NO_THROW(faultinject::onSite("circuit.synthesize"));  // x1 spent
   EXPECT_NO_THROW(faultinject::onSite("mc.sample"));  // skipped, then stalls
   EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+}
+
+TEST_F(FaultInjectTest, ProbabilityZeroNeverFiresButCounts) {
+  Plan plan{Kind::Throw, 0, 0, UINT64_MAX};
+  plan.probability = 0.0;
+  faultinject::arm("mc.sample", plan);
+  for (int i = 0; i < 50; ++i) EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_EQ(faultinject::hits("mc.sample"), 50u);
+  EXPECT_EQ(faultinject::fired("mc.sample"), 0u);
+}
+
+TEST_F(FaultInjectTest, ProbabilityDrawsAreSeededAndReplayable) {
+  // The same seed must reproduce the exact fire pattern; a fractional
+  // probability must fire some but not all of a long hit run.
+  auto firePattern = [] {
+    faultinject::seed(42);
+    Plan plan{Kind::Throw, 0, 0, UINT64_MAX};
+    plan.probability = 0.3;
+    faultinject::arm("mc.sample", plan);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      bool fired = false;
+      try {
+        faultinject::onSite("mc.sample");
+      } catch (const FaultInjected&) {
+        fired = true;
+      }
+      fires.push_back(fired);
+    }
+    faultinject::reset();
+    return fires;
+  };
+  const std::vector<bool> first = firePattern();
+  const std::vector<bool> second = firePattern();
+  EXPECT_EQ(first, second);
+  const std::size_t fires =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 20u) << "p=0.3 over 200 hits";
+  EXPECT_LT(fires, 120u);
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecParsesProbabilityModifier) {
+  faultinject::seed(7);
+  faultinject::armFromSpec("mc.sample=throw%0;serve.enqueue=badalloc%100");
+  EXPECT_NO_THROW(faultinject::onSite("mc.sample"));
+  EXPECT_THROW(faultinject::onSite("serve.enqueue"), std::bad_alloc);
+
+  // Probability composes with the other modifiers on any kind.
+  faultinject::armFromSpec("circuit.synthesize=stall:1@1x2%100");
+  EXPECT_NO_THROW(faultinject::onSite("circuit.synthesize"));
+  EXPECT_EQ(faultinject::fired("circuit.synthesize"), 0u);  // skip window
+  EXPECT_NO_THROW(faultinject::onSite("circuit.synthesize"));
+  EXPECT_EQ(faultinject::fired("circuit.synthesize"), 1u);
+}
+
+TEST_F(FaultInjectTest, ArmFromSpecRejectsBadProbability) {
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=throw%101"), ParseError);
+  EXPECT_THROW(faultinject::armFromSpec("mc.sample=throw%"), ParseError);
 }
 
 TEST_F(FaultInjectTest, ArmFromSpecRejectsMalformedModifiers) {

@@ -1,0 +1,92 @@
+# Resource governance end-to-end through a real daemon process:
+#   - --health-file heartbeats while serving (atomic rename; removed on
+#     clean exit) and the inline {"type":"health"} probe
+#   - --max-line-bytes streaming guard: an oversized UNTERMINATED line is
+#     answered immediately with a typed parse error carrying the observed
+#     length, the rest of the line is discarded, and the session keeps
+#     serving afterwards
+#   - the governed counters (oversized_lines, health_requests) in the exit
+#     flush
+#
+# Usage: sh governance.sh <path-to-mcx_serve>
+SERVE="$1"
+[ -x "$SERVE" ] || { echo "mcx_serve binary not found: $SERVE"; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+mkfifo "$workdir/in"
+
+"$SERVE" --queue-depth 8 --request-threads 1 --pool-threads 1 \
+  --max-line-bytes 256 --cache-budget-mb 16 \
+  --health-file "$workdir/health.json" --health-interval 0.1 \
+  --degrade --watchdog-factor 4 \
+  < "$workdir/in" > "$workdir/out.log" 2> "$workdir/err.log" &
+daemon=$!
+# Hold the fifo's write end open across requests; closing fd 3 is the EOF
+# that starts the daemon's drain.
+exec 3> "$workdir/in"
+
+fail() {
+  echo "FAIL: $1"
+  echo "--- stdout:"; cat "$workdir/out.log"
+  echo "--- stderr:"; cat "$workdir/err.log"
+  exec 3>&- 2>/dev/null
+  kill "$daemon" 2>/dev/null
+  exit 1
+}
+
+await() { # await <pattern> <what>
+  i=0
+  until grep -q "$1" "$workdir/out.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "timed out waiting for $2"
+    sleep 0.1
+  done
+}
+
+# A normal request answers ok with governance armed at benign settings.
+printf '{"id":"r1","circuit":"rd53-min","samples":5}\n' >&3
+await '"id": "r1"' "r1 response"
+grep '"id": "r1"' "$workdir/out.log" | grep -q '"status": "ok"' || fail "r1 not ok"
+
+# The heartbeat file appears while serving and reports a healthy daemon.
+i=0
+until [ -f "$workdir/health.json" ]; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "health file never appeared"
+  sleep 0.1
+done
+grep -q '"status": "ok"' "$workdir/health.json" || fail "health file not ok"
+grep -q '"cache_budget_bytes": 16777216' "$workdir/health.json" \
+  || fail "health file missing the cache budget"
+
+# The inline probe returns the same payload without touching admission.
+printf '{"type":"health"}\n' >&3
+await '"queue_capacity"' "inline health probe"
+
+# Streaming oversized guard: 400 bytes with NO newline must be answered
+# now (typed parse error, observed length), not buffered until framing
+# arrives.
+awk 'BEGIN{for(i=0;i<400;i++)printf "x"}' >&3
+await '"code": "parse"' "oversized-line rejection"
+grep -q 'exceeds the 256-byte limit' "$workdir/out.log" \
+  || fail "parse error does not name the limit"
+grep -q 'line is 400 bytes' "$workdir/out.log" \
+  || fail "parse error does not report the observed length"
+
+# The tail of the oversized line is discarded at its newline and the
+# session serves the next request normally.
+printf 'tail-of-the-oversized-line\n{"id":"r2","circuit":"rd53-min","samples":5}\n' >&3
+await '"id": "r2"' "post-discard response"
+grep '"id": "r2"' "$workdir/out.log" | grep -q '"status": "ok"' || fail "r2 not ok"
+
+# EOF -> graceful drain -> counters flush -> clean exit.
+exec 3>&-
+wait "$daemon"
+status=$?
+[ "$status" -eq 0 ] || fail "daemon exited $status (want 0)"
+[ ! -f "$workdir/health.json" ] || fail "health file not removed on clean exit"
+grep -q '"completed_ok": 2' "$workdir/err.log" || fail "counters missing completed_ok=2"
+grep -q '"oversized_lines": 1' "$workdir/err.log" || fail "counters missing oversized_lines=1"
+grep -q '"health_requests": 1' "$workdir/err.log" || fail "counters missing health_requests=1"
+grep -q '"parse_errors": 1' "$workdir/err.log" || fail "counters missing parse_errors=1"
+echo "PASS"

@@ -1,0 +1,373 @@
+// Resource governance: cost-aware admission, per-client token buckets,
+// queue aging, batch-lane shedding, sample-count degradation, the watchdog
+// and the health probe. The fault-injection layer manufactures slow and
+// stuck requests; each test drives a private ExperimentService.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "serve/service.hpp"
+#include "util/faultinject.hpp"
+
+namespace mcx::serve {
+namespace {
+
+using faultinject::Kind;
+
+/// Collects response lines (thread-safe) and finds them by id.
+class ResponseLog {
+public:
+  ExperimentService::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(line);
+    };
+  }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_.size();
+  }
+  SpecValue response(const std::string& id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& line : lines_) {
+      const SpecValue doc = parseSpec(line);
+      if (doc.stringOr("id", "") == id) return doc;
+    }
+    ADD_FAILURE() << "no response for id " << id;
+    return SpecValue{};
+  }
+  bool has(const std::string& id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& line : lines_) {
+      const SpecValue doc = parseSpec(line);
+      if (doc.stringOr("id", "") == id) return true;
+    }
+    return false;
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+std::string errorCode(const SpecValue& response) {
+  const SpecValue* error = response.find("error");
+  if (error == nullptr) return "";
+  return error->stringOr("code", "");
+}
+
+std::string errorMessage(const SpecValue& response) {
+  const SpecValue* error = response.find("error");
+  if (error == nullptr) return "";
+  return error->stringOr("message", "");
+}
+
+template <typename Fn>
+bool waitFor(const Fn& done) {
+  for (int i = 0; i < 500; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return done();
+}
+
+std::string request(const std::string& id, const std::string& extra = {}) {
+  return R"({"id":")" + id + R"(","circuit":"gen:parity4","samples":5)" +
+         (extra.empty() ? "" : "," + extra) + "}";
+}
+
+class GovernanceTest : public ::testing::Test {
+protected:
+  void TearDown() override { faultinject::reset(); }
+
+  static ServiceOptions smallOptions() {
+    ServiceOptions options;
+    options.queueDepth = 4;
+    options.requestThreads = 1;
+    options.poolThreads = 1;
+    return options;
+  }
+};
+
+TEST_F(GovernanceTest, QueueCostBudgetShedsExpensiveRequests) {
+  // Budget below one unknown-circuit request's cost (samples x 1024):
+  // a cheap request (5 x 1024) fits, a heavy one (200 x 1024) is shed with
+  // the typed overloaded error naming its cost.
+  ServiceOptions options = smallOptions();
+  options.queueCostBudget = 100 * 1024;
+  ResponseLog log;
+  ExperimentService service(options, log.sink());
+
+  // Stall the worker so admission happens against an occupied queue.
+  faultinject::arm("mc.sample", {Kind::Stall, 50.0, 0, 1});
+  service.submit(request("warm"));
+  ASSERT_TRUE(waitFor([&] { return faultinject::hits("mc.sample") >= 1; }));
+
+  service.submit(request("cheap"));
+  service.submit(R"({"id":"heavy","circuit":"gen:parity4","samples":200})");
+  const SpecValue heavy = log.response("heavy");
+  EXPECT_EQ(errorCode(heavy), "overloaded");
+  EXPECT_NE(errorMessage(heavy).find("cost"), std::string::npos);
+
+  service.drain();
+  EXPECT_EQ(log.response("cheap").stringOr("status", ""), "ok");
+  EXPECT_EQ(service.counters().costShed, 1u);
+  EXPECT_EQ(service.counters().shedOverloaded, 1u) << "cost sheds are overloaded sheds";
+}
+
+TEST_F(GovernanceTest, CostModelLearnsRealizedArea) {
+  // After one execution the circuit's cost is its true realized area, not
+  // the unknown-circuit default: a budget that sheds the default-priced
+  // request admits the same request once the model has learned.
+  // gen:parity4 realizes far smaller than the 1024-cell default.
+  ServiceOptions options = smallOptions();
+  options.queueCostBudget = 4000;  // below 5 x 1024 default, above 5 x true area
+  ResponseLog log;
+  ExperimentService service(options, log.sink());
+
+  service.submit(request("before"));
+  EXPECT_EQ(errorCode(log.response("before")), "overloaded")
+      << "unknown circuit priced at the default must exceed the tight budget";
+
+  // One sample fits the budget at default pricing and teaches the model.
+  service.submit(R"({"id":"teach","circuit":"gen:parity4","samples":1})");
+  ASSERT_TRUE(waitFor([&] { return log.has("teach"); }));
+  EXPECT_EQ(log.response("teach").stringOr("status", ""), "ok");
+
+  service.submit(request("after"));
+  service.drain();
+  EXPECT_EQ(log.response("after").stringOr("status", ""), "ok")
+      << "learned pricing must fit the budget the default exceeded";
+  EXPECT_EQ(service.counters().costShed, 1u);
+}
+
+TEST_F(GovernanceTest, ClientBucketShedsOnlyTheGreedyClient) {
+  ServiceOptions options = smallOptions();
+  options.queueDepth = 64;
+  options.clientCostRate = 1;             // effectively no refill during the test
+  options.clientCostBurst = 12 * 1024.0;  // two default-priced requests, not three
+  ResponseLog log;
+  ExperimentService service(options, log.sink());
+
+  // Keep the worker busy while the clients submit, so every request is
+  // priced at the unknown-circuit default (5 x 1024) and admission order is
+  // deterministic.
+  faultinject::arm("mc.sample", {Kind::Stall, 60.0, 0, 1});
+  service.submit(request("slow"));
+  ASSERT_TRUE(waitFor([&] { return faultinject::hits("mc.sample") >= 1; }));
+
+  service.submit(request("a1"), nullptr, "alice");
+  service.submit(request("a2"), nullptr, "alice");
+  service.submit(request("a3"), nullptr, "alice");
+  service.submit(request("b1"), nullptr, "bob");
+  service.drain();
+
+  EXPECT_EQ(errorCode(log.response("a3")), "overloaded")
+      << "alice's third request exceeds her bucket";
+  EXPECT_EQ(log.response("a1").stringOr("status", ""), "ok");
+  EXPECT_EQ(log.response("a2").stringOr("status", ""), "ok");
+  EXPECT_EQ(log.response("b1").stringOr("status", ""), "ok")
+      << "bob has his own bucket";
+  EXPECT_EQ(service.counters().clientShed, 1u);
+}
+
+TEST_F(GovernanceTest, ExpiredQueuedRequestsAreSweptBeforeWork) {
+  // One slow request occupies the worker while three 5 ms-deadline requests
+  // expire in the queue; the sweep answers all of them the moment the
+  // worker dequeues, without running their synthesis or samples.
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  faultinject::arm("mc.sample", {Kind::Stall, 60.0, 0, 1});
+
+  service.submit(request("slow"));
+  ASSERT_TRUE(waitFor([&] { return faultinject::hits("mc.sample") >= 1; }));
+  service.submit(request("q1", R"("deadline_ms":5)"));
+  service.submit(request("q2", R"("deadline_ms":5)"));
+  service.submit(request("q3", R"("deadline_ms":5)"));
+  service.drain();
+
+  for (const char* id : {"q1", "q2", "q3"}) {
+    const SpecValue doc = log.response(id);
+    EXPECT_EQ(errorCode(doc), "deadline_exceeded") << id;
+    EXPECT_EQ(doc.find("samples"), nullptr)
+        << "expired-in-queue answers carry no partial counts: nothing ran";
+  }
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.agedOut, 3u);
+  EXPECT_EQ(counters.deadlineExceeded, 3u);
+  EXPECT_EQ(counters.completedOk, 1u);
+}
+
+TEST_F(GovernanceTest, BatchLaneIsShedFirstUnderLoad) {
+  // Queue depth 4, shed fraction 0.5: with >= 2 queued, new batch requests
+  // are shed while interactive ones are still admitted.
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  faultinject::arm("mc.sample", {Kind::Stall, 60.0, 0, 1});
+
+  service.submit(request("slow"));
+  ASSERT_TRUE(waitFor([&] { return faultinject::hits("mc.sample") >= 1; }));
+  service.submit(request("q1"));
+  service.submit(request("q2"));
+  service.submit(request("batch", R"("lane":"batch")"));
+  service.submit(request("inter", R"("lane":"interactive")"));
+  service.drain();
+
+  EXPECT_EQ(errorCode(log.response("batch")), "overloaded");
+  EXPECT_EQ(log.response("inter").stringOr("status", ""), "ok");
+  EXPECT_EQ(service.counters().batchShed, 1u);
+}
+
+TEST_F(GovernanceTest, BatchLaneRunsNormallyWhenIdle) {
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.submit(request("b", R"("lane":"batch")"));
+  service.drain();
+  EXPECT_EQ(log.response("b").stringOr("status", ""), "ok");
+  EXPECT_EQ(service.counters().batchShed, 0u);
+}
+
+TEST_F(GovernanceTest, DegradationTrimsSamplesToTheRemainingBudget) {
+  ServiceOptions options = smallOptions();
+  options.degradeSamples = true;
+  ResponseLog log;
+  ExperimentService service(options, log.sink());
+
+  // Teach the per-sample EWMA an expensive rate: 20 ms per sample.
+  faultinject::arm("mc.sample", {Kind::Stall, 20.0, 0, 5});
+  service.submit(request("teach"));
+  ASSERT_TRUE(waitFor([&] { return log.has("teach"); }));
+  faultinject::reset();
+
+  // 1000 samples against a 200 ms deadline cannot fit at ~20 ms/sample:
+  // the trimmer cuts the count, the response is ok and labeled degraded.
+  service.submit(R"({"id":"big","circuit":"gen:parity4","samples":1000,)"
+                 R"("deadline_ms":200})");
+  service.drain();
+
+  const SpecValue big = log.response("big");
+  ASSERT_EQ(big.stringOr("status", ""), "ok");
+  EXPECT_EQ(big.boolOr("degraded", false), true);
+  EXPECT_EQ(big.numberOr("requested_samples", 0), 1000);
+  EXPECT_LT(big.numberOr("samples", 1000), 1000);
+  EXPECT_GE(big.numberOr("completed", 0), 1);
+  EXPECT_EQ(service.counters().degradedResponses, 1u);
+}
+
+TEST_F(GovernanceTest, DegradationOffByDefault) {
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.submit(request("r", R"("deadline_ms":60000)"));
+  service.drain();
+  const SpecValue doc = log.response("r");
+  EXPECT_EQ(doc.stringOr("status", ""), "ok");
+  EXPECT_EQ(doc.find("degraded"), nullptr)
+      << "no degraded label unless the trimmer actually ran";
+  EXPECT_EQ(doc.numberOr("samples", 0), 5);
+}
+
+TEST_F(GovernanceTest, WatchdogFlagsStuckRequests) {
+  ServiceOptions options = smallOptions();
+  options.watchdogFactor = 3;  // cold histogram -> the 100 ms floor applies
+  ResponseLog log;
+  ExperimentService service(options, log.sink());
+
+  // One sample stalls 900 ms: past the 100 ms floor AND past 3x any p99 the
+  // process-global histogram may have accumulated from sibling tests, the
+  // watchdog must flag the request while it is still in flight.
+  faultinject::arm("mc.sample", {Kind::Stall, 900.0, 0, 1});
+  service.submit(request("stuck"));
+  EXPECT_TRUE(waitFor([&] { return service.counters().watchdogFlags >= 1; }));
+  service.drain();
+  EXPECT_EQ(log.response("stuck").stringOr("status", ""), "ok")
+      << "flagging is observation, not cancellation";
+  EXPECT_EQ(service.counters().watchdogFlags, 1u);
+}
+
+TEST_F(GovernanceTest, HealthProbeReportsLoadAndStatus) {
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+
+  service.submit(R"({"type":"health","id":"h1"})");
+  const SpecValue idle = log.response("h1");
+  ASSERT_EQ(idle.stringOr("status", ""), "ok");
+  const SpecValue* health = idle.find("health");
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->stringOr("status", ""), "ok");
+  EXPECT_EQ(health->numberOr("queue_depth", -1), 0);
+  EXPECT_GT(health->numberOr("rss_bytes", 0), 0) << "RSS sampling (Linux)";
+  EXPECT_EQ(service.counters().healthRequests, 1u);
+}
+
+TEST_F(GovernanceTest, StatsAndHealthBypassAFullQueue) {
+  // The satellite contract: fill the queue to the brim (worker stalled,
+  // depth exhausted, experiment requests shedding) and both control-plane
+  // probes still answer synchronously.
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  faultinject::arm("mc.sample", {Kind::Stall, 150.0, 0, 1});
+
+  service.submit(request("slow"));
+  ASSERT_TRUE(waitFor([&] { return faultinject::hits("mc.sample") >= 1; }));
+  for (int i = 0; i < 6; ++i) service.submit(request("fill" + std::to_string(i)));
+  ASSERT_GE(service.counters().shedOverloaded, 1u) << "the queue really is full";
+
+  service.submit(R"({"type":"stats","id":"s"})");
+  service.submit(R"({"type":"health","id":"h"})");
+  const SpecValue stats = log.response("s");
+  EXPECT_EQ(stats.stringOr("status", ""), "ok");
+  EXPECT_NE(stats.find("stats"), nullptr);
+  const SpecValue health = log.response("h");
+  EXPECT_EQ(health.stringOr("status", ""), "ok");
+  ASSERT_NE(health.find("health"), nullptr);
+  EXPECT_EQ(health.find("health")->stringOr("status", ""), "degraded")
+      << "a full queue is overload mode";
+
+  service.drain();
+  // Probes are not experiment requests: accepted + shed + probes == received.
+  const ServiceCounters c = service.counters();
+  EXPECT_EQ(c.received,
+            c.accepted + c.shedOverloaded + c.statsRequests + c.healthRequests);
+}
+
+TEST_F(GovernanceTest, HealthReportsDrainingStatus) {
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.drain();
+  service.submit(R"({"type":"health","id":"h"})");
+  const SpecValue doc = log.response("h");
+  ASSERT_NE(doc.find("health"), nullptr);
+  EXPECT_EQ(doc.find("health")->stringOr("status", ""), "draining");
+}
+
+TEST_F(GovernanceTest, OversizedLineCountsAndReportsLength) {
+  ServiceOptions options = smallOptions();
+  options.limits.maxLineBytes = 64;
+  ResponseLog log;
+  ExperimentService service(options, log.sink());
+
+  const std::string big =
+      R"({"id":"big","circuit":")" + std::string(128, 'x') + R"("})";
+  service.submit(big);
+  const SpecValue doc = log.response("big");
+  EXPECT_EQ(errorCode(doc), "parse");
+  EXPECT_NE(errorMessage(doc).find(std::to_string(big.size())), std::string::npos)
+      << "the observed length must be in the message";
+  EXPECT_EQ(service.counters().oversizedLines, 1u);
+  EXPECT_EQ(service.counters().parseErrors, 1u);
+}
+
+TEST_F(GovernanceTest, LaneParsingRejectsUnknownLane) {
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.submit(request("bad", R"("lane":"express")"));
+  EXPECT_EQ(errorCode(log.response("bad")), "parse");
+}
+
+}  // namespace
+}  // namespace mcx::serve

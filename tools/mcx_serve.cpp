@@ -22,14 +22,28 @@
 //   - --metrics-interval <s> flushes the full telemetry snapshot (service
 //     counters + registry histograms) to stderr periodically, one line
 //     prefixed "mcx_serve: metrics "
+//   - --health-file <path> heartbeats the liveness snapshot (status,
+//     queue/in-flight load, cache bytes, RSS) to the file atomically
+//     (write-temp-then-rename) every --health-interval seconds; the
+//     `{"type":"health"}` protocol request returns the same payload inline
 //   - MCX_TRACE=<path> arms Chrome trace_event output (chrome://tracing)
 //   - MCX_PROFILE=1 arms the gated hot-path profiling counters
+//
+// Resource governance (all off by default — see --help):
+//   --cache-budget-mb bounds the global circuit cache (LRU eviction),
+//   --queue-cost-budget / --client-cost-rate replace count-only admission
+//   with cost-aware shedding (cost = samples x learned circuit area; socket
+//   connections are distinct clients), --degrade trims deadline-carrying
+//   requests' sample counts to fit their remaining budget, and
+//   --watchdog-factor flags requests stuck past N x the p99 stage latency.
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -45,6 +59,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "circuit/cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
@@ -119,24 +134,45 @@ bool writeLine(int fd, const std::string& line) {
 
 /// Split complete lines out of a connection's accumulation buffer and submit
 /// each. Blank lines are ignored (keep-alives / trailing newlines).
+///
+/// Streaming oversized-line guard: an unterminated line used to accumulate
+/// without bound until its newline finally arrived. Instead, the moment the
+/// partial line exceeds the parse limit it is submitted as-is — producing
+/// the typed `parse` error with the observed length — and the connection
+/// switches to discard-until-newline, so a misbehaving client's memory cost
+/// is bounded by the limit, not by its patience.
 void submitLines(mcx::serve::ExperimentService& service, std::string& buffer,
-                 const mcx::serve::ExperimentService::Sink& sink) {
+                 const mcx::serve::ExperimentService::Sink& sink,
+                 const std::string& client, bool& discarding) {
   std::size_t start = 0;
   for (;;) {
     const std::size_t nl = buffer.find('\n', start);
     if (nl == std::string::npos) break;
     std::string line = buffer.substr(start, nl - start);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
     start = nl + 1;
+    if (discarding) {  // tail of an oversized line already answered
+      discarding = false;
+      continue;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
-    service.submit(line, sink);
+    service.submit(line, sink, client);
   }
   buffer.erase(0, start);
+  if (discarding) {
+    buffer.clear();  // still inside the oversized line: keep dropping
+  } else if (buffer.size() > service.options().limits.maxLineBytes) {
+    service.submit(buffer, sink, client);
+    buffer.clear();
+    discarding = true;
+  }
 }
 
 /// stdin -> stdout mode. Returns when stdin hits EOF or a signal arrives.
 void runStdinLoop(mcx::serve::ExperimentService& service) {
   std::string buffer;
+  bool discarding = false;
+  const std::string client = "stdin";
   char chunk[4096];
   for (;;) {
     struct pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {gSignalPipe[0], POLLIN, 0}};
@@ -151,11 +187,11 @@ void runStdinLoop(mcx::serve::ExperimentService& service) {
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {  // EOF: submit any unterminated trailing line, then drain
       if (!buffer.empty()) buffer.push_back('\n');
-      submitLines(service, buffer, nullptr);
+      submitLines(service, buffer, nullptr, client, discarding);
       break;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
-    submitLines(service, buffer, nullptr);
+    submitLines(service, buffer, nullptr, client, discarding);
   }
 }
 
@@ -186,6 +222,8 @@ struct ConnWriter {
 
 struct Connection {
   std::string buffer;
+  std::string client;       ///< per-connection cost-bucket key
+  bool discarding = false;  ///< inside an already-answered oversized line
   std::shared_ptr<ConnWriter> writer = std::make_shared<ConnWriter>();
 };
 
@@ -216,6 +254,7 @@ int runSocketLoop(mcx::serve::ExperimentService& service, const std::string& pat
   std::cerr << "mcx_serve: listening on " << path << "\n";
 
   std::vector<std::unique_ptr<Connection>> connections;
+  std::uint64_t clientSerial = 0;  // distinct cost-bucket key per connection
   char chunk[4096];
   for (;;) {
     std::vector<struct pollfd> fds;
@@ -243,6 +282,7 @@ int runSocketLoop(mcx::serve::ExperimentService& service, const std::string& pat
         // wedge a request thread on a full socket buffer.
         ::fcntl(fd, F_SETFL, O_NONBLOCK);
         auto conn = std::make_unique<Connection>();
+        conn->client = "conn-" + std::to_string(++clientSerial);
         conn->writer->fd = fd;
         connections.push_back(std::move(conn));
       }
@@ -257,8 +297,10 @@ int runSocketLoop(mcx::serve::ExperimentService& service, const std::string& pat
         if (n > 0) {
           conn.buffer.append(chunk, static_cast<std::size_t>(n));
           const std::shared_ptr<ConnWriter> writer = conn.writer;
-          submitLines(service, conn.buffer,
-                      [writer](const std::string& line) { writer->write(line); });
+          submitLines(
+              service, conn.buffer,
+              [writer](const std::string& line) { writer->write(line); },
+              conn.client, conn.discarding);
         } else if (n == 0 ||
                    (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)) {
           closed = true;
@@ -325,6 +367,67 @@ private:
   std::thread thread_;
 };
 
+/// --health-file heartbeat: the liveness snapshot is written to a temp file
+/// and renamed over the target, so an external prober (a container liveness
+/// probe, a supervisor) always reads a complete JSON document — never a
+/// torn write. A final beat lands at shutdown so the last observable status
+/// is "draining", and the file is removed on clean exit (a leftover file
+/// with a stale mtime = the daemon died uncleanly).
+class HealthBeat {
+public:
+  HealthBeat(mcx::serve::ExperimentService& service, std::string path,
+             double intervalSeconds)
+      : service_(service), path_(std::move(path)), intervalSeconds_(intervalSeconds) {
+    if (!path_.empty() && intervalSeconds_ > 0) {
+      beat();  // the file exists as soon as the daemon is serving
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+  ~HealthBeat() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    tick_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+      beat();  // last words: status "draining"
+      std::remove(path_.c_str());
+    }
+  }
+
+private:
+  void beat() {
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) return;  // unwritable path: skip the beat, keep serving
+      out << service_.healthJson(false) << "\n";
+    }
+    std::rename(tmp.c_str(), path_.c_str());
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (tick_.wait_for(lock, std::chrono::duration<double>(intervalSeconds_),
+                         [this] { return stop_; }))
+        return;
+      lock.unlock();
+      beat();
+      lock.lock();
+    }
+  }
+
+  mcx::serve::ExperimentService& service_;
+  std::string path_;
+  double intervalSeconds_;
+  std::mutex mutex_;
+  std::condition_variable tick_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,6 +436,10 @@ int main(int argc, char** argv) {
   double defaultDeadline = 0;
   double metricsInterval = 0;
   std::size_t maxSamples = options.limits.maxSamples;
+  std::size_t maxLineBytes = options.limits.maxLineBytes;
+  std::size_t cacheBudgetMb = 0;
+  std::string healthFile;
+  double healthInterval = 1.0;
 
   mcx::cli::ArgParser parser(
       "mcx_serve",
@@ -349,8 +456,36 @@ int main(int argc, char** argv) {
              "deadline applied to requests without deadline_ms (0 = none)");
   parser.add("--max-samples", &maxSamples, "N",
              "per-request sample cap enforced at parse time");
+  parser.add("--max-line-bytes", &maxLineBytes, "N",
+             "longest request line accepted; longer lines get a typed parse "
+             "error with the observed length (default 1 MiB)");
   parser.add("--metrics-interval", &metricsInterval, "S",
              "flush the telemetry snapshot to stderr every S seconds (0 = off)");
+  parser.add("--health-file", &healthFile, "PATH",
+             "heartbeat the health snapshot to PATH (atomic rename; removed "
+             "on clean exit)");
+  parser.add("--health-interval", &healthInterval, "S",
+             "seconds between health-file beats (default 1)");
+  parser.add("--cache-budget-mb", &cacheBudgetMb, "MB",
+             "bound the shared circuit cache; over budget the least recently "
+             "used artifacts are evicted (0 = unbounded)");
+  parser.add("--queue-cost-budget", &options.queueCostBudget, "UNITS",
+             "summed cost (samples x learned circuit area) the queue holds "
+             "before shedding (0 = count-only admission)");
+  parser.add("--client-cost-rate", &options.clientCostRate, "UNITS",
+             "per-client token bucket: cost units refilled per second "
+             "(0 = off; each socket connection is a client)");
+  parser.add("--client-cost-burst", &options.clientCostBurst, "UNITS",
+             "per-client bucket capacity (0 = one second of rate)");
+  parser.add("--batch-shed-fraction", &options.batchShedFraction, "F",
+             "queue fullness at which batch-lane requests are shed first "
+             "(default 0.5)");
+  parser.addSwitch("--degrade",  &options.degradeSamples,
+             "trim deadline-carrying requests' samples to the remaining "
+             "budget; trimmed responses carry \"degraded\": true");
+  parser.add("--watchdog-factor", &options.watchdogFactor, "N",
+             "flag requests stuck in flight past N x the p99 request latency "
+             "(0 = watchdog off)");
   parser.add("--socket", &socketPath, "PATH",
              "serve a unix stream socket instead of stdin/stdout");
 
@@ -361,6 +496,8 @@ int main(int argc, char** argv) {
   }
   options.defaultDeadlineMillis = defaultDeadline;
   options.limits.maxSamples = maxSamples;
+  options.limits.maxLineBytes = maxLineBytes;
+  mcx::CircuitCache::global().setByteBudget(cacheBudgetMb * (std::size_t{1} << 20));
 
   try {
     mcx::faultinject::armFromEnv();
@@ -386,6 +523,7 @@ int main(int argc, char** argv) {
       std::cout << line << "\n" << std::flush;
     });
     const MetricsFlusher flusher(service, metricsInterval);
+    const HealthBeat health(service, healthFile, healthInterval);
 
     if (socketPath.empty())
       runStdinLoop(service);
