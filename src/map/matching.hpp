@@ -20,6 +20,9 @@
 
 namespace mcx {
 
+class CancelToken;
+class ExecutorPool;
+
 /// True iff FM row @p fmRow fits CM row @p cmRow.
 bool rowMatches(const BitMatrix& fm, std::size_t fmRow, const BitMatrix& cm, std::size_t cmRow);
 
@@ -71,6 +74,18 @@ public:
     dirty_ = dirty;
   }
 
+  /// Register the engine's cancellation token and worker pool so
+  /// context-aware mappers with internal search (the SAT backend) can poll
+  /// deadlines mid-solve and farm sub-problems onto the experiment pool.
+  /// Null means no cancellation / no internal parallelism. The pointees
+  /// must outlive the mapping calls.
+  void setExecution(const CancelToken* cancel, ExecutorPool* pool) {
+    cancel_ = cancel;
+    pool_ = pool;
+  }
+  const CancelToken* cancelToken() const { return cancel_; }
+  ExecutorPool* pool() const { return pool_; }
+
   /// Candidate adjacency of (fm, cm) in a reused internal buffer (valid
   /// until the next call on this context).
   const BitMatrix& candidateAdjacency(const BitMatrix& fm, const BitMatrix& cm);
@@ -80,6 +95,8 @@ private:
 
   const DefectMap* defects_ = nullptr;
   const DirtyRows* dirty_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
+  ExecutorPool* pool_ = nullptr;
 
   // Column -> FM rows index (CSR, for poisoned-column erasure) plus the
   // all-zero FM rows, built once per bound function matrix.
@@ -136,6 +153,12 @@ struct MappingResult {
   std::vector<std::size_t> inputPermutation;
   /// Number of backtracking repairs attempted (HBA statistics).
   std::size_t backtracks = 0;
+  /// The mapper was interrupted mid-solve (cancellation/deadline) before
+  /// reaching a verdict: success is meaningless and the Monte Carlo engine
+  /// leaves the sample unrecorded, so partial counts stay bit-identical to
+  /// an uninterrupted rerun's prefix. Only mappers with internal
+  /// cancellation polling (the SAT backend) ever set this.
+  bool aborted = false;
 };
 
 /// Check a claimed mapping: every required switch must land on a functional

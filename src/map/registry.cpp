@@ -1,10 +1,13 @@
 #include "map/registry.hpp"
 
+#include <cmath>
+
 #include "map/column_permutation_mapper.hpp"
 #include "map/exact_mapper.hpp"
 #include "map/fast_exact_mapper.hpp"
 #include "map/greedy_mapper.hpp"
 #include "map/hybrid_mapper.hpp"
+#include "sat/sat_mapper.hpp"
 #include "util/error.hpp"
 
 namespace mcx {
@@ -67,6 +70,10 @@ const std::vector<MapperPreset>& mapperPresets() {
        [] { return std::make_shared<GreedyMapper>(); }},
       {"colperm", "input-column permutation search around an inner HBA",
        [] { return std::make_shared<ColumnPermutationMapper>(); }},
+      {"sat",
+       "exact SAT backend (CDCL + cube-and-conquer); spec: {\"mapper\":\"sat\","
+       "\"cubeDepth\":2,\"conflictLimit\":10000,\"learn\":true,\"parallelCubes\":false}",
+       [] { return std::make_shared<SatMapper>(); }},
   };
   return presets;
 }
@@ -111,6 +118,21 @@ std::shared_ptr<const IMapper> mapperFromSpec(const SpecValue& spec) {
   if (mapper == "greedy") {
     requireOnlyKeys(spec, {"mapper"});
     return std::make_shared<GreedyMapper>();
+  }
+  if (mapper == "sat") {
+    requireOnlyKeys(spec, {"mapper", "cubeDepth", "conflictLimit", "learn", "parallelCubes"});
+    SatMapperOptions opts;
+    const double depth = spec.numberOr("cubeDepth", static_cast<double>(opts.cubeDepth));
+    if (!(depth >= 0.0) || depth > 16.0 || depth != std::floor(depth))
+      throw ParseError("mapper spec: \"cubeDepth\" must be an integer in [0, 16]");
+    opts.cubeDepth = static_cast<std::size_t>(depth);
+    const double limit = spec.numberOr("conflictLimit", static_cast<double>(opts.conflictLimit));
+    if (!(limit >= 0.0) || limit > 9007199254740992.0 || limit != std::floor(limit))  // 2^53
+      throw ParseError("mapper spec: \"conflictLimit\" must be a non-negative integer below 2^53");
+    opts.conflictLimit = static_cast<std::uint64_t>(limit);
+    opts.learn = spec.boolOr("learn", opts.learn);
+    opts.parallelCubes = spec.boolOr("parallelCubes", opts.parallelCubes);
+    return std::make_shared<SatMapper>(opts);
   }
   if (mapper == "colperm") {
     requireOnlyKeys(spec, {"mapper", "restarts", "seed", "inner"});

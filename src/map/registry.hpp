@@ -25,7 +25,8 @@ struct MapperPreset {
 };
 
 /// All registered presets, in presentation order. Guaranteed to cover every
-/// IMapper implementation (hba, ea, fast-ea, greedy, colperm + variants).
+/// IMapper implementation (hba, ea, fast-ea, greedy, colperm, sat +
+/// variants).
 const std::vector<MapperPreset>& mapperPresets();
 
 /// Preset lookup by name; nullptr when unknown.
@@ -37,6 +38,8 @@ const MapperPreset* findMapperPreset(const std::string& name);
 ///   {"mapper": "fast-ea"}
 ///   {"mapper": "greedy"}
 ///   {"mapper": "colperm", "restarts": 20, "seed": 42, "inner": <spec|name>}
+///   {"mapper": "sat", "cubeDepth": 2, "conflictLimit": 10000, "learn": true,
+///    "parallelCubes": false}
 ///   {"preset": "hba-nobt"}                      // preset reference
 /// Throws mcx::ParseError on malformed or unknown specs.
 std::shared_ptr<const IMapper> mapperFromSpec(const SpecValue& spec);

@@ -1,0 +1,135 @@
+#include "sat/cnf.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mcx::sat {
+
+void Cnf::addClause(std::span<const Lit> lits) {
+  for (const Lit l : lits)
+    MCX_REQUIRE(l != 0 && varOf(l) <= vars_, "Cnf::addClause: literal out of range");
+  if (lits.empty()) hasEmptyClause_ = true;
+  lits_.insert(lits_.end(), lits.begin(), lits.end());
+  offsets_.push_back(static_cast<std::uint32_t>(lits_.size()));
+}
+
+namespace {
+
+/// At-most-one over @p vars. Pairwise up to kPairwiseMax (fewer clauses than
+/// the ladder at small k, no auxiliaries); the sequential "ladder" encoding
+/// (Sinz 2005) above that: s_k commits "one of vars[0..k] is already set",
+/// so a second true variable contradicts in unit propagation alone.
+constexpr std::size_t kPairwiseMax = 6;
+
+void addAtMostOne(Cnf& cnf, const std::vector<Var>& vars) {
+  const std::size_t n = vars.size();
+  if (n <= 1) return;
+  if (n <= kPairwiseMax) {
+    for (std::size_t a = 0; a + 1 < n; ++a)
+      for (std::size_t b = a + 1; b < n; ++b) cnf.addClause({-vars[a], -vars[b]});
+    return;
+  }
+  std::vector<Var> s(n - 1);
+  for (Var& v : s) v = cnf.addVar();
+  cnf.addClause({-vars[0], s[0]});
+  for (std::size_t k = 1; k + 1 < n; ++k) {
+    cnf.addClause({-vars[k], s[k]});
+    cnf.addClause({-s[k - 1], s[k]});
+    cnf.addClause({-vars[k], -s[k - 1]});
+  }
+  cnf.addClause({-vars[n - 1], -s[n - 2]});
+}
+
+}  // namespace
+
+MatchingCnf encodeMatching(const BitMatrix& adjacency) {
+  MatchingCnf m;
+  m.fmRows = adjacency.rows();
+  m.cmRows = adjacency.cols();
+  m.varAt.assign(m.fmRows * m.cmRows, 0);
+
+  // One variable per set adjacency bit, minted in row-major word order.
+  for (std::size_t i = 0; i < m.fmRows; ++i) {
+    const std::span<const BitMatrix::Word> words = adjacency.rowWords(i);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      BitMatrix::Word word = words[w];
+      if (w + 1 == words.size()) word &= BitMatrix::tailMask(m.cmRows);
+      while (word != 0) {
+        const std::size_t j =
+            w * BitMatrix::kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const Var v = m.cnf.addVar();
+        m.varAt[i * m.cmRows + j] = v;
+        m.pairOf.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  m.numAssignVars = m.cnf.numVars();
+
+  // Exactly-one per FM row. The at-least-one clause is where stuck-closed
+  // poisoning lands (already folded into the adjacency): a row with no
+  // candidates emits the empty clause, a single candidate a unit. The
+  // at-most-one half is redundant for satisfiability (decode just drops
+  // extras), but it is what keeps cube-and-conquer cheap: a cube asserting
+  // two candidates of the same FM row would otherwise be a pigeonhole
+  // instance (fmRows rows into fmRows - 1 remaining CM rows), which is
+  // exponentially hard for clause learning; with the row constraint the
+  // cube dies in one unit propagation.
+  std::vector<Lit> clause;
+  for (std::size_t i = 0; i < m.fmRows; ++i) {
+    clause.clear();
+    for (std::size_t j = 0; j < m.cmRows; ++j)
+      if (const Var v = m.varAt[i * m.cmRows + j]; v != 0) clause.push_back(v);
+    if (clause.empty()) m.trivialUnsat = true;
+    m.cnf.addClause(clause);
+    addAtMostOne(m.cnf, clause);  // Lit == Var and row candidates are positive
+  }
+
+  // At-most-one per CM row: the candidates of CM row j are the set bits of
+  // adjacency column j — one word-parallel transpose makes them row scans.
+  BitMatrix columns;
+  columns.assignTransposed(adjacency);
+  std::vector<Var> group;
+  for (std::size_t j = 0; j < m.cmRows; ++j) {
+    group.clear();
+    const std::span<const BitMatrix::Word> words = columns.rowWords(j);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      BitMatrix::Word word = words[w];
+      if (w + 1 == words.size()) word &= BitMatrix::tailMask(m.fmRows);
+      while (word != 0) {
+        const std::size_t i =
+            w * BitMatrix::kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        group.push_back(m.varAt[i * m.cmRows + j]);
+      }
+    }
+    addAtMostOne(m.cnf, group);
+  }
+  return m;
+}
+
+bool decodeModel(const MatchingCnf& m, const std::vector<std::uint8_t>& model,
+                 std::vector<std::size_t>& assignment) {
+  constexpr std::size_t kUnset = std::numeric_limits<std::size_t>::max();
+  if (model.size() <= static_cast<std::size_t>(m.numAssignVars)) return false;
+  assignment.assign(m.fmRows, kUnset);
+  std::vector<std::uint8_t> used(m.cmRows, 0);
+  // Ascending variables scan (i asc, j asc), so each FM row takes its
+  // lowest true candidate. The encoding is exactly-one per FM row, but the
+  // decode stays defensive: duplicate candidates (were they ever produced)
+  // would burn CM rows no other FM row holds, so taking the first is safe.
+  for (Var v = 1; v <= m.numAssignVars; ++v) {
+    if (!model[static_cast<std::size_t>(v)]) continue;
+    const auto [i, j] = m.pairOf[static_cast<std::size_t>(v) - 1];
+    if (used[j]) return false;  // at-most-one violated: not a real model
+    used[j] = 1;
+    if (assignment[i] == kUnset) assignment[i] = j;
+  }
+  for (const std::size_t a : assignment)
+    if (a == kUnset) return false;  // at-least-one violated
+  return true;
+}
+
+}  // namespace mcx::sat

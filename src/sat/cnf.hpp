@@ -1,0 +1,103 @@
+// mcx::sat — CNF formulas and the row-matching encoder.
+//
+// The SAT backend gives the mapping experiments an exact verdict: a sample
+// is mappable iff the CNF below is satisfiable, so every heuristic mapper
+// can be scored against ground truth (the ablation-optimality suite). The
+// encoding works directly off the per-sample candidate adjacency the
+// MappingContext already maintains — one Boolean variable per set adjacency
+// bit (FM row i may sit on CM row j), an exactly-one constraint per FM row
+// and an at-most-one constraint per CM row. The per-FM-row at-most-one half
+// is redundant for the verdict but makes bad cubes (two candidates of one
+// FM row asserted) die in unit propagation instead of spawning a pigeonhole
+// search. Stuck-closed poisoning needs no
+// extra clauses: the adjacency already folds it in, and an FM row whose
+// candidates were all poisoned away simply yields an empty (trivially
+// unsatisfiable) at-least-one clause; a single surviving candidate becomes
+// a unit clause.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/bit_matrix.hpp"
+
+namespace mcx::sat {
+
+/// DIMACS-style literal: +v asserts variable v, -v negates it (v >= 1).
+using Lit = std::int32_t;
+using Var = std::int32_t;
+
+inline Var varOf(Lit l) { return l < 0 ? -l : l; }
+
+/// A CNF formula as a flattened clause pool: one literal vector plus clause
+/// offsets, so the solver walks clauses by span with no per-clause
+/// allocation.
+class Cnf {
+public:
+  /// Allocate a fresh variable and return its (1-based) index.
+  Var addVar() { return ++vars_; }
+  Var numVars() const { return vars_; }
+
+  /// Append a clause. Literals must reference allocated variables. An empty
+  /// clause is legal and marks the formula trivially unsatisfiable.
+  void addClause(std::span<const Lit> lits);
+  void addClause(std::initializer_list<Lit> lits) {
+    addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  std::size_t numClauses() const { return offsets_.size() - 1; }
+  std::span<const Lit> clause(std::size_t i) const {
+    return {lits_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+  bool hasEmptyClause() const { return hasEmptyClause_; }
+
+private:
+  Var vars_ = 0;
+  std::vector<Lit> lits_;
+  std::vector<std::uint32_t> offsets_{0};
+  bool hasEmptyClause_ = false;
+};
+
+/// The row-matching problem of one defect sample as CNF (see the header
+/// comment for the clause shape). Assignment variables come first — they
+/// are the cube-and-conquer split candidates — auxiliary at-most-one ladder
+/// variables after.
+struct MatchingCnf {
+  Cnf cnf;
+  std::size_t fmRows = 0;
+  std::size_t cmRows = 0;
+  /// Assignment variables are 1..numAssignVars; ladder variables above.
+  Var numAssignVars = 0;
+  /// (fmRow, cmRow) of each assignment variable, indexed by var - 1, in
+  /// row-major adjacency order (so ascending variables scan j ascending
+  /// within each FM row — the decode tie-break).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairOf;
+  /// fmRows x cmRows lookup: variable of (i, j), 0 where the bit is clear.
+  std::vector<Var> varAt;
+  /// Some FM row had no candidate CM row (an empty at-least-one clause was
+  /// emitted): the sample is unmappable without any search.
+  bool trivialUnsat = false;
+
+  Var varFor(std::size_t fmRow, std::size_t cmRow) const {
+    return varAt[fmRow * cmRows + cmRow];
+  }
+};
+
+/// Encode the candidate adjacency (bit (i, j) = FM row i fits CM row j)
+/// into a MatchingCnf. Word-packed: variables are minted by scanning the
+/// adjacency's row words, and the per-CM-row at-most-one groups come from
+/// one 64x64 block transpose of the adjacency.
+MatchingCnf encodeMatching(const BitMatrix& adjacency);
+
+/// Decode a SAT model into assignment[fmRow] = cmRow (the lowest true
+/// candidate per FM row), validating that every chosen pair is a real
+/// candidate and the CM rows are pairwise distinct. Returns false on any
+/// violation — a decoded mapping is valid by construction or rejected.
+bool decodeModel(const MatchingCnf& m, const std::vector<std::uint8_t>& model,
+                 std::vector<std::size_t>& assignment);
+
+}  // namespace mcx::sat

@@ -1,0 +1,211 @@
+#include "sat/cube.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+#include "mc/executor.hpp"
+#include "util/error.hpp"
+
+namespace mcx::sat {
+
+namespace {
+
+/// Round budget schedule for solveCubes: every unresolved cube gets
+/// kFirstRoundBudget conflicts in round 0, kRoundBudgetGrowth times more
+/// each round after. Restarting a cube from scratch wastes at most a
+/// 1/(growth-1) fraction of the final round's work, and in exchange no
+/// single hard cube can starve an easy SAT sibling behind it.
+constexpr std::uint64_t kFirstRoundBudget = 512;
+constexpr std::uint64_t kRoundBudgetGrowth = 4;
+
+std::vector<Cube> cubesOver(const std::vector<Var>& split) {
+  std::vector<Cube> cubes(std::size_t{1} << split.size());
+  for (std::size_t c = 0; c < cubes.size(); ++c) {
+    cubes[c].lits.reserve(split.size());
+    for (std::size_t k = 0; k < split.size(); ++k)
+      cubes[c].lits.push_back(((c >> k) & 1) != 0 ? -split[k] : split[k]);
+  }
+  return cubes;
+}
+
+std::vector<Var> occurrenceOrder(const Cnf& cnf, Var maxSplitVar) {
+  // Occurrence counts over the eligible variables (both polarities — the
+  // ParaCuber "literal occurrence" contention signal).
+  std::vector<std::uint32_t> occ(static_cast<std::size_t>(maxSplitVar) + 1, 0);
+  for (std::size_t ci = 0; ci < cnf.numClauses(); ++ci)
+    for (const Lit l : cnf.clause(ci))
+      if (varOf(l) <= maxSplitVar) ++occ[static_cast<std::size_t>(varOf(l))];
+
+  std::vector<Var> order;
+  order.reserve(static_cast<std::size_t>(maxSplitVar));
+  for (Var v = 1; v <= maxSplitVar; ++v)
+    if (occ[static_cast<std::size_t>(v)] > 0) order.push_back(v);
+  std::stable_sort(order.begin(), order.end(), [&](Var a, Var b) {
+    return occ[static_cast<std::size_t>(a)] > occ[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<Cube> generateCubes(const Cnf& cnf, std::size_t depth, Var maxSplitVar) {
+  MCX_REQUIRE(maxSplitVar >= 0 && maxSplitVar <= cnf.numVars(),
+              "generateCubes: maxSplitVar out of range");
+  MCX_REQUIRE(depth <= 20, "generateCubes: depth too large (2^depth cubes)");
+
+  std::vector<Var> order = occurrenceOrder(cnf, maxSplitVar);
+  order.resize(std::min(depth, order.size()));
+  return cubesOver(order);
+}
+
+std::vector<Cube> generateCubes(const MatchingCnf& enc, std::size_t depth) {
+  MCX_REQUIRE(depth <= 20, "generateCubes: depth too large (2^depth cubes)");
+
+  // Same contention signal, but split variables are picked greedily from
+  // *distinct* FM rows and distinct CM rows. Two candidates of one FM row
+  // make a degenerate split (the exactly-one constraint empties the
+  // both-positive branch), and two of one CM row likewise; distinctness
+  // keeps every cube a genuine region of the search space.
+  const std::vector<Var> order = occurrenceOrder(enc.cnf, enc.numAssignVars);
+  std::vector<std::uint8_t> rowUsed(enc.fmRows, 0);
+  std::vector<std::uint8_t> colUsed(enc.cmRows, 0);
+  std::vector<Var> split;
+  for (const Var v : order) {
+    if (split.size() >= depth) break;
+    const auto [i, j] = enc.pairOf[static_cast<std::size_t>(v) - 1];
+    if (rowUsed[i] || colUsed[j]) continue;
+    rowUsed[i] = 1;
+    colUsed[j] = 1;
+    split.push_back(v);
+  }
+  return cubesOver(split);
+}
+
+CubeOutcome solveCubes(const Cnf& cnf, const std::vector<Cube>& cubes,
+                       const SolverOptions& base, ExecutorPool* pool) {
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  const std::size_t n = cubes.size();
+  MCX_REQUIRE(n > 0, "solveCubes: need at least one cube");
+
+  // Verdict::Unknown marks a cube as unresolved; stats accumulate across
+  // every attempt (rounds re-run unresolved cubes from scratch).
+  std::vector<Verdict> verdicts(n, Verdict::Unknown);
+  std::vector<SolverStats> cubeStats(n);
+  std::atomic<std::size_t> winner{kNone};
+  std::mutex modelMutex;
+  std::size_t modelIndex = kNone;
+  std::vector<std::uint8_t> model;
+
+  const auto externalStop = [&base] {
+    if (base.cancel != nullptr && base.cancel->stopRequested()) return true;
+    return base.interrupt && base.interrupt();
+  };
+
+  auto runCube = [&](std::size_t i, std::uint64_t budget) {
+    // A lower-index sibling already proved SAT: this cube can no longer be
+    // the winner, skip it (pruned).
+    if (winner.load(std::memory_order_relaxed) < i) return;
+    SolverOptions opts = base;
+    opts.conflictLimit = budget;
+    opts.interrupt = [&base, &winner, i] {
+      if (base.interrupt && base.interrupt()) return true;
+      return winner.load(std::memory_order_relaxed) < i;
+    };
+    SolveResult r = solve(cnf, opts, cubes[i].lits);
+    cubeStats[i] += r.stats;
+    if (r.verdict != Verdict::Unknown) verdicts[i] = r.verdict;
+    if (r.verdict == Verdict::Sat) {
+      // Race down to the minimum SAT index; only higher-index siblings see
+      // the new winner in their interrupt predicate.
+      std::size_t cur = winner.load(std::memory_order_relaxed);
+      while (i < cur && !winner.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+      }
+      const std::lock_guard<std::mutex> lock(modelMutex);
+      if (i < modelIndex) {
+        modelIndex = i;
+        model = std::move(r.model);
+      }
+    }
+  };
+
+  // Iterative-deepening rounds: every unresolved cube is attempted with the
+  // same per-round conflict budget, the budget growing geometrically up to
+  // base.conflictLimit (unbounded when the limit is 0). Determinism at any
+  // thread count: the budget schedule is fixed, a single solve at a fixed
+  // budget is deterministic, and the winner is the minimum-index SAT cube
+  // of the earliest round containing one — every lower-index cube either
+  // resolved Unsat in an earlier round or ran this round's full budget
+  // without SAT, independent of schedule.
+  std::uint64_t budget =
+      base.conflictLimit != 0 ? std::min(kFirstRoundBudget, base.conflictLimit)
+                              : kFirstRoundBudget;
+  bool exhausted = false;
+  while (!externalStop()) {
+    const bool finalRound = base.conflictLimit != 0 && budget >= base.conflictLimit;
+    if (finalRound) budget = base.conflictLimit;
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < n; ++i)
+      if (verdicts[i] == Verdict::Unknown) pending.push_back(i);
+    if (pending.empty()) break;
+
+    if (pool != nullptr && pending.size() > 1) {
+      pool->run(
+          pending.size(), [&](std::size_t, std::size_t k) { runCube(pending[k], budget); },
+          base.cancel);
+    } else {
+      for (const std::size_t i : pending) {
+        if (externalStop()) break;
+        runCube(i, budget);
+        // Minimum SAT index within the round: every lower pending cube
+        // already ran this round's budget without SAT.
+        if (verdicts[i] == Verdict::Sat) break;
+      }
+    }
+
+    if (winner.load(std::memory_order_relaxed) != kNone) break;
+    if (finalRound) {
+      exhausted = true;
+      break;
+    }
+    budget = budget > std::numeric_limits<std::uint64_t>::max() / kRoundBudgetGrowth
+                 ? std::numeric_limits<std::uint64_t>::max()
+                 : budget * kRoundBudgetGrowth;
+    if (base.conflictLimit != 0) budget = std::min(budget, base.conflictLimit);
+  }
+
+  CubeOutcome agg;
+  const std::size_t winnerFinal = winner.load(std::memory_order_relaxed);
+  bool allUnsat = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    agg.stats += cubeStats[i];
+    if (verdicts[i] != Verdict::Unknown)
+      ++agg.cubesSolved;
+    else if (winnerFinal < i)
+      ++agg.cubesPruned;
+    if (verdicts[i] != Verdict::Unsat) allUnsat = false;
+  }
+
+  // An external cancel trumps even a found model: the caller treats the
+  // sample as aborted (unrecorded), which keeps reruns bit-identical — a
+  // cancelled round may have cut off a lower-index cube that an
+  // uninterrupted run would have crowned instead.
+  if (externalStop() && !(allUnsat && agg.cubesSolved == n)) {
+    agg.verdict = Verdict::Unknown;
+    agg.interrupted = true;
+  } else if (modelIndex != kNone) {
+    agg.verdict = Verdict::Sat;
+    agg.winningCube = modelIndex;
+    agg.model = std::move(model);
+  } else if (allUnsat && agg.cubesSolved == n) {
+    agg.verdict = Verdict::Unsat;
+  } else {
+    agg.verdict = Verdict::Unknown;
+    agg.interrupted = !exhausted && externalStop();
+  }
+  return agg;
+}
+
+}  // namespace mcx::sat

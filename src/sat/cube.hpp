@@ -1,0 +1,71 @@
+// mcx::sat — cube-and-conquer: split a formula into assumption cubes and
+// solve them with deterministic early exit.
+//
+// The split follows the ParaCuber/Mallob idiom: pick the most-contended
+// (highest-occurrence) variables and branch on every sign combination,
+// yielding 2^depth independent subproblems that farm onto the experiment
+// ExecutorPool. Cubes are solved in iterative-deepening rounds (a fixed
+// geometric conflict-budget schedule), so one hard cube can never starve
+// an easy SAT sibling. Early exit is deterministic by construction: a SAT
+// cube only cancels siblings with a *higher* index, so within the earliest
+// round containing a SAT, every lower-index cube either proved Unsat or
+// ran the round's full budget without a model — the winner (and its model)
+// is schedule- and thread-count-independent. All cubes Unsat proves the
+// formula unsatisfiable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace mcx {
+class ExecutorPool;
+}
+
+namespace mcx::sat {
+
+/// One branch of the split: literals assumed true for the sub-solve.
+struct Cube {
+  std::vector<Lit> lits;
+};
+
+/// Generate 2^depth cubes over the @p depth highest-occurrence variables in
+/// [1, maxSplitVar] (count descending, lowest index first on ties — the
+/// assignment variables of a MatchingCnf when maxSplitVar is its
+/// numAssignVars). Depth saturates at the number of variables that occur at
+/// all; depth 0 (or nothing to split on) yields the single empty cube.
+/// Cube c assumes split variable k positive when bit k of c is clear, so
+/// cube 0 is the all-positive branch.
+std::vector<Cube> generateCubes(const Cnf& cnf, std::size_t depth, Var maxSplitVar);
+
+/// Matching-aware split: same contention signal, but the split variables
+/// are drawn from pairwise-distinct FM rows *and* distinct CM rows, so no
+/// cube is emptied outright by an exactly-one constraint. Depth saturates
+/// at the number of distinct-row/column candidates available.
+std::vector<Cube> generateCubes(const MatchingCnf& enc, std::size_t depth);
+
+struct CubeOutcome {
+  Verdict verdict = Verdict::Unknown;
+  /// Lowest-index SAT cube (the deterministic winner); meaningful when Sat.
+  std::size_t winningCube = 0;
+  /// The winner's model; complete exactly when verdict == Sat.
+  std::vector<std::uint8_t> model;
+  std::size_t cubesSolved = 0;  ///< cubes that ran to their own verdict
+  std::size_t cubesPruned = 0;  ///< cubes cut off by a lower-index SAT winner
+  SolverStats stats;            ///< summed over every cube solve
+  /// An external cancel (token/interrupt) cut the search before a verdict.
+  bool interrupted = false;
+};
+
+/// Solve @p cubes against @p cnf (each cube's literals as assumptions) in
+/// iterative-deepening rounds. With a pool, a round's unresolved cubes run
+/// concurrently (the caller's lane participates; safe to call from inside
+/// a pool worker); without one, sequentially in index order with the same
+/// winner rule. @p base carries learning mode, cancellation, and the
+/// per-cube conflict cap (base.conflictLimit) that the round budgets grow
+/// toward — 0 escalates without bound until every cube resolves.
+CubeOutcome solveCubes(const Cnf& cnf, const std::vector<Cube>& cubes,
+                       const SolverOptions& base, ExecutorPool* pool = nullptr);
+
+}  // namespace mcx::sat

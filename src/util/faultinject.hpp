@@ -23,6 +23,7 @@
 //   circuit.synthesize — start of every (uncached) circuit build
 //   mc.sample          — start of every Monte Carlo sample
 //   serve.enqueue      — experiment-service request admission
+//   sat.solve          — entry of every SatMapper solve (the SAT backend)
 #pragma once
 
 #include <atomic>
