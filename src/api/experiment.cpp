@@ -26,6 +26,13 @@ void ExperimentResult::writeJson(JsonWriter& json) const {
   json.field("completed", outcome.completed);
   json.field("successes", outcome.successes);
   json.field("success_rate", successRate());
+  if (graded) {
+    json.field("epsilon", config.epsilon);
+    json.field("epsilon_accepted", outcome.epsilonAccepted);
+    json.field("functional_yield", functionalYield());
+    json.field("rescued", outcome.rescued);
+    json.field("mean_realized_error", meanRealizedError());
+  }
   json.field("aborted", outcome.aborted);
   json.field("abort_reason", outcome.abortReason);
   json.field("seed", config.seed);
@@ -147,6 +154,14 @@ ExperimentBuilder& ExperimentBuilder::keepMappings(bool on) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::errorBudget(double epsilon) {
+  MCX_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0,
+              "ExperimentBuilder: error budget must be in [0, 1]");
+  config_.epsilon = epsilon;
+  errorBudgetDeclared_ = true;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::deadline(double millis) {
   MCX_REQUIRE(millis > 0, "ExperimentBuilder: deadline must be positive");
   deadlineMillis_ = millis;
@@ -210,6 +225,7 @@ ExperimentResult ExperimentBuilder::run() const {
     config.cancel->setDeadlineAfterMillis(*deadlineMillis_);
   }
   result.config = config;
+  result.graded = errorBudgetDeclared_;
   Stopwatch mcWatch;
   result.outcome = runDefectExperiment(fm, *mapper_, config);
   result.mcRunMillis = mcWatch.millis();

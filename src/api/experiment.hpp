@@ -54,6 +54,11 @@ struct ExperimentResult {
   std::size_t cols = 0;
   DefectExperimentConfig config;    ///< the resolved engine configuration
   DefectExperimentResult outcome;
+  /// An error budget was declared (errorBudget()): the graded counts
+  /// (epsilon, epsilon_accepted, functional_yield, rescued,
+  /// mean_realized_error) join the JSON. Off for legacy declarations so
+  /// their serialization stays byte-identical.
+  bool graded = false;
   /// Stage split of run(): circuit compile/cache time vs Monte Carlo time.
   /// A cache hit shows up as synthesisMillis ≈ 0.
   double synthesisMillis = 0;
@@ -62,6 +67,8 @@ struct ExperimentResult {
   std::size_t area() const { return rows * cols; }
   double successRate() const { return outcome.successRate(); }
   double meanSeconds() const { return outcome.meanSeconds(); }
+  double functionalYield() const { return outcome.functionalYield(); }
+  double meanRealizedError() const { return outcome.meanRealizedError(); }
 
   /// Uniform serialization: one object with the declaration and the
   /// outcome, identical keys for every mapper/scenario/circuit combination.
@@ -115,6 +122,12 @@ public:
   ExperimentBuilder& verifyMappings(bool on);
   ExperimentBuilder& timePerSample(bool on);
   ExperimentBuilder& keepMappings(bool on);
+  /// Graded acceptance budget (functional yield(ε)) in [0, 1]: a sample
+  /// counts as epsilon-accepted iff its realized error is within the
+  /// budget. 0 (the default) is the classical pass/fail criterion; the
+  /// graded counts then appear in the JSON only when the budget was
+  /// declared, keeping legacy output byte-identical.
+  ExperimentBuilder& errorBudget(double epsilon);
 
   // --- robustness ---------------------------------------------------------
   /// Abort the run (with partial, well-labeled results) once this budget is
@@ -143,6 +156,7 @@ private:
   std::shared_ptr<const IMapper> mapper_;
   std::string scenarioLabel_;
   std::optional<double> deadlineMillis_;
+  bool errorBudgetDeclared_ = false;
   DefectExperimentConfig config_;
 };
 

@@ -1,0 +1,82 @@
+#include "approx/error.hpp"
+
+#include "util/error.hpp"
+
+namespace mcx::approx {
+
+bool ErrorBudget::withinBudget(const ErrorReport& report) const {
+  if (report.fraction() > epsilon) return false;
+  const std::size_t outs =
+      std::min(perOutputEpsilon.size(), report.wrongPerOutput.size());
+  for (std::size_t o = 0; o < outs; ++o)
+    if (report.fractionForOutput(o) > perOutputEpsilon[o]) return false;
+  return true;
+}
+
+namespace {
+
+ErrorReport compareImpl(const TruthTable& spec, const TruthTable& realized,
+                        const TruthTable* dontCare) {
+  MCX_REQUIRE(spec.nin() == realized.nin() && spec.nout() == realized.nout(),
+              "compareTruthTables: arity mismatch");
+  ErrorReport report;
+  report.wrongPerOutput.resize(spec.nout(), 0);
+  report.carePerOutput.resize(spec.nout(), 0);
+  const std::size_t minterms = spec.numMinterms();
+  for (std::size_t o = 0; o < spec.nout(); ++o) {
+    DynBits diff = spec.bits(o) ^ realized.bits(o);
+    std::size_t care = minterms;
+    if (dontCare != nullptr) {
+      diff.andNot(dontCare->bits(o));
+      care = minterms - dontCare->bits(o).count();
+    }
+    const std::size_t wrong = diff.count();
+    report.wrongPerOutput[o] = wrong;
+    report.carePerOutput[o] = care;
+    report.wrongPairs += wrong;
+    report.carePairs += care;
+  }
+  return report;
+}
+
+}  // namespace
+
+ErrorReport compareTruthTables(const TruthTable& spec, const TruthTable& realized) {
+  return compareImpl(spec, realized, nullptr);
+}
+
+ErrorReport compareTruthTables(const TruthTable& spec, const TruthTable& realized,
+                               const TruthTable& dontCare) {
+  MCX_REQUIRE(spec.nin() == dontCare.nin() && spec.nout() == dontCare.nout(),
+              "compareTruthTables: don't-care arity mismatch");
+  return compareImpl(spec, realized, &dontCare);
+}
+
+namespace {
+
+TruthTable subsetTable(const Cover& spec, const std::vector<std::size_t>& retained) {
+  MCX_REQUIRE(spec.nin() <= 16, "coverSubsetError: explicit truth tables, 16-input bound");
+  TruthTable realized(spec.nin(), spec.nout());
+  for (const std::size_t i : retained) {
+    MCX_REQUIRE(i < spec.size(), "coverSubsetError: retained index out of range");
+    const Cube& c = spec.cube(i);
+    const DynBits tt = ttOfCube(c);
+    for (std::size_t o = 0; o < spec.nout(); ++o)
+      if (c.out(o)) realized.bits(o) |= tt;
+  }
+  return realized;
+}
+
+}  // namespace
+
+ErrorReport coverSubsetError(const Cover& spec, const std::vector<std::size_t>& retained) {
+  return compareTruthTables(TruthTable::fromCover(spec), subsetTable(spec, retained));
+}
+
+ErrorReport coverSubsetError(const Cover& spec, const Cover& dc,
+                             const std::vector<std::size_t>& retained) {
+  return compareTruthTables(TruthTable::fromCover(spec), subsetTable(spec, retained),
+                            TruthTable::fromCover(dc));
+}
+
+}  // namespace mcx::approx

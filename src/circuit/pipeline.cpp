@@ -29,6 +29,7 @@ TruthTable generatorTable(const std::string& id) {
   if (gen.family == "parity") return parityFunction(gen.size);
   if (gen.family == "majority") return majorityFunction(gen.size);
   if (gen.family == "adder") return adderFunction(gen.size);
+  if (gen.family == "nn-") return nnLayerFunction(gen.size, gen.size2);
   throw InvalidArgument("unknown generator family in \"" + id + "\"");
 }
 

@@ -66,6 +66,13 @@ std::vector<CircuitPreset> makePresets() {
                      generatorPreset("sqrt8", "sqrt8")});
   presets.push_back({"majority7-min", "espresso-polished ISOP of the 7-input majority",
                      generatorPreset("majority7", "majority-7")});
+  // Error-tolerant NN workload axis: binarized sign-neuron layers whose
+  // quality degrades gracefully with wrong minterms (the approx subsystem's
+  // natural benchmark; see logic/generators.hpp nnLayerFunction).
+  presets.push_back({"nn-small", "espresso-polished 6-input 3-neuron binarized NN layer",
+                     generatorPreset("nn-6x3", "nn-6x3")});
+  presets.push_back({"nn-wide", "espresso-polished 8-input 4-neuron binarized NN layer",
+                     generatorPreset("nn-8x4", "nn-8x4")});
   {
     CircuitSpec fig5 = circuitSourceSpec("sop:x1 + x2 + x3 + x4 + x5 x6 x7 x8");
     fig5.label = "fig5";

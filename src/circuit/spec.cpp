@@ -111,10 +111,36 @@ GeneratorId parseGeneratorId(const std::string& id) {
   GeneratorId gen;
   gen.family = id.substr(0, digits);
   if (gen.family != "weight" && gen.family != "sqrt" && gen.family != "parity" &&
-      gen.family != "majority" && gen.family != "adder")
+      gen.family != "majority" && gen.family != "adder" && gen.family != "nn-")
     throw ParseError("circuit spec: unknown generator family \"" + gen.family +
-                     "\" (valid: weight, sqrt, parity, majority, adder)");
+                     "\" (valid: weight, sqrt, parity, majority, adder, nn-)");
   const std::string sizeText = id.substr(digits);
+  if (gen.family == "nn-") {
+    // Two-dimensional id: nn-<nin>x<nout>, both bounds validated eagerly so
+    // a bad declaration fails at parse time, not mid-experiment.
+    const auto x = sizeText.find('x');
+    if (x == std::string::npos)
+      throw ParseError("circuit spec: nn generator id must be nn-<nin>x<nout>, e.g. "
+                       "gen:nn-8x4 (got \"" + id + "\")");
+    const std::string ninText = sizeText.substr(0, x);
+    const std::string noutText = sizeText.substr(x + 1);
+    const auto [ninEnd, ninEc] =
+        std::from_chars(ninText.data(), ninText.data() + ninText.size(), gen.size);
+    if (ninEc != std::errc() || ninEnd != ninText.data() + ninText.size() || gen.size == 0)
+      throw ParseError("circuit spec: bad nn input count \"" + ninText + "\"");
+    const auto [noutEnd, noutEc] =
+        std::from_chars(noutText.data(), noutText.data() + noutText.size(), gen.size2);
+    if (noutEc != std::errc() || noutEnd != noutText.data() + noutText.size() ||
+        gen.size2 == 0)
+      throw ParseError("circuit spec: bad nn output count \"" + noutText + "\"");
+    if (gen.size > 16)
+      throw ParseError("circuit spec: generator \"" + id + "\" needs " +
+                       std::to_string(gen.size) + " inputs, beyond the 16-input bound");
+    if (gen.size2 > 16)
+      throw ParseError("circuit spec: generator \"" + id + "\" declares " +
+                       std::to_string(gen.size2) + " outputs, beyond the 16-output bound");
+    return gen;
+  }
   const auto [end, ec] =
       std::from_chars(sizeText.data(), sizeText.data() + sizeText.size(), gen.size);
   if (ec != std::errc() || end != sizeText.data() + sizeText.size() || gen.size == 0)

@@ -87,16 +87,20 @@ CircuitSpec::Realize realizeFromString(const std::string& text);
 CircuitSpec::Factoring factoringFromString(const std::string& text);
 
 /// A validated generator id: family + size, e.g. "weight5" -> {weight, 5}.
+/// Two-dimensional families (nn) carry a second size: "nn-8x4" ->
+/// {family "nn-", size 8, size2 4}.
 struct GeneratorId {
   std::string family;
   std::size_t size = 0;
+  std::size_t size2 = 0;  ///< second dimension (nn outputs); 0 when unused
 };
 
 /// Parse and fully validate a generator id (the part after "gen:"): known
-/// family (weight, sqrt, parity, majority, adder), positive size, and an
-/// input count within the explicit-truth-table bound (1..16 inputs; adder
-/// takes 2*size). Throws mcx::ParseError — the single source of truth for
-/// both declaration-time validation and the pipeline's dispatch.
+/// family (weight, sqrt, parity, majority, adder, nn-), positive size, and
+/// an input count within the explicit-truth-table bound (1..16 inputs;
+/// adder takes 2*size; nn-<nin>x<nout> bounds both dimensions eagerly).
+/// Throws mcx::ParseError — the single source of truth for both
+/// declaration-time validation and the pipeline's dispatch.
 GeneratorId parseGeneratorId(const std::string& id);
 
 /// Parse a prefixed source string into a spec with default synthesis and
@@ -105,7 +109,7 @@ GeneratorId parseGeneratorId(const std::string& id);
 ///   "pla:.i 2\n.o 1\n11 1\n.e"
 ///   "sop:x1 x2 + !x3"
 ///   "gen:weight5" | "gen:sqrt8" | "gen:parity4" | "gen:majority7" |
-///   "gen:adder2"  (family + size; see logic/generators.hpp)
+///   "gen:adder2" | "gen:nn-8x4"  (family + size; see logic/generators.hpp)
 /// Unprefixed strings are Registry sources, NOT validated here — use
 /// makeCircuitSpec (circuit/registry.hpp) to resolve preset/registry names
 /// with a helpful error.

@@ -112,6 +112,27 @@ TruthTable adderFunction(std::size_t bits) {
   });
 }
 
+TruthTable nnLayerFunction(std::size_t nin, std::size_t nout) {
+  MCX_REQUIRE(nin >= 1 && nin <= 16, "nnLayerFunction: 1..16 inputs");
+  MCX_REQUIRE(nout >= 1 && nout <= 16, "nnLayerFunction: 1..16 outputs");
+  // The weight matrix is part of the function's identity: derive it from a
+  // fixed-seed stream keyed on (nin, nout) so gen:nn-8x4 names one function
+  // forever (committed bench artifacts depend on it).
+  Rng rng(0x6e6eull * 1000003ull + nin * 131ull + nout);
+  std::vector<int> weights(nout * nin);
+  for (std::size_t o = 0; o < nout; ++o)
+    for (std::size_t i = 0; i < nin; ++i)
+      weights[o * nin + i] = rng.bernoulli(0.5) ? 1 : -1;
+  return TruthTable::fromFunction(nin, nout, [nin, &weights](std::size_t m, std::size_t o) {
+    int sum = 0;
+    for (std::size_t i = 0; i < nin; ++i) {
+      const int x = ((m >> i) & 1u) != 0 ? 1 : -1;  // bipolar input encoding
+      sum += weights[o * nin + i] * x;
+    }
+    return sum > 0;
+  });
+}
+
 TruthTable randomTruthTable(std::size_t nin, std::size_t nout, double onesDensity, Rng& rng) {
   TruthTable tt(nin, nout);
   for (std::size_t o = 0; o < nout; ++o)

@@ -53,6 +53,14 @@ TruthTable majorityFunction(std::size_t n);
 /// Ripple-carry adder: two @p bits words in, bits+1 outputs (sum, carry).
 TruthTable adderFunction(std::size_t bits);
 
+/// Binarized neural-network layer: @p nin binary inputs, @p nout sign
+/// neurons. Neuron o fires iff sum_i w[o][i] * (2*x_i - 1) > 0, with
+/// weights w in {-1, +1} drawn deterministically from (nin, nout) — the
+/// same id always names the same function. The error-tolerant workload
+/// axis: a few wrong minterms degrade classification accuracy gracefully
+/// instead of breaking correctness outright.
+TruthTable nnLayerFunction(std::size_t nin, std::size_t nout);
+
 /// Random truth table with ON density @p onesDensity per output.
 TruthTable randomTruthTable(std::size_t nin, std::size_t nout, double onesDensity, Rng& rng);
 

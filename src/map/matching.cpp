@@ -301,4 +301,30 @@ bool verifyMapping(const FunctionMatrix& fm, const BitMatrix& cm, const MappingR
   return true;
 }
 
+bool verifyPartialMapping(const FunctionMatrix& fm, const BitMatrix& cm,
+                          const MappingResult& result) {
+  if (result.rowAssignment.size() != fm.rows()) return false;
+  if (!result.inputPermutation.empty()) return false;  // approx mappers never permute
+  // droppedRows must be exactly the unassigned rows, strictly ascending.
+  std::size_t nextDrop = 0;
+  using Word = BitMatrix::Word;
+  std::vector<Word> used((cm.rows() + BitMatrix::kWordBits - 1) / BitMatrix::kWordBits, 0);
+  for (std::size_t r = 0; r < fm.rows(); ++r) {
+    const std::size_t cmRow = result.rowAssignment[r];
+    if (cmRow == MappingResult::kUnassigned) {
+      if (nextDrop >= result.droppedRows.size() || result.droppedRows[nextDrop] != r)
+        return false;
+      ++nextDrop;
+      continue;
+    }
+    if (cmRow >= cm.rows()) return false;
+    Word& word = used[cmRow / BitMatrix::kWordBits];
+    const Word mask = Word{1} << (cmRow % BitMatrix::kWordBits);
+    if ((word & mask) != 0) return false;
+    word |= mask;
+    if (!rowMatches(fm.bits(), r, cm, cmRow)) return false;
+  }
+  return nextDrop == result.droppedRows.size();
+}
+
 }  // namespace mcx

@@ -159,11 +159,36 @@ struct MappingResult {
   /// an uninterrupted rerun's prefix. Only mappers with internal
   /// cancellation polling (the SAT backend) ever set this.
   bool aborted = false;
+  /// Exact fraction of care (minterm, output) pairs the realized function
+  /// gets wrong, in [0, 1]. Negative means "not measured" — the graded
+  /// engine then derives 0 from success and 1 from failure, so every
+  /// existing mapper participates in functional-yield counting without
+  /// change. Only error-aware mappers (src/approx) set it explicitly.
+  double realizedError = -1.0;
+  /// FM product rows deliberately left unmapped by an approximate mapper
+  /// (ascending). Non-empty only on graded partial mappings: success stays
+  /// false (the full FM was NOT realized), rowAssignment holds kUnassigned
+  /// at these rows, and realizedError reports the exact functional cost.
+  std::vector<std::size_t> droppedRows;
+
+  /// The graded acceptance metric: the explicit realized error when
+  /// measured, else the binary verdict (success = 0, failure = 1).
+  double realizedErrorOrBinary() const {
+    return realizedError >= 0.0 ? realizedError : (success ? 0.0 : 1.0);
+  }
 };
 
 /// Check a claimed mapping: every required switch must land on a functional
 /// crosspoint, and the CM rows must be pairwise distinct.
 bool verifyMapping(const FunctionMatrix& fm, const BitMatrix& cm, const MappingResult& result);
+
+/// Check a graded partial mapping (success == false, droppedRows set):
+/// every retained FM row must be assigned to a distinct fitting CM row, and
+/// the unassigned rows must be exactly the declared droppedRows. The
+/// physical half of the approx contract — the functional half (the
+/// realizedError value) is checked against truth tables in src/approx.
+bool verifyPartialMapping(const FunctionMatrix& fm, const BitMatrix& cm,
+                          const MappingResult& result);
 
 /// Interface of all defect-tolerant mappers.
 class IMapper {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "approx/approx_mapper.hpp"
 #include "map/column_permutation_mapper.hpp"
 #include "map/exact_mapper.hpp"
 #include "map/fast_exact_mapper.hpp"
@@ -74,6 +75,11 @@ const std::vector<MapperPreset>& mapperPresets() {
        "exact SAT backend (CDCL + cube-and-conquer); spec: {\"mapper\":\"sat\","
        "\"cubeDepth\":2,\"conflictLimit\":10000,\"learn\":true,\"parallelCubes\":false}",
        [] { return std::make_shared<SatMapper>(); }},
+      {"approx",
+       "graded mapper: exact inner attempt, then sacrifice lowest-weight cubes "
+       "within an error budget; spec: {\"mapper\":\"approx\",\"inner\":\"fast-ea\","
+       "\"epsilon\":1.0}",
+       [] { return std::make_shared<ApproxMapper>(); }},
   };
   return presets;
 }
@@ -133,6 +139,22 @@ std::shared_ptr<const IMapper> mapperFromSpec(const SpecValue& spec) {
     opts.learn = spec.boolOr("learn", opts.learn);
     opts.parallelCubes = spec.boolOr("parallelCubes", opts.parallelCubes);
     return std::make_shared<SatMapper>(opts);
+  }
+  if (mapper == "approx") {
+    requireOnlyKeys(spec, {"mapper", "inner", "epsilon"});
+    ApproxMapperOptions opts;
+    const double epsilon = spec.numberOr("epsilon", opts.epsilon);
+    if (!(epsilon >= 0.0) || epsilon > 1.0)
+      throw ParseError("mapper spec: \"epsilon\" must be in [0, 1]");
+    opts.epsilon = epsilon;
+    std::shared_ptr<const IMapper> inner;
+    if (const SpecValue* innerSpec = spec.find("inner")) {
+      if (innerSpec->kind == SpecValue::Kind::String)
+        inner = makeMapper(innerSpec->string);
+      else
+        inner = mapperFromSpec(*innerSpec);
+    }
+    return std::make_shared<ApproxMapper>(opts, std::move(inner));
   }
   if (mapper == "colperm") {
     requireOnlyKeys(spec, {"mapper", "restarts", "seed", "inner"});

@@ -64,8 +64,10 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
   struct PerSample {
     bool done = false;  ///< sample actually ran (false after an abort)
     bool success = false;
+    bool accepted = false;  ///< realized error within config.epsilon
     std::size_t backtracks = 0;
     double millis = 0;
+    double error = 0;  ///< realizedErrorOrBinary() of the sample's mapping
   };
   std::vector<PerSample> outcomes(config.samples);
   if (config.keepMappings) result.mappings.resize(config.samples);
@@ -119,10 +121,17 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
     if (mapping.success && config.verify)
       MCX_REQUIRE(verifyMapping(fm, sc.cm, mapping),
                   "runDefectExperiment: mapper returned an invalid mapping");
+    // Graded partial mappings carry a physical claim too (the retained rows
+    // really fit their CM rows); check it under the same verify knob.
+    if (!mapping.success && !mapping.droppedRows.empty() && config.verify)
+      MCX_REQUIRE(verifyPartialMapping(fm, sc.cm, mapping),
+                  "runDefectExperiment: mapper returned an invalid partial mapping");
 
     PerSample& out = outcomes[s];
     out.done = true;
     out.success = mapping.success;
+    out.error = mapping.realizedErrorOrBinary();
+    out.accepted = out.error <= config.epsilon;
     out.backtracks = mapping.backtracks;
     out.millis = sec * 1e3;
     if (config.keepMappings) result.mappings[s] = std::move(mapping);
@@ -137,6 +146,11 @@ DefectExperimentResult runDefectExperiment(const FunctionMatrix& fm, const IMapp
     if (!out.done) continue;
     ++result.completed;
     if (out.success) ++result.successes;
+    if (out.accepted) {
+      ++result.epsilonAccepted;
+      if (!out.success) ++result.rescued;
+    }
+    result.totalRealizedError += out.error;
     result.totalBacktracks += out.backtracks;
   }
 

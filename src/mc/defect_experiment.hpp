@@ -45,7 +45,15 @@ struct DefectExperimentConfig {
   std::size_t threads = 0;
   /// Verify each claimed success against the matching rules (cheap; on by
   /// default so experiments cannot silently report invalid mappings).
+  /// Graded partial mappings (droppedRows set) are checked with
+  /// verifyPartialMapping under the same knob.
   bool verify = true;
+  /// Graded acceptance budget (functional yield(ε)): a sample counts as
+  /// epsilon-accepted iff its realized error — the mapper's explicit
+  /// realizedError when measured, else the binary verdict — is <= epsilon.
+  /// 0 (the default) is the classical pass/fail criterion: with exact
+  /// mappers epsilonAccepted is then structurally identical to successes.
+  double epsilon = 0.0;
   /// Time every individual mapper call: fills perSampleMillis and makes
   /// totalSeconds the sum of mapping times (the paper's "Time" column)
   /// instead of the run's wall clock. Off by default so sweep-style callers
@@ -73,6 +81,16 @@ struct DefectExperimentResult {
   /// CancelToken, in which case the statistics below cover exactly these.
   std::size_t completed = 0;
   std::size_t successes = 0;
+  /// Samples whose realized error is within config.epsilon — the graded
+  /// success count behind functional yield(ε). Always >= successes (an
+  /// exact success has realized error 0).
+  std::size_t epsilonAccepted = 0;
+  /// Epsilon-accepted samples that were NOT exact successes: dead samples
+  /// rescued by an approximate mapper's partial realization.
+  std::size_t rescued = 0;
+  /// Sum of realized error over completed samples (exact fractions for
+  /// error-aware mappers, 0/1 binary verdicts otherwise).
+  double totalRealizedError = 0;
   /// With config.timePerSample: summed mapper time over all samples.
   /// Without: wall-clock of the whole run (sampling + mapping + verify).
   double totalSeconds = 0;
@@ -98,6 +116,18 @@ struct DefectExperimentResult {
   double meanSeconds() const {
     const std::size_t denom = completed != 0 ? completed : samples;
     return denom == 0 ? 0.0 : totalSeconds / static_cast<double>(denom);
+  }
+  /// Graded success rate: fraction of ran samples within the error budget.
+  /// Equals successRate() at epsilon = 0 with exact mappers.
+  double functionalYield() const {
+    const std::size_t denom = completed != 0 ? completed : samples;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(epsilonAccepted) / static_cast<double>(denom);
+  }
+  /// Mean realized error over the samples that ran.
+  double meanRealizedError() const {
+    const std::size_t denom = completed != 0 ? completed : samples;
+    return denom == 0 ? 0.0 : totalRealizedError / static_cast<double>(denom);
   }
 };
 

@@ -51,7 +51,7 @@ double rateOr(const SpecValue& doc, const std::string& key, double fallback) {
 const char* const kKnownMembers[] = {"id",     "circuit",    "mapper",     "scenario",
                                      "rate",   "open",       "closed",     "samples",
                                      "seed",   "spare_rows", "multilevel", "deadline_ms",
-                                     "cache",  "lane"};
+                                     "cache",  "lane",       "epsilon"};
 
 void rejectUnknownMembers(const SpecValue& doc) {
   for (const auto& [name, value] : doc.members) {
@@ -164,6 +164,14 @@ Request parseRequest(const std::string& line, const RequestLimits& limits) {
     if (multilevel->kind != SpecValue::Kind::Bool)
       failParse("member \"multilevel\" must be a boolean");
     req.multiLevel = multilevel->boolean;
+  }
+
+  const SpecValue* epsilon = doc.find("epsilon");
+  if (epsilon != nullptr) {
+    if (epsilon->kind != SpecValue::Kind::Number ||
+        !(epsilon->number >= 0.0 && epsilon->number <= 1.0))
+      failParse("member \"epsilon\" must be a number in [0, 1]");
+    req.epsilon = epsilon->number;
   }
 
   const SpecValue* deadline = doc.find("deadline_ms");

@@ -28,6 +28,11 @@
 //   cache        compile through the memo cache (default true)
 //   lane         "interactive" (default) or "batch" — batch requests are
 //                the first shed when the service enters overload mode
+//   epsilon      graded acceptance budget in [0, 1] (optional): samples
+//                within the realized-error budget count toward functional
+//                yield(ε) and the response gains the graded fields
+//                (epsilon_accepted, functional_yield, rescued,
+//                mean_realized_error); absent = classical pass/fail output
 #pragma once
 
 #include <cstdint>
@@ -66,6 +71,8 @@ struct Request {
   std::size_t spareRows = 0;
   std::optional<bool> multiLevel;
   std::optional<double> deadlineMillis;
+  /// Graded acceptance budget; absent = classical pass/fail response shape.
+  std::optional<double> epsilon;
   bool useCache = true;
   Lane lane = Lane::Interactive;
 };

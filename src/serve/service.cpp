@@ -63,6 +63,15 @@ std::string okResponse(const std::string& id, const ExperimentResult& result, do
   json.field("completed", result.outcome.completed);
   json.field("successes", result.outcome.successes);
   json.field("success_rate", result.successRate());
+  if (result.graded) {
+    // The request carried an "epsilon" budget: graded counts join the
+    // response. Absent otherwise, keeping legacy responses byte-identical.
+    json.field("epsilon", result.config.epsilon);
+    json.field("epsilon_accepted", result.outcome.epsilonAccepted);
+    json.field("functional_yield", result.functionalYield());
+    json.field("rescued", result.outcome.rescued);
+    json.field("mean_realized_error", result.meanRealizedError());
+  }
   json.field("total_backtracks", result.outcome.totalBacktracks);
   if (requestedSamples > 0) {
     // The degradation trimmer ran: the answer is real but computed over
@@ -496,6 +505,7 @@ void ExperimentService::execute(Pending& pending) {
     else
       builder.legacyRates(req.legacyOpen, req.legacyClosed);
     if (req.multiLevel.has_value()) builder.multiLevel(*req.multiLevel);
+    if (req.epsilon.has_value()) builder.errorBudget(*req.epsilon);
 
     const ExperimentResult result = builder.run();
     const double runMs = runWatch.millis();

@@ -1,0 +1,170 @@
+// Graded-path regression anchors.
+//
+// (1) The eps = 0 bit-identity anchor: re-running the committed
+// BENCH_defect_mc.json workloads through the GRADED path (errorBudget(0))
+// must reproduce the committed success counts exactly, with zero rescues —
+// graded acceptance is a strict generalization of pass/fail, and a zero
+// budget must collapse to the classical verdict bit-for-bit.
+//
+// (2) The committed BENCH_approx.json pin: the file's structural invariants
+// (monotone yield curves, yield(0) == exact successes, nonzero rescues) are
+// re-asserted, and one cell is re-derived from scratch and compared
+// bit-exactly, so the graded engine + approx mapper + NN generator chain
+// cannot drift silently.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/experiment.hpp"
+#include "scenario/spec.hpp"
+
+#ifndef MCX_REPO_ROOT
+#error "MCX_REPO_ROOT must point at the repository root (set by CMake)"
+#endif
+
+namespace mcx {
+namespace {
+
+SpecValue loadCommittedJson(const std::string& name) {
+  std::ifstream file(std::string(MCX_REPO_ROOT) + "/" + name);
+  EXPECT_TRUE(file.good()) << "committed " << name << " not found";
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parseSpec(buffer.str());
+}
+
+std::string workloadSpec(const std::string& name) {
+  if (name == "rd53") return "rd53-min";
+  if (name == "sqrt8") return "sqrt8-min";
+  if (name == "t481 stand-in") return "t481";
+  if (name == "bw") return "bw";
+  ADD_FAILURE() << "unknown committed workload " << name;
+  return "rd53";
+}
+
+TEST(ApproxTestGradedAnchor, ZeroBudgetReproducesCommittedPassFailCounts) {
+  const SpecValue doc = loadCommittedJson("BENCH_defect_mc.json");
+  ASSERT_TRUE(doc.isObject());
+  const auto samples = static_cast<std::size_t>(doc.numberOr("samples", 0));
+  const double rate = doc.numberOr("stuck_open_rate", 0.0);
+  ASSERT_GT(samples, 0u);
+  ASSERT_GT(rate, 0.0);
+
+  const SpecValue* circuits = doc.find("circuits");
+  ASSERT_NE(circuits, nullptr);
+  std::size_t checked = 0;
+  for (const SpecValue& circuit : circuits->array) {
+    const std::string spec = workloadSpec(circuit.stringOr("name", ""));
+    const SpecValue* mappers = circuit.find("mappers");
+    ASSERT_NE(mappers, nullptr);
+    for (const SpecValue& entry : mappers->array) {
+      if (entry.stringOr("scenario", "") != "iid (legacy rates)") continue;
+      const std::string mapperName = entry.stringOr("mapper", "");
+      const std::string preset = mapperName == "HBA"   ? "hba"
+                                 : mapperName == "EA"  ? "ea"
+                                                       : "";
+      ASSERT_FALSE(preset.empty()) << mapperName;
+      const auto committed = static_cast<std::size_t>(
+          entry.find("runs")->array.front().numberOr("successes", -1));
+
+      const ExperimentResult result = ExperimentBuilder()
+                                          .circuit(spec)
+                                          .multiLevel()
+                                          .mapper(preset)
+                                          .legacyRates(rate)
+                                          .samples(samples)
+                                          .seed(0x51a)
+                                          .threads(1)
+                                          .errorBudget(0.0)
+                                          .run();
+      EXPECT_TRUE(result.graded);
+      EXPECT_EQ(result.outcome.successes, committed)
+          << spec << " / " << preset << ": graded run changed the exact verdict";
+      EXPECT_EQ(result.outcome.epsilonAccepted, committed)
+          << spec << " / " << preset << ": eps=0 acceptance must equal pass/fail";
+      EXPECT_EQ(result.outcome.rescued, 0u) << spec << " / " << preset;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 8u);
+}
+
+TEST(ApproxTestBenchPin, CommittedApproxJsonInvariantsHold) {
+  const SpecValue doc = loadCommittedJson("BENCH_approx.json");
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.stringOr("bench", ""), "ablation-approx");
+  EXPECT_EQ(doc.numberOr("yield_zero_mismatches", -1), 0.0);
+  EXPECT_EQ(doc.numberOr("monotonicity_violations", -1), 0.0);
+  EXPECT_GT(doc.numberOr("total_rescued", 0), 0.0)
+      << "the committed run must show real rescues";
+
+  const SpecValue* grid = doc.find("epsilon_grid");
+  ASSERT_NE(grid, nullptr);
+  ASSERT_GE(grid->array.size(), 2u);
+  EXPECT_EQ(grid->array.front().number, 0.0);
+
+  const SpecValue* cells = doc.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_FALSE(cells->array.empty());
+  for (const SpecValue& cell : cells->array) {
+    const SpecValue* curve = cell.find("yield");
+    ASSERT_NE(curve, nullptr) << cell.stringOr("circuit", "?");
+    ASSERT_EQ(curve->array.size(), grid->array.size());
+    // yield(0) == exact successes, and the curve is monotone.
+    EXPECT_EQ(curve->array.front().number, cell.numberOr("successes", -1))
+        << cell.stringOr("circuit", "?");
+    for (std::size_t i = 1; i < curve->array.size(); ++i)
+      EXPECT_GE(curve->array[i].number, curve->array[i - 1].number)
+          << cell.stringOr("circuit", "?") << " step " << i;
+  }
+}
+
+TEST(ApproxTestBenchPin, RederivesOneCommittedCellBitExactly) {
+  const SpecValue doc = loadCommittedJson("BENCH_approx.json");
+  ASSERT_TRUE(doc.isObject());
+  const auto samples = static_cast<std::size_t>(doc.numberOr("samples", 0));
+  const auto seed = static_cast<std::uint64_t>(doc.numberOr("seed", 0));
+  ASSERT_GT(samples, 0u);
+  const SpecValue* grid = doc.find("epsilon_grid");
+  ASSERT_NE(grid, nullptr);
+
+  const SpecValue* cells = doc.find("cells");
+  ASSERT_NE(cells, nullptr);
+  const SpecValue* pinned = nullptr;
+  for (const SpecValue& cell : cells->array)
+    if (cell.stringOr("circuit", "") == "rd53-min" && cell.numberOr("rate", 0) == 0.15)
+      pinned = &cell;
+  ASSERT_NE(pinned, nullptr) << "committed rd53-min @ 15% cell missing";
+
+  const ExperimentResult result =
+      ExperimentBuilder()
+          .circuit("rd53-min")
+          .mapper(R"({"mapper": "approx", "inner": "fast-ea", "epsilon": 1.0})")
+          .legacyRates(0.15)
+          .samples(samples)
+          .seed(seed)
+          .errorBudget(1.0)
+          .keepMappings(true)
+          .run();
+  EXPECT_EQ(result.outcome.successes,
+            static_cast<std::size_t>(pinned->numberOr("successes", -1)));
+  EXPECT_EQ(result.outcome.rescued,
+            static_cast<std::size_t>(pinned->numberOr("rescued", -1)));
+
+  const SpecValue* curve = pinned->find("yield");
+  ASSERT_NE(curve, nullptr);
+  ASSERT_EQ(curve->array.size(), grid->array.size());
+  for (std::size_t i = 0; i < grid->array.size(); ++i) {
+    const double eps = grid->array[i].number;
+    std::size_t ok = 0;
+    for (const MappingResult& m : result.outcome.mappings)
+      if (m.realizedErrorOrBinary() <= eps) ++ok;
+    EXPECT_EQ(ok, static_cast<std::size_t>(curve->array[i].number))
+        << "yield(" << eps << ") drifted from the committed curve";
+  }
+}
+
+}  // namespace
+}  // namespace mcx

@@ -1,0 +1,130 @@
+// The "epsilon" protocol member end-to-end: parse-time validation (typed
+// ParseErrors, never a crash), the graded response shape when a budget is
+// declared, and the classical response shape (no graded fields) when it is
+// not — existing clients must see byte-compatible output.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "serve/error.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "util/faultinject.hpp"
+
+namespace mcx::serve {
+namespace {
+
+/// Collects response lines (thread-safe) and finds them by id.
+class ResponseLog {
+public:
+  ExperimentService::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(line);
+    };
+  }
+  SpecValue response(const std::string& id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& line : lines_) {
+      const SpecValue doc = parseSpec(line);
+      if (doc.stringOr("id", "") == id) return doc;
+    }
+    ADD_FAILURE() << "no response for id " << id;
+    return SpecValue{};
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+class ApproxTestServe : public ::testing::Test {
+protected:
+  void TearDown() override { faultinject::reset(); }
+
+  static ServiceOptions smallOptions() {
+    ServiceOptions options;
+    options.queueDepth = 4;
+    options.requestThreads = 1;
+    options.poolThreads = 1;
+    return options;
+  }
+};
+
+TEST_F(ApproxTestServe, EpsilonMemberParsesAndValidates) {
+  const RequestLimits limits;
+  const Request ok = parseRequest(
+      R"({"id": "e", "circuit": "rd53-min", "samples": 5, "epsilon": 0.1})", limits);
+  ASSERT_TRUE(ok.epsilon.has_value());
+  EXPECT_DOUBLE_EQ(*ok.epsilon, 0.1);
+  EXPECT_FALSE(parseRequest(R"({"circuit": "rd53-min"})", limits).epsilon.has_value());
+
+  const auto expectParseError = [&](const std::string& line) {
+    try {
+      parseRequest(line, limits);
+      ADD_FAILURE() << "expected ServeError(Parse) for " << line;
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Parse) << line;
+    }
+  };
+  expectParseError(R"({"circuit": "rd53-min", "epsilon": 1.5})");
+  expectParseError(R"({"circuit": "rd53-min", "epsilon": -0.1})");
+  expectParseError(R"({"circuit": "rd53-min", "epsilon": "small"})");
+  expectParseError(R"({"circuit": "rd53-min", "epsilon": null})");
+}
+
+TEST_F(ApproxTestServe, GradedRequestGainsTheGradedResponseFields) {
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  const std::string base =
+      R"("circuit": "rd53-min", "mapper": {"mapper": "approx", "inner": "fast-ea", "epsilon": 1.0}, "open": 0.25, "samples": 30, "seed": 61166)";
+  service.submit(R"({"id": "graded", "epsilon": 0.05, )" + base + "}");
+  service.submit(R"({"id": "plain", )" + base + "}");
+  service.drain();
+
+  const SpecValue graded = log.response("graded");
+  EXPECT_EQ(graded.stringOr("status", ""), "ok");
+  EXPECT_DOUBLE_EQ(graded.numberOr("epsilon", -1), 0.05);
+  const double accepted = graded.numberOr("epsilon_accepted", -1);
+  const double successes = graded.numberOr("successes", -1);
+  EXPECT_GE(accepted, successes);
+  EXPECT_GE(successes, 0.0);
+  EXPECT_EQ(graded.numberOr("rescued", -1), accepted - successes);
+  EXPECT_NEAR(graded.numberOr("functional_yield", -1), accepted / 30.0, 1e-6);
+  EXPECT_GE(graded.numberOr("mean_realized_error", -1), 0.0);
+
+  // Same experiment without a budget: classical response shape, no graded
+  // members, identical exact verdict.
+  const SpecValue plain = log.response("plain");
+  EXPECT_EQ(plain.stringOr("status", ""), "ok");
+  EXPECT_EQ(plain.find("epsilon"), nullptr);
+  EXPECT_EQ(plain.find("epsilon_accepted"), nullptr);
+  EXPECT_EQ(plain.find("functional_yield"), nullptr);
+  EXPECT_EQ(plain.find("rescued"), nullptr);
+  EXPECT_EQ(plain.find("mean_realized_error"), nullptr);
+  EXPECT_EQ(plain.numberOr("successes", -2), successes);
+}
+
+TEST_F(ApproxTestServe, InjectedFaultAtTheEvaluateSiteSurfacesAsInternal) {
+  // The rescue path's fault site must turn into a structured internal error
+  // response, not a crash or a hang — the soak relies on this.
+  faultinject::arm("approx.evaluate", {faultinject::Kind::Throw});
+  ResponseLog log;
+  ExperimentService service(smallOptions(), log.sink());
+  service.submit(
+      R"({"id": "f", "circuit": "rd53-min", "epsilon": 0.1, "mapper": {"mapper": "approx", "inner": "fast-ea", "epsilon": 1.0}, "open": 0.4, "samples": 20, "seed": 3})");
+  service.drain();
+
+  const SpecValue response = log.response("f");
+  EXPECT_EQ(response.stringOr("status", ""), "error");
+  const SpecValue* error = response.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->stringOr("code", ""), "internal");
+  EXPECT_GE(faultinject::hits("approx.evaluate"), 1u);
+}
+
+}  // namespace
+}  // namespace mcx::serve
